@@ -1,0 +1,45 @@
+// Ablation: the load-dependent FIN-wait model is the mechanism behind the
+// Fig 6/7 buffering collapse. Rerunning the small-Apache configuration with
+// load-independent FIN delays must make the collapse disappear.
+
+#include "bench_util.h"
+
+using namespace softres;
+
+namespace {
+
+exp::Experiment experiment_with_finwait(bool load_dependent) {
+  exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+  cfg.hw = exp::HardwareConfig::parse("1/4/1/4");
+  cfg.tcp.enable_load_dependence = load_dependent;
+  return exp::Experiment(cfg, bench::bench_options());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: FIN-wait load dependence on/off (Fig 6 conditions)",
+                "1/4/1/4, Apache 30 threads, Tomcat 6-20, workloads 6600/7800");
+
+  metrics::Table t({"fin model", "workload", "goodput@2s", "throughput",
+                    "cjdbc CPU %", "apache busy ms"});
+  for (bool dep : {true, false}) {
+    exp::Experiment e = experiment_with_finwait(dep);
+    for (std::size_t wl : {std::size_t{6600}, std::size_t{7800}}) {
+      const exp::RunResult r = e.run(exp::SoftConfig{30, 6, 20}, wl);
+      const exp::ServerOps* apache = r.find_server("apache0");
+      t.add_row({dep ? "load-dependent" : "constant", std::to_string(wl),
+                 metrics::Table::fmt(r.goodput(2.0), 1),
+                 metrics::Table::fmt(r.throughput, 1),
+                 metrics::Table::fmt(r.find_cpu("cjdbc0.cpu")->util_pct, 1),
+                 metrics::Table::fmt(apache->mean_rt_s * 1000.0, 1)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nexpectation: with constant FIN delays the 30-thread Apache "
+               "keeps the back-end saturated at 7800 (no CPU drop); the "
+               "collapse only appears when client load stretches the FIN "
+               "replies — isolating the paper's Section III-C mechanism\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Strategy comparison: the two naive allocation strategies the paper
+// analyses (conservative minimisation, liberal maximisation), the
+// practitioners' rule of thumb, and Algorithm 1's output — scored on
+// goodput and SLA revenue around the saturation point of each hardware
+// configuration.
+
+#include "bench_util.h"
+#include "core/allocation.h"
+#include "core/strategies.h"
+#include "exp/runner_adapter.h"
+#include "metrics/sla.h"
+
+using namespace softres;
+
+namespace {
+
+void compare_on(const std::string& hw,
+                const std::vector<std::size_t>& workloads) {
+  exp::Experiment e = bench::make_experiment(hw);
+  exp::RunnerAdapter runner(e, 1.0);
+  core::AllocationAlgorithm algorithm(runner, core::AlgorithmConfig{});
+  const core::AllocationReport report = algorithm.run();
+
+  struct Entry {
+    const char* name;
+    core::Allocation alloc;
+  };
+  const std::vector<Entry> entries = {
+      {"conservative", core::conservative_strategy()},
+      {"liberal", core::liberal_strategy()},
+      {"rule-of-thumb", core::rule_of_thumb_strategy()},
+      {"algorithm", report.recommended},
+  };
+
+  const metrics::RevenueModel revenue{1.0, 2.0};
+  std::cout << "\n-- " << hw << " (algorithm recommends "
+            << report.recommended.to_string() << ", status "
+            << core::to_string(report.status) << ") --\n";
+  metrics::Table t({"strategy", "alloc", "workload", "goodput@1s",
+                    "badput@1s", "revenue/s"});
+  for (const auto& entry : entries) {
+    for (std::size_t wl : workloads) {
+      const exp::RunResult r =
+          e.run(exp::RunnerAdapter::to_soft_config(entry.alloc), wl);
+      const metrics::SlaSplit split = r.sla(1.0);
+      t.add_row({entry.name, entry.alloc.to_string(), std::to_string(wl),
+                 metrics::Table::fmt(split.goodput, 1),
+                 metrics::Table::fmt(split.badput, 1),
+                 metrics::Table::fmt(revenue.revenue(split, 1.0), 1)});
+    }
+  }
+  t.print(std::cout);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ablation: allocation strategies",
+                "conservative vs liberal vs rule-of-thumb vs Algorithm 1");
+  compare_on("1/2/1/2", {5400, 6200});
+  compare_on("1/4/1/4", {6600, 7400});
+  std::cout << "\nexpectation: conservative starves the hardware "
+               "(Section III-A), liberal pays GC/overhead near saturation "
+               "(III-B), the static rule of thumb is sub-optimal on at least "
+               "one hardware configuration, and the algorithm's allocation "
+               "is at or near the top on both\n";
+  return 0;
+}

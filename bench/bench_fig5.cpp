@@ -1,0 +1,93 @@
+// Figure 5: over-allocation of the Tomcat DB connection pool on 1/4/1/4
+// (threads fixed at 200). Conn pools 10/50/100/200 map 1:1 to C-JDBC threads
+// (40..800 total). Reports (a) goodput, (b) C-JDBC CPU, (c) total JVM GC
+// time on the C-JDBC node.
+
+#include "bench_util.h"
+
+using namespace softres;
+
+int main() {
+  bench::header("Figure 5: DB connection over-allocation, 1/4/1/4",
+                "conn pool 10/50/100/200 per Tomcat, threads 200, Apache 400");
+
+  exp::Experiment e = bench::make_experiment("1/4/1/4");
+  const std::vector<std::size_t> conns = {10, 50, 100, 200};
+  const auto workloads = exp::workload_range(6000, 7800, 600);
+
+  std::vector<std::vector<exp::RunResult>> runs;
+  for (std::size_t c : conns) {
+    runs.push_back(
+        exp::sweep_workload(e, exp::SoftConfig{400, 200, c}, workloads));
+  }
+
+  std::cout << "\n-- Fig 5a: goodput (2 s threshold) --\n";
+  {
+    metrics::Table t(
+        {"workload", "conns 10", "conns 50", "conns 100", "conns 200"});
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      std::vector<std::string> row = {std::to_string(workloads[i])};
+      for (std::size_t c = 0; c < conns.size(); ++c) {
+        row.push_back(metrics::Table::fmt(runs[c][i].goodput(2.0), 1));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n-- Fig 5b: C-JDBC CPU utilization (%) --\n";
+  {
+    metrics::Table t(
+        {"workload", "conns 10", "conns 50", "conns 100", "conns 200"});
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      std::vector<std::string> row = {std::to_string(workloads[i])};
+      for (std::size_t c = 0; c < conns.size(); ++c) {
+        row.push_back(metrics::Table::fmt(
+            runs[c][i].find_cpu("cjdbc0.cpu")->util_pct, 1));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n-- Fig 5c: total JVM GC time on C-JDBC during the "
+               "measurement window (s) --\n";
+  {
+    metrics::Table t(
+        {"workload", "conns 10", "conns 50", "conns 100", "conns 200"});
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      std::vector<std::string> row = {std::to_string(workloads[i])};
+      for (std::size_t c = 0; c < conns.size(); ++c) {
+        row.push_back(metrics::Table::fmt(runs[c][i].cjdbc_gc_seconds, 1));
+      }
+      t.add_row(row);
+    }
+    t.print(std::cout);
+  }
+
+  {
+    std::vector<std::pair<std::string, std::vector<double>>> gp, cpu, gc;
+    for (std::size_t c = 0; c < conns.size(); ++c) {
+      std::vector<double> g, u, t2;
+      for (std::size_t i = 0; i < workloads.size(); ++i) {
+        g.push_back(runs[c][i].goodput(2.0));
+        u.push_back(runs[c][i].find_cpu("cjdbc0.cpu")->util_pct);
+        t2.push_back(runs[c][i].cjdbc_gc_seconds);
+      }
+      const std::string label = "conns" + std::to_string(conns[c]);
+      gp.emplace_back(label, g);
+      cpu.emplace_back(label, u);
+      gc.emplace_back(label, t2);
+    }
+    bench::maybe_export_sweep("fig5a_goodput.csv", workloads, gp);
+    bench::maybe_export_sweep("fig5b_cjdbc_cpu.csv", workloads, cpu);
+    bench::maybe_export_sweep("fig5c_gc_seconds.csv", workloads, gc);
+  }
+
+  const double g10 = runs[0].back().goodput(2.0);
+  const double g200 = runs[3].back().goodput(2.0);
+  std::cout << "\nmeasured at WL 7800: conns-10 goodput ahead of conns-200 by "
+            << bench::pct_diff(g10, g200)
+            << " (paper: ~34%); GC share grows with conns as in Fig 5c\n";
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figures 7 and 8: Apache server internals over one minute of runtime.
+// Fig 7: pool 30 at workloads 6000 (healthy) and 7400 (FIN-wait collapse):
+// processed requests/s, worker busy-time split, and parallelism (active
+// threads vs threads interacting with Tomcat).
+// Fig 8: pool 400 at workload 7400: stable parallelism above 24 and high
+// throughput.
+
+#include <algorithm>
+
+#include "bench_util.h"
+
+using namespace softres;
+
+namespace {
+
+void print_timeline(const exp::RunResult& r, double from, double to) {
+  const auto* processed = r.find_series("apache0.processed");
+  const auto* pt_total = r.find_series("apache0.pt_total_ms");
+  const auto* pt_tomcat = r.find_series("apache0.pt_tomcat_ms");
+  const auto* active = r.find_series("apache0.threads_active");
+  const auto* connecting = r.find_series("apache0.threads_connecting");
+
+  metrics::Table t({"t", "req/s", "PT_total_ms", "PT_tomcat_ms",
+                    "threads_active", "threads_tomcat"});
+  for (std::size_t i = 0; i < processed->size(); ++i) {
+    const double time = processed->times[i];
+    if (time < from || time >= to) continue;
+    if (static_cast<long>(time - from) % 5 != 0) continue;  // every 5 s
+    t.add_row({metrics::Table::fmt(time - from, 0),
+               metrics::Table::fmt(processed->values[i], 0),
+               metrics::Table::fmt(pt_total->values[i], 1),
+               metrics::Table::fmt(pt_tomcat->values[i], 1),
+               metrics::Table::fmt(active->values[i], 0),
+               metrics::Table::fmt(connecting->values[i], 0)});
+  }
+  t.print(std::cout);
+
+  // Window aggregates (the quantities the paper's prose cites).
+  std::cout << "window means: req/s="
+            << metrics::Table::fmt(processed->mean_between(from, to), 1)
+            << "  PT_total=" << metrics::Table::fmt(
+                   pt_total->mean_between(from, to), 1)
+            << " ms  PT_tomcat=" << metrics::Table::fmt(
+                   pt_tomcat->mean_between(from, to), 1)
+            << " ms  active=" << metrics::Table::fmt(
+                   active->mean_between(from, to), 1)
+            << "  interacting=" << metrics::Table::fmt(
+                   connecting->mean_between(from, to), 1)
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figures 7/8: Apache worker timeline, 1/4/1/4",
+                "pool 30 at WL 6000 and 7400 (Fig 7); pool 400 at 7400 "
+                "(Fig 8)");
+
+  exp::Experiment e = bench::make_experiment("1/4/1/4");
+  const exp::ExperimentOptions opts = bench::bench_options();
+  const double from = opts.client.ramp_up_s;
+  const double to = std::min(from + 60.0,
+                             from + opts.client.runtime_s);
+
+  std::cout << "\n-- Fig 7(a-c): Apache 30-6-20, workload 6000 --\n";
+  print_timeline(e.run(exp::SoftConfig{30, 6, 20}, 6000), from, to);
+
+  std::cout << "\n-- Fig 7(d-f): Apache 30-6-20, workload 7400 --\n";
+  print_timeline(e.run(exp::SoftConfig{30, 6, 20}, 7400), from, to);
+
+  std::cout << "\n-- Fig 8: Apache 400-6-20, workload 7400 --\n";
+  print_timeline(e.run(exp::SoftConfig{400, 6, 20}, 7400), from, to);
+
+  std::cout << "\npaper's reading: at WL 7400 with 30 threads, PT_total "
+               "spikes (FIN waits) while threads interacting with Tomcat "
+               "falls far below the pool size; with 400 threads the "
+               "interacting count stays well above the 24 Tomcat slots and "
+               "throughput holds\n";
+  return 0;
+}

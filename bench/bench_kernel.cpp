@@ -1,0 +1,111 @@
+// Microbenchmarks of the simulation kernel (google-benchmark): event queue
+// throughput, processor-sharing CPU model, pool operations, and whole-
+// testbed event rate. These bound how fast the figure benches can sweep.
+
+#include <benchmark/benchmark.h>
+
+#include "exp/config.h"
+#include "exp/testbed.h"
+#include "hw/cpu.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "soft/pool.h"
+
+using namespace softres;
+
+namespace {
+
+void BM_EventScheduleExecute(benchmark::State& state) {
+  sim::Simulator sim;
+  std::uint64_t fired = 0;
+  for (auto _ : state) {
+    sim.schedule(1.0, [&fired] { ++fired; });
+    sim.step();
+  }
+  benchmark::DoNotOptimize(fired);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_EventScheduleExecute);
+
+void BM_EventQueueDepth(benchmark::State& state) {
+  const auto depth = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    sim::Rng rng(1);
+    for (std::size_t i = 0; i < depth; ++i) {
+      sim.schedule(rng.next_double(), [] {});
+    }
+    state.ResumeTiming();
+    sim.run();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(depth));
+}
+BENCHMARK(BM_EventQueueDepth)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CpuProcessorSharing(benchmark::State& state) {
+  const auto concurrency = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator sim;
+    hw::Cpu cpu(sim, "c", 1);
+    int done = 0;
+    state.ResumeTiming();
+    for (int i = 0; i < concurrency; ++i) {
+      cpu.submit(0.001 * (i + 1), [&done] { ++done; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          concurrency);
+}
+BENCHMARK(BM_CpuProcessorSharing)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_PoolAcquireRelease(benchmark::State& state) {
+  sim::Simulator sim;
+  soft::Pool pool(sim, "p", 16);
+  for (auto _ : state) {
+    pool.acquire([] {});
+    pool.release();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PoolAcquireRelease);
+
+void BM_PoolContended(benchmark::State& state) {
+  sim::Simulator sim;
+  soft::Pool pool(sim, "p", 4);
+  for (int i = 0; i < 4; ++i) pool.acquire([] {});
+  for (auto _ : state) {
+    pool.acquire([&pool] { pool.release(); });  // waits, then releases
+    pool.release();                             // admits the waiter
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_PoolContended);
+
+void BM_TestbedTrial(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+    workload::ClientConfig client;
+    client.users = users;
+    client.ramp_up_s = 5.0;
+    client.runtime_s = 15.0;
+    client.ramp_down_s = 2.0;
+    exp::Testbed bed(cfg, client);
+    bed.run();
+    events += bed.simulator().events_executed();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.SetLabel("events/iter=" +
+                 std::to_string(events / state.iterations()));
+}
+BENCHMARK(BM_TestbedTrial)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

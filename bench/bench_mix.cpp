@@ -1,0 +1,55 @@
+// Workload-mix study: RUBBoS ships browsing-only and read/write interaction
+// mixes (Section II-A). The read/write mix issues more SQL per interaction
+// (higher Req_ratio), shifting load toward the back-end — the same hardware
+// saturates earlier and the optimal soft allocation moves with it, which is
+// exactly why static rule-of-thumb allocations cannot survive workload
+// changes (Section I).
+
+#include "bench_util.h"
+#include "workload/rubbos.h"
+
+using namespace softres;
+
+namespace {
+
+exp::Experiment experiment_for(workload::Mix mix) {
+  exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+  cfg.hw = exp::HardwareConfig::parse("1/4/1/4");
+  cfg.mix = mix;
+  return exp::Experiment(cfg, bench::bench_options());
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Workload mixes: browsing-only vs read/write, 1/4/1/4",
+                "same hardware and soft allocation (400-15-20)");
+
+  const workload::RubbosWorkload browse(workload::Mix::kBrowseOnly);
+  const workload::RubbosWorkload rw(workload::Mix::kReadWrite);
+  std::cout << "Req_ratio: browse-only "
+            << metrics::Table::fmt(browse.req_ratio(), 2) << ", read/write "
+            << metrics::Table::fmt(rw.req_ratio(), 2) << "\n\n";
+
+  exp::Experiment browse_exp = experiment_for(workload::Mix::kBrowseOnly);
+  exp::Experiment rw_exp = experiment_for(workload::Mix::kReadWrite);
+  const exp::SoftConfig soft{400, 15, 20};
+  const auto workloads = exp::workload_range(5000, 7400, 600);
+
+  metrics::Table t({"workload", "browse tp", "browse cjdbc%", "rw tp",
+                    "rw cjdbc%"});
+  for (std::size_t u : workloads) {
+    const exp::RunResult b = browse_exp.run(soft, u);
+    const exp::RunResult w = rw_exp.run(soft, u);
+    t.add_row({std::to_string(u), metrics::Table::fmt(b.throughput, 1),
+               metrics::Table::fmt(b.find_cpu("cjdbc0.cpu")->util_pct, 1),
+               metrics::Table::fmt(w.throughput, 1),
+               metrics::Table::fmt(w.find_cpu("cjdbc0.cpu")->util_pct, 1)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nexpectation: the read/write mix pushes the middleware CPU "
+               "harder at the same workload (higher Req_ratio), pulling the "
+               "knee to a lower user count\n";
+  return 0;
+}

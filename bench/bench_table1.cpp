@@ -1,0 +1,69 @@
+// Table I: the allocation algorithm's full output for hardware
+// configurations 1/2/1/2 and 1/4/1/4 — critical resource, saturation
+// workload, per-tier RTT/TP/average jobs, Req_ratio, and the derived
+// thread/connection pool sizes.
+
+#include "bench_util.h"
+#include "core/allocation.h"
+#include "exp/runner_adapter.h"
+
+using namespace softres;
+
+namespace {
+
+void run_for(const std::string& hw) {
+  exp::Experiment e = bench::make_experiment(hw);
+  exp::RunnerAdapter runner(e, /*slo_threshold_s=*/1.0);
+  core::AllocationAlgorithm algorithm(runner, core::AlgorithmConfig{});
+  const core::AllocationReport report = algorithm.run();
+
+  std::cout << "\n-- Table I column: hardware " << hw << " --\n";
+  std::cout << "status:                " << core::to_string(report.status)
+            << "\n";
+  std::cout << "critical resource:     " << report.critical.critical_resource
+            << " (" << core::tier_name(report.critical.critical_tier)
+            << " tier CPU)\n";
+  std::cout << "saturation workload:   " << report.min_jobs.saturation_workload
+            << " users\n";
+  std::cout << "saturation throughput: "
+            << metrics::Table::fmt(report.min_jobs.saturation_throughput, 1)
+            << " req/s\n";
+  std::cout << "Req_ratio:             "
+            << metrics::Table::fmt(report.req_ratio, 2) << "\n";
+  std::cout << "min concurrent jobs:   " << report.min_jobs.min_jobs
+            << " (critical server: TP "
+            << metrics::Table::fmt(report.min_jobs.critical_throughput, 1)
+            << " x RTT "
+            << metrics::Table::fmt(report.min_jobs.critical_rtt_s * 1000, 2)
+            << " ms)\n";
+  std::cout << "experiments run:       " << report.experiments_run << "\n\n";
+
+  metrics::Table t({"tier", "servers", "RTT_ms", "TP_total", "avg_jobs",
+                    "pool/server", "pool_total"});
+  for (const auto& row : report.rows) {
+    t.add_row({core::tier_name(row.tier), std::to_string(row.servers),
+               metrics::Table::fmt(row.rtt_s * 1000.0, 2),
+               metrics::Table::fmt(row.throughput, 1),
+               metrics::Table::fmt(row.avg_jobs, 1),
+               std::to_string(row.pool_per_server),
+               std::to_string(row.pool_total)});
+  }
+  t.print(std::cout);
+  std::cout << "recommended #Wt-#At-#Ac: " << report.recommended.to_string()
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Table I: allocation algorithm output",
+                "three procedures on 1/2/1/2 and 1/4/1/4");
+  run_for("1/2/1/2");
+  run_for("1/4/1/4");
+  std::cout << "\npaper's reference: 1/2/1/2 -> Tomcat CPU critical, "
+               "~13 threads per Tomcat; 1/4/1/4 -> C-JDBC CPU critical, "
+               "~8 DB connections per Tomcat (32 total). Shapes should "
+               "match; absolute pool sizes depend on the calibrated "
+               "testbed's RTTs.\n";
+  return 0;
+}

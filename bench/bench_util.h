@@ -1,0 +1,72 @@
+#pragma once
+
+// Shared scaffolding for the figure/table reproduction benches. Each bench
+// prints the same rows/series the paper's evaluation reports, from freshly
+// simulated trials. Absolute values come from the calibrated simulator;
+// EXPERIMENTS.md records the paper-vs-measured comparison.
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/experiment.h"
+#include "exp/sweep.h"
+#include "metrics/csv.h"
+#include "metrics/table.h"
+
+namespace softres::bench {
+
+/// Trial schedule for benches: compressed by default, the paper's 8 min /
+/// 12 min schedule with SOFTRES_FULL=1.
+inline exp::ExperimentOptions bench_options() {
+  exp::ExperimentOptions opts;
+  const char* full = std::getenv("SOFTRES_FULL");
+  if (full != nullptr && full[0] == '1') {
+    opts.client.ramp_up_s = 480.0;
+    opts.client.runtime_s = 720.0;
+    opts.client.ramp_down_s = 30.0;
+  } else {
+    opts.client.ramp_up_s = 20.0;
+    opts.client.runtime_s = 60.0;
+    opts.client.ramp_down_s = 3.0;
+  }
+  return opts;
+}
+
+inline exp::Experiment make_experiment(const std::string& hw) {
+  exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+  cfg.hw = exp::HardwareConfig::parse(hw);
+  return exp::Experiment(cfg, bench_options());
+}
+
+inline void header(const std::string& title, const std::string& what) {
+  std::cout << "==============================================================="
+               "=\n"
+            << title << "\n"
+            << what << "\n"
+            << "==============================================================="
+               "=\n";
+}
+
+/// Drop a sweep as CSV when SOFTRES_CSV_DIR is set (plot-ready output).
+inline void maybe_export_sweep(
+    const std::string& name, const std::vector<std::size_t>& workloads,
+    const std::vector<std::pair<std::string, std::vector<double>>>& columns) {
+  const std::string dir = metrics::csv_dir_from_env();
+  if (dir.empty()) return;
+  std::vector<double> x(workloads.begin(), workloads.end());
+  if (metrics::export_csv(dir, name, [&](std::ostream& os) {
+        metrics::write_xy_csv(os, "workload", x, columns);
+      })) {
+    std::cout << "[csv] wrote " << dir << "/" << name << "\n";
+  }
+}
+
+inline std::string pct_diff(double a, double b) {
+  if (b <= 0.0) return "n/a";
+  return metrics::Table::fmt(100.0 * (a - b) / b, 1) + "%";
+}
+
+}  // namespace softres::bench

@@ -1,0 +1,316 @@
+#include "core/allocation.h"
+
+#include "core/ops_laws.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <cmath>
+
+namespace softres::core {
+
+const char* to_string(AlgorithmStatus s) {
+  switch (s) {
+    case AlgorithmStatus::kOk:
+      return "ok";
+    case AlgorithmStatus::kNoBottleneckFound:
+      return "no-bottleneck-found";
+    case AlgorithmStatus::kMultiBottleneck:
+      return "multi-bottleneck";
+    case AlgorithmStatus::kBudgetExhausted:
+      return "budget-exhausted";
+  }
+  return "?";
+}
+
+AllocationAlgorithm::AllocationAlgorithm(ExperimentRunner& runner,
+                                         AlgorithmConfig config)
+    : runner_(runner), cfg_(config) {}
+
+Observation AllocationAlgorithm::run_once(const Allocation& alloc,
+                                          std::size_t workload) {
+  ++runs_;
+  return runner_.run(alloc, workload);
+}
+
+namespace {
+
+TracePoint make_trace(const Observation& obs, const Allocation& alloc,
+                      const BottleneckReport& rep) {
+  TracePoint t;
+  t.workload = obs.workload;
+  t.alloc = alloc;
+  t.throughput = obs.throughput;
+  t.goodput = obs.goodput;
+  t.slo_satisfaction = obs.slo_satisfaction;
+  t.bottleneck = rep.kind;
+  t.critical = rep.critical;
+  return t;
+}
+
+std::string server_of_resource(const std::string& resource) {
+  const auto dot = resource.rfind('.');
+  return dot == std::string::npos ? resource : resource.substr(0, dot);
+}
+
+int tier_index(Tier t) { return static_cast<int>(t); }
+
+struct TierAgg {
+  int servers = 0;
+  double rtt_sum = 0.0;
+  double tp_total = 0.0;
+  double jobs_total = 0.0;
+  double rtt() const {
+    return servers ? rtt_sum / static_cast<double>(servers) : 0.0;
+  }
+};
+
+std::map<Tier, TierAgg> aggregate_tiers(const Observation& obs) {
+  std::map<Tier, TierAgg> agg;
+  for (const auto& s : obs.servers) {
+    TierAgg& a = agg[s.tier];
+    ++a.servers;
+    a.rtt_sum += s.mean_rt_s;
+    a.tp_total += s.throughput;
+    a.jobs_total += s.avg_jobs;
+  }
+  return agg;
+}
+
+}  // namespace
+
+CriticalResourceResult AllocationAlgorithm::find_critical_resource() {
+  CriticalResourceResult result;
+  Allocation s = cfg_.initial;
+  std::size_t workload = cfg_.start_workload;
+  double tp_max = -1.0;
+
+  while (runs_ < cfg_.max_runs) {
+    const Observation obs = run_once(s, workload);
+    const BottleneckReport rep = detect_bottleneck(obs);
+    result.trace.push_back(make_trace(obs, s, rep));
+
+    if (rep.kind == BottleneckKind::kHardware ||
+        rep.kind == BottleneckKind::kMulti) {
+      // Hardware saturation: the critical resource is exposed.
+      result.status = rep.kind == BottleneckKind::kMulti
+                          ? AlgorithmStatus::kMultiBottleneck
+                          : AlgorithmStatus::kOk;
+      result.critical_resource = rep.critical;
+      result.critical_server = server_of_resource(rep.critical);
+      if (const ServerObservation* srv =
+              obs.find_server(result.critical_server)) {
+        result.critical_tier = srv->tier;
+      }
+      result.reserve = s;
+      return result;
+    }
+    if (rep.kind == BottleneckKind::kSoft) {
+      // Hardware is under-utilized because some pool is scarce: double every
+      // soft allocation and restart the ramp (pseudo-code line 14).
+      s = s.doubled();
+      workload = cfg_.start_workload;
+      tp_max = -1.0;
+      continue;
+    }
+    // Nothing saturated. Throughput must still be climbing, otherwise the
+    // system saturates in a way our monitors cannot attribute.
+    if (obs.throughput <= tp_max) {
+      result.status = AlgorithmStatus::kNoBottleneckFound;
+      return result;
+    }
+    tp_max = obs.throughput;
+    workload += cfg_.workload_step;
+  }
+  result.status = AlgorithmStatus::kBudgetExhausted;
+  return result;
+}
+
+MinJobsResult AllocationAlgorithm::infer_min_concurrent_jobs(
+    const CriticalResourceResult& crit) {
+  MinJobsResult result;
+  if (crit.status != AlgorithmStatus::kOk &&
+      crit.status != AlgorithmStatus::kMultiBottleneck) {
+    result.status = crit.status;
+    return result;
+  }
+
+  std::vector<double> satisfaction;
+  std::vector<double> crit_rtt;
+  std::vector<double> crit_tp;
+  std::vector<Observation> observations;
+  std::vector<std::size_t> workloads;
+
+  std::size_t workload = cfg_.start_workload;
+  double tp_max = -1.0;
+  int declines = 0;
+  std::size_t first_saturated = SIZE_MAX;  // first WL with the critical
+                                           // resource at full utilization
+
+  while (runs_ < cfg_.max_runs) {
+    Observation obs = run_once(crit.reserve, workload);
+    if (first_saturated == SIZE_MAX) {
+      for (const auto& h : obs.hardware) {
+        if (h.name == crit.critical_resource && h.saturated) {
+          first_saturated = satisfaction.size();  // index of this point
+          break;
+        }
+      }
+    }
+    const BottleneckReport rep = detect_bottleneck(obs);
+    result.trace.push_back(make_trace(obs, crit.reserve, rep));
+
+    satisfaction.push_back(obs.slo_satisfaction);
+    const ServerObservation* srv = obs.find_server(crit.critical_server);
+    crit_rtt.push_back(srv != nullptr ? srv->mean_rt_s : 0.0);
+    crit_tp.push_back(srv != nullptr ? srv->throughput : 0.0);
+    workloads.push_back(workload);
+    observations.push_back(std::move(obs));
+
+    const double tp = observations.back().throughput;
+    if (tp <= tp_max) {
+      ++declines;
+    } else {
+      tp_max = tp;
+      declines = 0;
+    }
+
+    const InterventionResult ia =
+        intervention_analysis(satisfaction, cfg_.intervention);
+    const std::size_t min_points =
+        cfg_.intervention.baseline_points + cfg_.intervention.confirmations;
+    if ((ia.found && satisfaction.size() >= min_points) || declines >= 2) {
+      result.intervention = ia;
+      break;
+    }
+    workload += cfg_.small_step;
+  }
+
+  if (observations.empty()) {
+    result.status = AlgorithmStatus::kBudgetExhausted;
+    return result;
+  }
+  if (!result.intervention.found) {
+    result.intervention =
+        intervention_analysis(satisfaction, cfg_.intervention);
+  }
+
+  // WL_min is where the critical hardware resource first saturates; the
+  // intervention point on SLO satisfaction bounds it from above (response
+  // times may only deteriorate once the resource is pegged).
+  std::size_t idx =
+      std::min(result.intervention.last_stable_index, observations.size() - 1);
+  if (first_saturated != SIZE_MAX) idx = std::min(idx, first_saturated);
+  result.saturation_workload = workloads[idx];
+  result.saturation_throughput = observations[idx].throughput;
+  result.critical_rtt_s = crit_rtt[idx];
+  result.critical_throughput = crit_tp[idx];
+  // Little's law: minimum concurrent jobs saturating the critical server.
+  result.min_jobs = static_cast<std::size_t>(
+      std::max(1.0, std::ceil(crit_tp[idx] * crit_rtt[idx])));
+  result.at_saturation = observations[idx];
+  return result;
+}
+
+AllocationReport AllocationAlgorithm::calculate_min_allocation(
+    const CriticalResourceResult& crit, const MinJobsResult& jobs) {
+  AllocationReport report;
+  report.critical = crit;
+  report.min_jobs = jobs;
+  report.experiments_run = runs_;
+  if (jobs.status != AlgorithmStatus::kOk) {
+    report.status = jobs.status;
+    return report;
+  }
+  report.status = crit.status;
+
+  const Observation& obs = jobs.at_saturation;
+  report.req_ratio = obs.req_ratio;
+  const auto agg = aggregate_tiers(obs);
+  const auto crit_it = agg.find(crit.critical_tier);
+  assert(crit_it != agg.end());
+  const TierAgg& crit_agg = crit_it->second;
+  const double crit_total_jobs =
+      static_cast<double>(jobs.min_jobs) *
+      static_cast<double>(crit_agg.servers);
+
+  auto per_server_for = [&](Tier tier, const TierAgg& a) -> std::size_t {
+    if (tier == crit.critical_tier) return jobs.min_jobs;
+    if (tier_index(tier) < tier_index(crit.critical_tier)) {
+      // Front tier: Formula (3), with the forced-flow ratio measured from
+      // the tiers' throughputs at saturation.
+      const double req_ratio =
+          a.tp_total > 0.0 ? crit_agg.tp_total / a.tp_total : 1.0;
+      const double rtt_ratio =
+          crit_agg.rtt() > 0.0 ? a.rtt() / crit_agg.rtt() : 1.0;
+      const double l_tier =
+          front_tier_jobs(crit_total_jobs, rtt_ratio, req_ratio);
+      return static_cast<std::size_t>(std::max(
+          1.0, std::ceil(l_tier / static_cast<double>(a.servers))));
+    }
+    // Back-end tier: at least minjobs each so the critical tier never
+    // starves on downstream congestion.
+    return jobs.min_jobs;
+  };
+
+  for (const auto& [tier, a] : agg) {
+    TierRow row;
+    row.tier = tier;
+    row.servers = a.servers;
+    row.rtt_s = a.rtt();
+    row.throughput = a.tp_total;
+    row.avg_jobs = a.jobs_total;
+    row.pool_per_server = per_server_for(tier, a);
+    row.pool_total = row.pool_per_server * static_cast<std::size_t>(a.servers);
+    report.rows.push_back(row);
+  }
+
+  // Translate tier rows into the #Wt-#At-#Ac knobs.
+  Allocation rec;
+  std::size_t app_servers = 1;
+  for (const auto& row : report.rows) {
+    switch (row.tier) {
+      case Tier::kWeb:
+        rec.web_threads = static_cast<std::size_t>(std::ceil(
+            static_cast<double>(row.pool_per_server) *
+            cfg_.web_buffer_factor));
+        break;
+      case Tier::kApp:
+        rec.app_threads = row.pool_per_server;
+        app_servers = static_cast<std::size_t>(row.servers);
+        break;
+      default:
+        break;
+    }
+  }
+  if (crit.critical_tier == Tier::kApp) {
+    // Pseudo-code lines 31-32: both pools of the critical server = minjobs.
+    rec.app_connections = jobs.min_jobs;
+  } else if (tier_index(crit.critical_tier) > tier_index(Tier::kApp)) {
+    // The middleware/db tier has no explicit pool: its thread count is
+    // controlled 1:1 by the app tier's DB connections, so the connection
+    // pools jointly provide exactly the critical tier's total concurrency.
+    rec.app_connections = static_cast<std::size_t>(std::max(
+        1.0, std::ceil(crit_total_jobs / static_cast<double>(app_servers))));
+  } else {
+    rec.app_connections = jobs.min_jobs;
+  }
+  report.recommended = rec;
+  return report;
+}
+
+AllocationReport AllocationAlgorithm::run() {
+  const CriticalResourceResult crit = find_critical_resource();
+  if (crit.status != AlgorithmStatus::kOk &&
+      crit.status != AlgorithmStatus::kMultiBottleneck) {
+    AllocationReport report;
+    report.status = crit.status;
+    report.critical = crit;
+    report.experiments_run = runs_;
+    return report;
+  }
+  const MinJobsResult jobs = infer_min_concurrent_jobs(crit);
+  return calculate_min_allocation(crit, jobs);
+}
+
+}  // namespace softres::core

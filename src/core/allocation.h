@@ -1,0 +1,129 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/bottleneck.h"
+#include "core/intervention.h"
+#include "core/runner.h"
+
+namespace softres::core {
+
+/// Tuning knobs of Algorithm 1.
+struct AlgorithmConfig {
+  /// S0: deliberately modest so soft saturation is observable and the
+  /// doubling step of FindCriticalResource gets exercised.
+  Allocation initial{100, 25, 25};
+  /// Workload increment of FindCriticalResource (the pseudo-code's `step`).
+  std::size_t workload_step = 1000;
+  /// Finer increment of InferMinConcurrentJobs (`smallstep`).
+  std::size_t small_step = 400;
+  /// Start workload for both procedures.
+  std::size_t start_workload = 1000;
+  /// Safety valve across all RunExperiment invocations.
+  std::size_t max_runs = 60;
+  InterventionConfig intervention;
+  /// Headroom multiplier applied to the front-tier (web) allocation: the
+  /// formula yields a *minimum*, and Section III-C shows the web tier wants
+  /// buffering slack on top of it.
+  double web_buffer_factor = 1.25;
+};
+
+enum class AlgorithmStatus {
+  kOk,
+  kNoBottleneckFound,  // workload exhausted without any saturation
+  kMultiBottleneck,    // oscillating/multiple hardware bottlenecks [9]
+  kBudgetExhausted,    // max_runs hit
+};
+
+const char* to_string(AlgorithmStatus s);
+
+/// One RunExperiment invocation, kept for reporting/debugging.
+struct TracePoint {
+  std::size_t workload = 0;
+  Allocation alloc;
+  double throughput = 0.0;
+  double goodput = 0.0;
+  double slo_satisfaction = 1.0;
+  BottleneckKind bottleneck = BottleneckKind::kNone;
+  std::string critical;
+};
+
+/// Output of procedure FindCriticalResource.
+struct CriticalResourceResult {
+  AlgorithmStatus status = AlgorithmStatus::kOk;
+  std::string critical_resource;  // "tomcat0.cpu"
+  std::string critical_server;    // "tomcat0"
+  Tier critical_tier = Tier::kApp;
+  Allocation reserve;             // S_reserve: allocation that exposed it
+  std::vector<TracePoint> trace;
+};
+
+/// Output of procedure InferMinConcurrentJobs.
+struct MinJobsResult {
+  AlgorithmStatus status = AlgorithmStatus::kOk;
+  std::size_t saturation_workload = 0;   // WL_min
+  double saturation_throughput = 0.0;    // client interactions/s at WL_min
+  double critical_rtt_s = 0.0;           // critical server RTT at WL_min
+  double critical_throughput = 0.0;      // critical server TP at WL_min
+  std::size_t min_jobs = 0;              // per critical server
+  InterventionResult intervention;
+  std::vector<TracePoint> trace;
+  /// Observation at the saturation workload (feeds CalculateMinAllocation).
+  Observation at_saturation;
+};
+
+/// One Table I row: tier-level operational quantities at saturation.
+struct TierRow {
+  Tier tier = Tier::kApp;
+  int servers = 0;
+  double rtt_s = 0.0;        // mean per-request residence in one server
+  double throughput = 0.0;   // tier-total completions/s
+  double avg_jobs = 0.0;     // measured tier-total concurrency
+  std::size_t pool_total = 0;       // recommended total soft units
+  std::size_t pool_per_server = 0;  // recommended per-server pool size
+};
+
+/// Full output of the algorithm — the content of the paper's Table I.
+struct AllocationReport {
+  AlgorithmStatus status = AlgorithmStatus::kOk;
+  CriticalResourceResult critical;
+  MinJobsResult min_jobs;
+  double req_ratio = 1.0;
+  std::vector<TierRow> rows;
+  Allocation recommended;  // per-server sizes in #Wt-#At-#Ac terms
+  std::size_t experiments_run = 0;
+};
+
+/// The paper's three-procedure soft-resource allocation algorithm
+/// (Section IV, Algorithm 1). Drives an ExperimentRunner; substrate-agnostic.
+class AllocationAlgorithm {
+ public:
+  AllocationAlgorithm(ExperimentRunner& runner, AlgorithmConfig config = {});
+
+  /// Run all three procedures.
+  AllocationReport run();
+
+  /// Procedure 1: expose the critical hardware resource.
+  CriticalResourceResult find_critical_resource();
+
+  /// Procedure 2: minimum concurrency that saturates the critical resource.
+  MinJobsResult infer_min_concurrent_jobs(const CriticalResourceResult& crit);
+
+  /// Procedure 3: size every other tier from the critical tier's allocation.
+  AllocationReport calculate_min_allocation(
+      const CriticalResourceResult& crit, const MinJobsResult& jobs);
+
+  std::size_t experiments_run() const { return runs_; }
+
+ private:
+  Observation run_once(const Allocation& alloc, std::size_t workload);
+
+  ExperimentRunner& runner_;
+  AlgorithmConfig cfg_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace softres::core

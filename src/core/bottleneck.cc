@@ -1,0 +1,41 @@
+#include "core/bottleneck.h"
+
+#include <set>
+
+namespace softres::core {
+namespace {
+
+std::string server_of_resource(const std::string& resource) {
+  const auto dot = resource.rfind('.');
+  return dot == std::string::npos ? resource : resource.substr(0, dot);
+}
+
+}  // namespace
+
+BottleneckReport detect_bottleneck(const Observation& obs) {
+  BottleneckReport report;
+  // Saturated replicas of the same tier (e.g. both Tomcat CPUs in 1/2/1/2)
+  // are one logical bottleneck; a true multi-bottleneck spans tiers [9].
+  std::set<Tier> tiers;
+  for (const auto& h : obs.hardware) {
+    if (!h.saturated) continue;
+    report.hardware.push_back(h.name);
+    if (const ServerObservation* srv =
+            obs.find_server(server_of_resource(h.name))) {
+      tiers.insert(srv->tier);
+    }
+  }
+  for (const auto& s : obs.soft) {
+    if (s.saturated) report.soft.push_back(s.name);
+  }
+  if (!report.hardware.empty()) {
+    report.critical = report.hardware.front();
+    report.kind = tiers.size() > 1 ? BottleneckKind::kMulti
+                                   : BottleneckKind::kHardware;
+  } else if (!report.soft.empty()) {
+    report.kind = BottleneckKind::kSoft;
+  }
+  return report;
+}
+
+}  // namespace softres::core

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/runner.h"
+
+namespace softres::core {
+
+enum class BottleneckKind {
+  kNone,          // nothing saturated: offered load is insufficient
+  kHardware,      // a hardware resource saturated (the classic case)
+  kSoft,          // only soft resources saturated: the hidden bottleneck of
+                  // Section III-A — hardware idles while a pool is pegged
+  kMulti,         // more than one hardware resource saturated [9]
+};
+
+struct BottleneckReport {
+  BottleneckKind kind = BottleneckKind::kNone;
+  std::vector<std::string> hardware;  // saturated hardware resources
+  std::vector<std::string> soft;      // saturated soft resources
+  /// The critical hardware resource (first saturated one) when kind is
+  /// kHardware or kMulti.
+  std::string critical;
+};
+
+/// Classify one observation. This is the detection step the paper argues
+/// must look at soft resources too: monitoring only `hardware` would report
+/// kNone in the under-allocation scenario.
+BottleneckReport detect_bottleneck(const Observation& obs);
+
+}  // namespace softres::core

@@ -1,0 +1,58 @@
+#include "core/intervention.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softres::core {
+
+InterventionResult intervention_analysis(const std::vector<double>& series,
+                                         const InterventionConfig& cfg) {
+  InterventionResult r;
+  if (series.size() < 2) {
+    r.last_stable_index = series.empty() ? 0 : series.size() - 1;
+    return r;
+  }
+  const std::size_t nb =
+      std::max<std::size_t>(1, std::min(cfg.baseline_points, series.size() / 2));
+  double mean = 0.0;
+  for (std::size_t i = 0; i < nb; ++i) mean += series[i];
+  mean /= static_cast<double>(nb);
+  double var = 0.0;
+  for (std::size_t i = 0; i < nb; ++i) {
+    var += (series[i] - mean) * (series[i] - mean);
+  }
+  var = nb > 1 ? var / static_cast<double>(nb - 1) : 0.0;
+  const double sigma = std::sqrt(var);
+
+  r.baseline_mean = mean;
+  r.baseline_stddev = sigma;
+  r.threshold = mean - std::max(cfg.sigma_multiplier * sigma, cfg.min_drop);
+
+  const std::size_t need = std::max<std::size_t>(1, cfg.confirmations);
+  std::size_t run = 0;
+  for (std::size_t i = nb; i < series.size(); ++i) {
+    if (series[i] < r.threshold) {
+      ++run;
+      if (run >= need) {
+        r.found = true;
+        r.change_index = i - run + 1;
+        r.last_stable_index = r.change_index == 0 ? 0 : r.change_index - 1;
+        return r;
+      }
+    } else {
+      run = 0;
+    }
+  }
+  // Tail that intervenes but is not long enough to confirm still counts when
+  // the series ends mid-run.
+  if (run > 0) {
+    r.found = true;
+    r.change_index = series.size() - run;
+    r.last_stable_index = r.change_index == 0 ? 0 : r.change_index - 1;
+    return r;
+  }
+  r.last_stable_index = series.size() - 1;
+  return r;
+}
+
+}  // namespace softres::core

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace softres::core {
+
+/// Statistical intervention analysis on a monotone stress series [11].
+///
+/// The SLO satisfaction of a system is near-constant while workload stays
+/// below the saturation point of the critical resource, then deteriorates
+/// sharply. Given satisfaction measured at increasing workloads, this finds
+/// the last workload index at which the series is still consistent with the
+/// low-workload baseline.
+struct InterventionConfig {
+  /// How many leading points form the baseline (clamped to series size / 2).
+  std::size_t baseline_points = 3;
+  /// A point intervenes when it drops below baseline_mean - max(k*sigma,
+  /// min_drop).
+  double sigma_multiplier = 3.0;
+  double min_drop = 0.02;
+  /// Require this many consecutive intervening points (guards against noise).
+  std::size_t confirmations = 2;
+};
+
+struct InterventionResult {
+  bool found = false;
+  /// Index of the last stable point (the saturation workload of Table I).
+  std::size_t last_stable_index = 0;
+  /// Index of the first confirmed intervening point.
+  std::size_t change_index = 0;
+  double baseline_mean = 0.0;
+  double baseline_stddev = 0.0;
+  double threshold = 0.0;
+};
+
+/// Analyse a satisfaction (or any stability metric) series. Values are in
+/// arbitrary units; only drops below the baseline band count as intervention.
+InterventionResult intervention_analysis(const std::vector<double>& series,
+                                         const InterventionConfig& cfg = {});
+
+}  // namespace softres::core

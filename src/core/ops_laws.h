@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+
+namespace softres::core {
+
+/// Operational laws of queueing network analysis (Denning & Buzen [12]).
+/// These are measurement identities — they hold for any observed system —
+/// which is what makes the allocation algorithm model-free.
+
+/// Little's law: average jobs in a system L = X * R.
+inline double little_l(double throughput, double response_time_s) {
+  return throughput * response_time_s;
+}
+
+/// Little's law solved for response time: R = L / X.
+inline double little_rt(double jobs, double throughput) {
+  return throughput > 0.0 ? jobs / throughput : 0.0;
+}
+
+/// Forced Flow Law: a tier processing `visits` sub-requests per front-tier
+/// request sees X_tier = X_front * visits.
+inline double forced_flow(double front_throughput, double visit_ratio) {
+  return front_throughput * visit_ratio;
+}
+
+/// Utilization law: U = X * D (throughput times per-job service demand).
+inline double utilization_law(double throughput, double service_demand_s) {
+  return throughput * service_demand_s;
+}
+
+/// Interactive response time law: R = N / X - Z for a closed system with N
+/// users and think time Z.
+inline double interactive_rt(std::size_t users, double throughput,
+                             double think_time_s) {
+  return throughput > 0.0
+             ? static_cast<double>(users) / throughput - think_time_s
+             : 0.0;
+}
+
+/// The paper's Formula (3): required concurrency in a front tier given the
+/// critical tier's concurrency, the per-request RTT ratio between the tiers
+/// and the sub-request fan-out (Req_ratio). Combines Little + Forced Flow.
+inline double front_tier_jobs(double critical_jobs, double rtt_ratio,
+                              double req_ratio) {
+  return req_ratio > 0.0 ? critical_jobs * rtt_ratio / req_ratio : 0.0;
+}
+
+}  // namespace softres::core

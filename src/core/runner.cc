@@ -1,0 +1,46 @@
+#include "core/runner.h"
+
+namespace softres::core {
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kWeb:
+      return "web";
+    case Tier::kApp:
+      return "app";
+    case Tier::kMiddleware:
+      return "middleware";
+    case Tier::kDb:
+      return "db";
+  }
+  return "?";
+}
+
+std::string Allocation::to_string() const {
+  return std::to_string(web_threads) + "-" + std::to_string(app_threads) +
+         "-" + std::to_string(app_connections);
+}
+
+bool Observation::any_hardware_saturated() const {
+  for (const auto& h : hardware) {
+    if (h.saturated) return true;
+  }
+  return false;
+}
+
+bool Observation::any_soft_saturated() const {
+  for (const auto& s : soft) {
+    if (s.saturated) return true;
+  }
+  return false;
+}
+
+const ServerObservation* Observation::find_server(
+    const std::string& name) const {
+  for (const auto& s : servers) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace softres::core

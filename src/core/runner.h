@@ -1,0 +1,79 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace softres::core {
+
+/// Logical tiers of the n-tier deployment, front to back.
+enum class Tier { kWeb, kApp, kMiddleware, kDb };
+
+const char* tier_name(Tier t);
+
+/// Soft resource allocation in generic terms: the three pools the paper
+/// tunes (#Wt-#At-#Ac). Values are per-server.
+struct Allocation {
+  std::size_t web_threads = 100;
+  std::size_t app_threads = 50;
+  std::size_t app_connections = 50;
+
+  Allocation doubled() const {
+    return {web_threads * 2, app_threads * 2, app_connections * 2};
+  }
+  std::string to_string() const;
+  bool operator==(const Allocation&) const = default;
+};
+
+/// What the monitoring stack reports about one hardware resource.
+struct ResourceObservation {
+  std::string name;       // e.g. "tomcat0.cpu"
+  double util_pct = 0.0;  // window-mean utilization
+  bool saturated = false;
+};
+
+/// What the monitoring stack reports about one soft resource pool.
+struct SoftPoolObservation {
+  std::string name;  // e.g. "tomcat0.threads"
+  std::size_t capacity = 0;
+  double util_pct = 0.0;
+  bool saturated = false;
+};
+
+/// Per-server operational quantities from the server logs.
+struct ServerObservation {
+  Tier tier = Tier::kApp;
+  std::string name;
+  double throughput = 0.0;  // completions/s
+  double mean_rt_s = 0.0;   // residence time (the server "RTT" of Table I)
+  double avg_jobs = 0.0;    // time-averaged concurrent jobs
+};
+
+/// One RunExperiment(H, S, workload) outcome.
+struct Observation {
+  std::size_t workload = 0;
+  double throughput = 0.0;        // interactions/s at the client
+  double goodput = 0.0;           // within the SLO threshold
+  double slo_satisfaction = 1.0;  // goodput / throughput
+  std::vector<ResourceObservation> hardware;
+  std::vector<SoftPoolObservation> soft;
+  std::vector<ServerObservation> servers;
+  /// Sub-requests per front-tier request between app and middleware tier
+  /// (the workload's Req_ratio).
+  double req_ratio = 1.0;
+
+  bool any_hardware_saturated() const;
+  bool any_soft_saturated() const;
+  const ServerObservation* find_server(const std::string& name) const;
+};
+
+/// Abstraction of "deploy this allocation, offer this workload, monitor".
+/// The simulator implements it (exp::RunnerAdapter); a real testbed could
+/// implement it identically — the algorithm cannot tell the difference.
+class ExperimentRunner {
+ public:
+  virtual ~ExperimentRunner() = default;
+  virtual Observation run(const Allocation& alloc, std::size_t workload) = 0;
+};
+
+}  // namespace softres::core

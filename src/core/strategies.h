@@ -1,0 +1,22 @@
+#pragma once
+
+#include "core/runner.h"
+
+namespace softres::core {
+
+/// The naive allocation strategies the paper evaluates against (Section III)
+/// plus the practitioners' static rule of thumb of Fig 2/3.
+
+/// Straight-forward resource minimisation: small pools to avoid overhead.
+/// Risks the hidden soft bottleneck of Section III-A.
+inline Allocation conservative_strategy() { return {100, 6, 6}; }
+
+/// Straight-forward resource maximisation: big pools so hardware can always
+/// be fed. Risks the GC collapse of Section III-B.
+inline Allocation liberal_strategy() { return {400, 200, 200}; }
+
+/// Industry rule of thumb (the paper's 400-150-60, "considered a good choice
+/// by practitioners").
+inline Allocation rule_of_thumb_strategy() { return {400, 150, 60}; }
+
+}  // namespace softres::core

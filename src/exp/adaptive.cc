@@ -1,0 +1,104 @@
+#include "exp/adaptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softres::exp {
+
+AdaptiveTuner::AdaptiveTuner(Testbed& bed, AdaptiveConfig config)
+    : bed_(bed), config_(config) {
+  for (auto& a : bed_.apaches()) {
+    tracked_.push_back(Tracked{&a->worker_pool(), config_.web_margin, {}});
+  }
+  for (auto& t : bed_.tomcats()) {
+    tracked_.push_back(Tracked{&t->thread_pool(), config_.margin, {}});
+    tracked_.push_back(Tracked{&t->connection_pool(), config_.margin, {}});
+  }
+  for (const auto& node : bed_.nodes()) {
+    if (node->name().rfind("apache", 0) == 0) continue;  // web stalls != CPU
+    node_busy_.push_back(NodeBusy{node.get(), 0.0});
+  }
+}
+
+void AdaptiveTuner::start() {
+  bed_.simulator().schedule(config_.sample_interval_s, [this] { sample(); });
+  bed_.simulator().schedule(config_.control_interval_s, [this] { control(); });
+}
+
+bool AdaptiveTuner::backend_saturated_since_last_sample() {
+  const sim::SimTime now = bed_.simulator().now();
+  const double dt = now - prev_sample_time_;
+  prev_sample_time_ = now;
+  bool saturated = false;
+  for (auto& nb : node_busy_) {
+    const double busy = nb.node->cpu().busy_core_seconds();
+    if (dt > 0.0) {
+      const double util = (busy - nb.prev_busy) /
+                          (static_cast<double>(nb.node->cpu().cores()) * dt);
+      if (util >= 0.95) saturated = true;
+    }
+    nb.prev_busy = busy;
+  }
+  return saturated;
+}
+
+void AdaptiveTuner::sample() {
+  for (auto& t : tracked_) {
+    t.demand.add(static_cast<double>(t.pool->in_use() + t.pool->waiting()));
+  }
+  ++samples_in_interval_;
+  if (backend_saturated_since_last_sample()) ++saturated_samples_;
+  bed_.simulator().schedule(config_.sample_interval_s, [this] { sample(); });
+}
+
+void AdaptiveTuner::control() {
+  const bool allow_growth =
+      samples_in_interval_ == 0 ||
+      static_cast<double>(saturated_samples_) <
+          config_.saturation_guard_fraction *
+              static_cast<double>(samples_in_interval_);
+  for (auto& t : tracked_) {
+    resize(t, allow_growth);
+    t.demand.reset();
+  }
+  samples_in_interval_ = 0;
+  saturated_samples_ = 0;
+  sync_jvm_threads();
+  bed_.simulator().schedule(config_.control_interval_s, [this] { control(); });
+}
+
+void AdaptiveTuner::resize(Tracked& tracked, bool allow_growth) {
+  if (tracked.demand.count() == 0) return;
+  const double target_raw = tracked.headroom * tracked.demand.mean();
+  auto target = std::clamp(
+      static_cast<std::size_t>(std::ceil(target_raw)), config_.min_pool,
+      config_.max_pool);
+  const auto current = tracked.pool->capacity();
+  if (!allow_growth && target > current) return;
+  const double change =
+      std::abs(static_cast<double>(target) - static_cast<double>(current)) /
+      static_cast<double>(std::max<std::size_t>(current, 1));
+  if (change < config_.deadband) return;
+  actions_.push_back(Action{bed_.simulator().now(), tracked.pool->name(),
+                            current, target});
+  tracked.pool->set_capacity(target);
+}
+
+void AdaptiveTuner::sync_jvm_threads() {
+  // Idle soft resources cost heap and GC work whether used or not; the GC
+  // model must see the adapted allocation, not the initial one.
+  for (auto& t : bed_.tomcats()) {
+    t->jvm().set_live_threads(t->thread_pool().capacity() +
+                              t->connection_pool().capacity());
+  }
+  for (std::size_t c = 0; c < bed_.cjdbcs().size(); ++c) {
+    std::size_t conns = 0;
+    for (std::size_t i = c; i < bed_.tomcats().size();
+         i += bed_.cjdbcs().size()) {
+      conns += bed_.tomcats()[i]->connection_pool().capacity();
+    }
+    bed_.cjdbcs()[c]->set_upstream_connections(conns);
+  }
+}
+
+}  // namespace softres::exp

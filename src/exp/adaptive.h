@@ -1,0 +1,89 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/testbed.h"
+#include "sim/sim_time.h"
+#include "sim/stats.h"
+
+namespace softres::exp {
+
+/// Controller tunables for runtime soft-resource adaptation.
+struct AdaptiveConfig {
+  /// Pool demand is sampled at this cadence.
+  sim::SimTime sample_interval_s = 1.0;
+  /// Pool capacities are re-evaluated at this cadence.
+  sim::SimTime control_interval_s = 15.0;
+  /// Capacity = ceil(margin * observed concurrency demand). The margin plays
+  /// the role of the paper's buffering headroom (Section III-C): enough slack
+  /// to absorb bursts, not so much that idle units tax the JVM.
+  double margin = 1.3;
+  /// Extra headroom for the front (web) tier, whose workers stall on FIN
+  /// waits rather than CPU.
+  double web_margin = 1.6;
+  std::size_t min_pool = 4;
+  std::size_t max_pool = 512;
+  /// Ignore capacity changes smaller than this fraction (hysteresis).
+  double deadband = 0.15;
+  /// Block pool *growth* while back-end hardware is saturated for at least
+  /// this fraction of the interval: once a CPU is pegged, extra concurrency
+  /// only inflates response times (the paper's over-allocation trap).
+  double saturation_guard_fraction = 0.5;
+};
+
+/// Online soft-resource controller — the adaptive counterpart to Algorithm 1
+/// that the paper positions against adaptive hardware provisioning [4][5].
+///
+/// Every control interval it estimates each pool's concurrency demand as the
+/// time-average of (in use + waiting) — Little's L of the pool's customers,
+/// measured rather than modelled — and resizes the pool to margin * L.
+/// Under-allocation shows up as waiters and grows the pool (fixing the
+/// Section III-A starvation); over-allocation shows up as idle units and
+/// shrinks it (fixing the Section III-B JVM tax). JVM live-thread counts are
+/// kept in sync so the GC model sees the new allocation.
+class AdaptiveTuner {
+ public:
+  AdaptiveTuner(Testbed& bed, AdaptiveConfig config = {});
+
+  /// Begin sampling and controlling; call before Testbed::run().
+  void start();
+
+  struct Action {
+    sim::SimTime time = 0.0;
+    std::string pool;
+    std::size_t from = 0;
+    std::size_t to = 0;
+  };
+  const std::vector<Action>& actions() const { return actions_; }
+
+  const AdaptiveConfig& config() const { return config_; }
+
+ private:
+  struct Tracked {
+    soft::Pool* pool = nullptr;
+    double headroom = 1.0;  // margin multiplier for this pool
+    sim::Welford demand;    // samples of in_use + waiting
+  };
+
+  void sample();
+  void control();
+  void resize(Tracked& tracked, bool allow_growth);
+  void sync_jvm_threads();
+  bool backend_saturated_since_last_sample();
+
+  Testbed& bed_;
+  AdaptiveConfig config_;
+  std::vector<Tracked> tracked_;
+  std::vector<Action> actions_;
+  std::size_t samples_in_interval_ = 0;
+  std::size_t saturated_samples_ = 0;
+  struct NodeBusy {
+    const hw::Node* node = nullptr;
+    double prev_busy = 0.0;
+  };
+  std::vector<NodeBusy> node_busy_;
+  sim::SimTime prev_sample_time_ = 0.0;
+};
+
+}  // namespace softres::exp

@@ -1,0 +1,174 @@
+#include "exp/experiment.h"
+
+#include <cstdlib>
+
+#include "soft/pool_monitor.h"
+
+namespace softres::exp {
+
+ExperimentOptions ExperimentOptions::from_env() {
+  ExperimentOptions opts;
+  const char* full = std::getenv("SOFTRES_FULL");
+  if (full != nullptr && full[0] == '1') {
+    opts.client.ramp_up_s = 480.0;   // 8 minutes
+    opts.client.runtime_s = 720.0;   // 12 minutes
+    opts.client.ramp_down_s = 30.0;
+  }
+  return opts;
+}
+
+double RunResult::goodput(double threshold_s) const {
+  return sla(threshold_s).goodput;
+}
+
+metrics::SlaSplit RunResult::sla(double threshold_s) const {
+  return metrics::SlaModel(threshold_s).split(response_times, window_s);
+}
+
+std::vector<std::string> RunResult::saturated_hardware() const {
+  std::vector<std::string> out;
+  for (const auto& c : cpus) {
+    if (c.saturated) out.push_back(c.name);
+  }
+  return out;
+}
+
+std::vector<std::string> RunResult::saturated_soft() const {
+  std::vector<std::string> out;
+  for (const auto& p : pools) {
+    if (p.saturated) out.push_back(p.name);
+  }
+  return out;
+}
+
+const sim::TimeSeries* RunResult::find_series(const std::string& name) const {
+  for (const auto& s : series) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const CpuStat* RunResult::find_cpu(const std::string& name) const {
+  for (const auto& c : cpus) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const ServerOps* RunResult::find_server(const std::string& name) const {
+  for (const auto& s : servers) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+const PoolStat* RunResult::find_pool(const std::string& name) const {
+  for (const auto& p : pools) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Experiment::Experiment(TestbedConfig base, ExperimentOptions opts)
+    : base_(std::move(base)), opts_(std::move(opts)) {}
+
+namespace {
+
+CpuStat condense_cpu(const Testbed& bed, const std::string& node_name) {
+  const sim::SimTime lo = bed.measure_start();
+  const sim::SimTime hi = bed.measure_end();
+  CpuStat stat;
+  stat.name = node_name + ".cpu";
+  const sim::TimeSeries* util = bed.sampler().find(stat.name);
+  if (util != nullptr) stat.util_pct = util->mean_between(lo, hi);
+  const sim::TimeSeries* gc = bed.sampler().find(node_name + ".gc");
+  if (gc != nullptr) stat.gc_util_pct = gc->mean_between(lo, hi);
+  stat.saturated = stat.util_pct >= kCpuSaturationPct;
+  return stat;
+}
+
+PoolStat condense_pool(const Testbed& bed, const soft::Pool& pool,
+                       const std::string& series_name) {
+  const sim::SimTime lo = bed.measure_start();
+  const sim::SimTime hi = bed.measure_end();
+  PoolStat stat;
+  stat.name = pool.name();
+  stat.capacity = pool.capacity();
+  stat.mean_wait_ms = 1000.0 * pool.mean_wait_time();
+  const sim::TimeSeries* util = bed.sampler().find(series_name);
+  if (util != nullptr) {
+    stat.util_pct = util->mean_between(lo, hi);
+    stat.saturated = soft::is_saturated(*util, lo, hi);
+  }
+  return stat;
+}
+
+ServerOps condense_server(const tier::Server& server) {
+  ServerOps ops;
+  ops.name = server.name();
+  ops.throughput = server.window_throughput();
+  ops.mean_rt_s = server.window_mean_rt();
+  ops.avg_jobs = server.window_avg_jobs();
+  return ops;
+}
+
+}  // namespace
+
+RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
+  TestbedConfig cfg = base_;
+  cfg.soft = soft;
+  workload::ClientConfig client = opts_.client;
+  client.users = users;
+
+  Testbed bed(cfg, client);
+  bed.run();
+
+  RunResult r;
+  r.hw = cfg.hw;
+  r.soft = soft;
+  r.users = users;
+  r.window_s = client.runtime_s;
+  r.response_times = bed.farm().response_times();
+  r.throughput = bed.farm().window_throughput();
+  r.req_ratio = bed.workload().req_ratio();
+
+  for (const auto& node : bed.nodes()) {
+    r.cpus.push_back(condense_cpu(bed, node->name()));
+  }
+  for (const auto& a : bed.apaches()) {
+    PoolStat workers =
+        condense_pool(bed, a->worker_pool(), a->name() + ".workers.util");
+    r.pools.push_back(workers);
+    // For the web tier the operational "RTT" is the worker busy time
+    // (response path + FIN wait) and the concurrency is worker occupancy:
+    // that is what the thread pool has to cover.
+    ServerOps ops = condense_server(*a);
+    ops.mean_rt_s = a->window_mean_busy_s();
+    ops.avg_jobs = workers.util_pct / 100.0 *
+                   static_cast<double>(a->worker_pool().capacity());
+    r.servers.push_back(ops);
+  }
+  for (const auto& t : bed.tomcats()) {
+    r.pools.push_back(
+        condense_pool(bed, t->thread_pool(), t->name() + ".threads.util"));
+    r.pools.push_back(
+        condense_pool(bed, t->connection_pool(), t->name() + ".dbconns.util"));
+    r.servers.push_back(condense_server(*t));
+    r.tomcat_gc_seconds += bed.window_gc_seconds(t->jvm());
+  }
+  for (const auto& c : bed.cjdbcs()) {
+    r.servers.push_back(condense_server(*c));
+    r.cjdbc_gc_seconds += bed.window_gc_seconds(c->jvm());
+  }
+  for (const auto& m : bed.mysqls()) {
+    r.servers.push_back(condense_server(*m));
+  }
+  if (opts_.keep_series) {
+    for (std::size_t i = 0; i < bed.sampler().probes(); ++i) {
+      r.series.push_back(bed.sampler().series(i));
+    }
+  }
+  return r;
+}
+
+}  // namespace softres::exp

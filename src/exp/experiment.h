@@ -1,0 +1,96 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/testbed.h"
+#include "metrics/sla.h"
+#include "sim/sampler.h"
+#include "sim/stats.h"
+#include "workload/client_farm.h"
+
+namespace softres::exp {
+
+/// Trial durations and SLA policy. `from_env()` honours SOFTRES_FULL=1 by
+/// switching to the paper's 8 min ramp-up / 12 min runtime schedule.
+struct ExperimentOptions {
+  workload::ClientConfig client;   // users is overridden per run
+  double sla_threshold_s = 2.0;    // reporting default, as in the paper
+  bool keep_series = true;         // retain all sampler series in the result
+
+  static ExperimentOptions from_env();
+};
+
+struct CpuStat {
+  std::string name;
+  double util_pct = 0.0;     // mean over the measurement window
+  double gc_util_pct = 0.0;  // of which GC freezes
+  bool saturated = false;    // util >= kCpuSaturationPct
+};
+
+struct PoolStat {
+  std::string name;
+  std::size_t capacity = 0;
+  double util_pct = 0.0;     // mean occupancy over the window
+  double mean_wait_ms = 0.0; // queueing delay to obtain a unit
+  bool saturated = false;    // density-based rule (soft::is_saturated)
+};
+
+struct ServerOps {
+  std::string name;
+  double throughput = 0.0;  // completions/s in the window
+  double mean_rt_s = 0.0;   // per-request residence time
+  double avg_jobs = 0.0;    // time-averaged jobs inside (Little's L)
+};
+
+/// Everything one trial produces: the client-side SLA data plus the full
+/// monitoring picture the allocation algorithm consumes.
+struct RunResult {
+  HardwareConfig hw;
+  SoftConfig soft;
+  std::size_t users = 0;
+  double window_s = 0.0;
+
+  sim::SampleSet response_times;  // dynamic requests completed in-window
+  double throughput = 0.0;        // interactions/s
+
+  std::vector<CpuStat> cpus;
+  std::vector<PoolStat> pools;
+  std::vector<ServerOps> servers;
+  double cjdbc_gc_seconds = 0.0;   // summed over middleware JVMs
+  double tomcat_gc_seconds = 0.0;  // summed over app-server JVMs
+  double req_ratio = 0.0;          // workload's queries per interaction
+
+  std::vector<sim::TimeSeries> series;  // all sampler series (optional)
+
+  double goodput(double threshold_s) const;
+  metrics::SlaSplit sla(double threshold_s) const;
+  std::vector<std::string> saturated_hardware() const;
+  std::vector<std::string> saturated_soft() const;
+  const sim::TimeSeries* find_series(const std::string& name) const;
+  const CpuStat* find_cpu(const std::string& name) const;
+  const ServerOps* find_server(const std::string& name) const;
+  const PoolStat* find_pool(const std::string& name) const;
+};
+
+inline constexpr double kCpuSaturationPct = 95.0;
+
+/// Runs trials of one hardware configuration: builds a fresh Testbed per
+/// (soft allocation, workload) point and condenses its monitoring output.
+/// This is the RunExperiment(H, S, workload) primitive of Algorithm 1.
+class Experiment {
+ public:
+  Experiment(TestbedConfig base, ExperimentOptions opts);
+
+  RunResult run(const SoftConfig& soft, std::size_t users) const;
+
+  const TestbedConfig& base_config() const { return base_; }
+  const ExperimentOptions& options() const { return opts_; }
+
+ private:
+  TestbedConfig base_;
+  ExperimentOptions opts_;
+};
+
+}  // namespace softres::exp

@@ -1,0 +1,60 @@
+#include "exp/runner_adapter.h"
+
+namespace softres::exp {
+namespace {
+
+core::Tier tier_of_server(const std::string& name) {
+  if (name.rfind("apache", 0) == 0) return core::Tier::kWeb;
+  if (name.rfind("tomcat", 0) == 0) return core::Tier::kApp;
+  if (name.rfind("cjdbc", 0) == 0) return core::Tier::kMiddleware;
+  return core::Tier::kDb;
+}
+
+}  // namespace
+
+RunnerAdapter::RunnerAdapter(Experiment experiment, double slo_threshold_s)
+    : experiment_(std::move(experiment)), slo_threshold_s_(slo_threshold_s) {}
+
+SoftConfig RunnerAdapter::to_soft_config(const core::Allocation& alloc) {
+  SoftConfig soft;
+  soft.apache_threads = alloc.web_threads;
+  soft.tomcat_threads = alloc.app_threads;
+  soft.db_connections = alloc.app_connections;
+  return soft;
+}
+
+core::Observation RunnerAdapter::to_observation(const RunResult& result,
+                                                double slo_threshold_s) {
+  core::Observation obs;
+  obs.workload = result.users;
+  obs.throughput = result.throughput;
+  obs.goodput = result.goodput(slo_threshold_s);
+  obs.slo_satisfaction =
+      result.throughput > 0.0 ? obs.goodput / result.throughput : 1.0;
+  obs.req_ratio = result.req_ratio;
+  for (const auto& c : result.cpus) {
+    obs.hardware.push_back({c.name, c.util_pct, c.saturated});
+  }
+  for (const auto& p : result.pools) {
+    obs.soft.push_back({p.name, p.capacity, p.util_pct, p.saturated});
+  }
+  for (const auto& s : result.servers) {
+    core::ServerObservation srv;
+    srv.tier = tier_of_server(s.name);
+    srv.name = s.name;
+    srv.throughput = s.throughput;
+    srv.mean_rt_s = s.mean_rt_s;
+    srv.avg_jobs = s.avg_jobs;
+    obs.servers.push_back(std::move(srv));
+  }
+  return obs;
+}
+
+core::Observation RunnerAdapter::run(const core::Allocation& alloc,
+                                     std::size_t workload) {
+  ++runs_;
+  const RunResult result = experiment_.run(to_soft_config(alloc), workload);
+  return to_observation(result, slo_threshold_s_);
+}
+
+}  // namespace softres::exp

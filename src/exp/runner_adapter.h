@@ -1,0 +1,33 @@
+#pragma once
+
+#include "core/runner.h"
+#include "exp/experiment.h"
+
+namespace softres::exp {
+
+/// Bridges the substrate-agnostic allocation algorithm (core) onto the
+/// simulated testbed: every core::ExperimentRunner::run becomes one full
+/// simulated trial.
+class RunnerAdapter final : public core::ExperimentRunner {
+ public:
+  /// `slo_threshold_s` defines the satisfaction metric the intervention
+  /// analysis watches (the paper uses 1-2 s).
+  RunnerAdapter(Experiment experiment, double slo_threshold_s);
+
+  core::Observation run(const core::Allocation& alloc,
+                        std::size_t workload) override;
+
+  /// Translate between the two config vocabularies.
+  static SoftConfig to_soft_config(const core::Allocation& alloc);
+  static core::Observation to_observation(const RunResult& result,
+                                          double slo_threshold_s);
+
+  std::size_t runs() const { return runs_; }
+
+ private:
+  Experiment experiment_;
+  double slo_threshold_s_;
+  std::size_t runs_ = 0;
+};
+
+}  // namespace softres::exp

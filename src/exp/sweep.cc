@@ -1,0 +1,35 @@
+#include "exp/sweep.h"
+
+#include <algorithm>
+
+namespace softres::exp {
+
+std::vector<std::size_t> workload_range(std::size_t lo, std::size_t hi,
+                                        std::size_t step) {
+  std::vector<std::size_t> out;
+  for (std::size_t u = lo; u <= hi; u += step) out.push_back(u);
+  return out;
+}
+
+std::vector<RunResult> sweep_workload(const Experiment& exp,
+                                      const SoftConfig& soft,
+                                      const std::vector<std::size_t>& users) {
+  std::vector<RunResult> out;
+  out.reserve(users.size());
+  for (std::size_t u : users) out.push_back(exp.run(soft, u));
+  return out;
+}
+
+double max_throughput(const std::vector<RunResult>& results) {
+  double best = 0.0;
+  for (const auto& r : results) best = std::max(best, r.throughput);
+  return best;
+}
+
+double max_goodput(const std::vector<RunResult>& results, double threshold_s) {
+  double best = 0.0;
+  for (const auto& r : results) best = std::max(best, r.goodput(threshold_s));
+  return best;
+}
+
+}  // namespace softres::exp

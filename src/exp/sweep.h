@@ -1,0 +1,25 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "exp/experiment.h"
+
+namespace softres::exp {
+
+/// Inclusive arithmetic range of workloads (user counts).
+std::vector<std::size_t> workload_range(std::size_t lo, std::size_t hi,
+                                        std::size_t step);
+
+/// Run one soft allocation across a workload range.
+std::vector<RunResult> sweep_workload(const Experiment& exp,
+                                      const SoftConfig& soft,
+                                      const std::vector<std::size_t>& users);
+
+/// Highest throughput across a sweep (the y-value of Fig 10).
+double max_throughput(const std::vector<RunResult>& results);
+
+/// Highest goodput at a threshold across a sweep.
+double max_goodput(const std::vector<RunResult>& results, double threshold_s);
+
+}  // namespace softres::exp

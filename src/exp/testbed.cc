@@ -1,0 +1,155 @@
+#include "exp/testbed.h"
+
+#include <cassert>
+
+#include "hw/monitor.h"
+#include "soft/pool_monitor.h"
+
+namespace softres::exp {
+
+Testbed::Testbed(const TestbedConfig& cfg,
+                 const workload::ClientConfig& client_cfg)
+    : cfg_(cfg), rng_(client_cfg.seed ^ 0xC0FFEEULL),
+      workload_(cfg.mix, cfg.demands) {
+  auto add_link = [&](const std::string& name) -> hw::Link& {
+    links_.push_back(std::make_unique<hw::Link>(
+        sim_, name, cfg_.link_latency_s, cfg_.link_bandwidth_Bps));
+    return *links_.back();
+  };
+  hw::Link& client_up = add_link("client->web");
+  hw::Link& client_down = add_link("web->client");
+  hw::Link& web_app_up = add_link("web->app");
+  hw::Link& web_app_down = add_link("app->web");
+  hw::Link& app_cm_up = add_link("app->cm");
+  hw::Link& app_cm_down = add_link("cm->app");
+  hw::Link& cm_db_up = add_link("cm->db");
+  hw::Link& cm_db_down = add_link("db->cm");
+
+  // Database tier.
+  for (int i = 0; i < cfg_.hw.db; ++i) {
+    hw::Node& node = add_node("mysql" + std::to_string(i));
+    mysqls_.push_back(std::make_unique<tier::MySqlServer>(
+        sim_, node.name(), node, rng_.split()));
+  }
+
+  // Clustering middleware tier; MySQL servers are partitioned round-robin
+  // when more than one middleware node is provisioned.
+  for (int i = 0; i < cfg_.hw.middleware; ++i) {
+    hw::Node& node = add_node("cjdbc" + std::to_string(i));
+    cjdbcs_.push_back(std::make_unique<tier::CJdbcServer>(
+        sim_, node.name(), node, cfg_.cjdbc_jvm, cm_db_up, cm_db_down,
+        cfg_.cjdbc_alloc_per_query_mb));
+  }
+  for (std::size_t i = 0; i < mysqls_.size(); ++i) {
+    cjdbcs_[i % cjdbcs_.size()]->add_backend(*mysqls_[i]);
+  }
+
+  // Application tier. Each Tomcat talks to one middleware server.
+  for (int i = 0; i < cfg_.hw.app; ++i) {
+    hw::Node& node = add_node("tomcat" + std::to_string(i));
+    tier::CJdbcServer& cm = *cjdbcs_[static_cast<std::size_t>(i) %
+                                     cjdbcs_.size()];
+    tomcats_.push_back(std::make_unique<tier::TomcatServer>(
+        sim_, node.name(), node, cfg_.tomcat_jvm, cfg_.soft.tomcat_threads,
+        cfg_.soft.db_connections, cm, app_cm_up, app_cm_down,
+        cfg_.tomcat_alloc_per_request_mb));
+  }
+  // One Tomcat DB connection = one C-JDBC thread (and one MySQL thread).
+  for (std::size_t c = 0; c < cjdbcs_.size(); ++c) {
+    std::size_t conns = 0;
+    for (std::size_t i = c; i < tomcats_.size(); i += cjdbcs_.size()) {
+      conns += cfg_.soft.db_connections;
+    }
+    cjdbcs_[c]->set_upstream_connections(conns);
+  }
+
+  // Client farm precedes the web tier so Apache can observe client load.
+  farm_ = std::make_unique<workload::ClientFarm>(sim_, workload_, client_cfg,
+                                                 client_up);
+
+  // Web tier.
+  for (int i = 0; i < cfg_.hw.web; ++i) {
+    hw::Node& node = add_node("apache" + std::to_string(i));
+    net::TcpModel tcp(cfg_.tcp, rng_.split());
+    workload::ClientFarm* farm = farm_.get();
+    apaches_.push_back(std::make_unique<tier::ApacheServer>(
+        sim_, node.name(), node, cfg_.soft.apache_threads, web_app_up,
+        web_app_down, client_down, std::move(tcp),
+        [farm] { return farm->client_load(); }));
+    for (auto& t : tomcats_) apaches_.back()->add_tomcat(*t);
+    farm_->add_target(*apaches_.back());
+  }
+
+  // SysStat-equivalent monitoring at 1 s granularity.
+  sampler_ = std::make_unique<sim::Sampler>(sim_, 1.0);
+  for (auto& node : nodes_) {
+    hw::add_cpu_util_probe(*sampler_, node->name() + ".cpu", node->cpu());
+  }
+  for (auto& t : tomcats_) {
+    hw::add_gc_util_probe(*sampler_, t->name() + ".gc", t->node().cpu());
+    soft::add_pool_util_probe(*sampler_, t->name() + ".threads.util",
+                              t->thread_pool());
+    soft::add_pool_util_probe(*sampler_, t->name() + ".dbconns.util",
+                              t->connection_pool());
+  }
+  for (auto& c : cjdbcs_) {
+    hw::add_gc_util_probe(*sampler_, c->name() + ".gc", c->node().cpu());
+  }
+  for (auto& a : apaches_) {
+    soft::add_pool_util_probe(*sampler_, a->name() + ".workers.util",
+                              a->worker_pool());
+    tier::add_apache_timeline_probes(*sampler_, *a);
+  }
+}
+
+hw::Node& Testbed::add_node(const std::string& name) {
+  nodes_.push_back(std::make_unique<hw::Node>(sim_, name, cfg_.node,
+                                              rng_.split()));
+  return *nodes_.back();
+}
+
+void Testbed::on_measure_start() {
+  for (auto& a : apaches_) {
+    a->reset_window_stats();
+    a->worker_pool().reset_stats(sim_.now());
+  }
+  for (auto& t : tomcats_) {
+    t->reset_window_stats();
+    t->thread_pool().reset_stats(sim_.now());
+    t->connection_pool().reset_stats(sim_.now());
+    gc_baseline_[&t->jvm()] = t->jvm().total_gc_seconds();
+  }
+  for (auto& c : cjdbcs_) {
+    c->reset_window_stats();
+    gc_baseline_[&c->jvm()] = c->jvm().total_gc_seconds();
+  }
+  for (auto& m : mysqls_) m->reset_window_stats();
+}
+
+void Testbed::on_measure_end() {
+  for (auto& t : tomcats_) {
+    gc_at_end_[&t->jvm()] = t->jvm().total_gc_seconds();
+  }
+  for (auto& c : cjdbcs_) {
+    gc_at_end_[&c->jvm()] = c->jvm().total_gc_seconds();
+  }
+}
+
+double Testbed::window_gc_seconds(const jvm::Jvm& j) const {
+  const auto it = gc_baseline_.find(&j);
+  const double base = it != gc_baseline_.end() ? it->second : 0.0;
+  const auto end_it = gc_at_end_.find(&j);
+  const double end = end_it != gc_at_end_.end() ? end_it->second
+                                                : j.total_gc_seconds();
+  return end - base;
+}
+
+void Testbed::run() {
+  sampler_->start();
+  farm_->start();
+  sim_.schedule_at(farm_->measure_start(), [this] { on_measure_start(); });
+  sim_.schedule_at(farm_->measure_end(), [this] { on_measure_end(); });
+  sim_.run_until(farm_->total_duration());
+}
+
+}  // namespace softres::exp

@@ -1,0 +1,102 @@
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "hw/link.h"
+#include "hw/node.h"
+#include "sim/sampler.h"
+#include "sim/simulator.h"
+#include "tier/apache.h"
+#include "tier/cjdbc.h"
+#include "tier/mysql.h"
+#include "tier/tomcat.h"
+#include "workload/client_farm.h"
+#include "workload/rubbos.h"
+
+namespace softres::exp {
+
+/// One fully wired instance of the simulated Emulab deployment: dedicated
+/// node per server, tier links, SysStat-style sampler, RUBBoS client farm.
+/// Construct, `run()`, then read the metrics. A Testbed is single-use — a new
+/// experiment trial builds a fresh one, exactly like redeploying the rig.
+class Testbed {
+ public:
+  Testbed(const TestbedConfig& cfg, const workload::ClientConfig& client_cfg);
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  /// Execute the whole trial (ramp-up, runtime, ramp-down).
+  void run();
+
+  sim::Simulator& simulator() { return sim_; }
+  sim::Sampler& sampler() { return *sampler_; }
+  const sim::Sampler& sampler() const { return *sampler_; }
+  workload::ClientFarm& farm() { return *farm_; }
+  const workload::ClientFarm& farm() const { return *farm_; }
+  const workload::RubbosWorkload& workload() const { return workload_; }
+  const TestbedConfig& config() const { return cfg_; }
+
+  const std::vector<std::unique_ptr<tier::ApacheServer>>& apaches() const {
+    return apaches_;
+  }
+  const std::vector<std::unique_ptr<tier::TomcatServer>>& tomcats() const {
+    return tomcats_;
+  }
+  const std::vector<std::unique_ptr<tier::CJdbcServer>>& cjdbcs() const {
+    return cjdbcs_;
+  }
+  const std::vector<std::unique_ptr<tier::MySqlServer>>& mysqls() const {
+    return mysqls_;
+  }
+  std::vector<std::unique_ptr<tier::ApacheServer>>& apaches() {
+    return apaches_;
+  }
+  std::vector<std::unique_ptr<tier::TomcatServer>>& tomcats() {
+    return tomcats_;
+  }
+  std::vector<std::unique_ptr<tier::CJdbcServer>>& cjdbcs() {
+    return cjdbcs_;
+  }
+  std::vector<std::unique_ptr<tier::MySqlServer>>& mysqls() {
+    return mysqls_;
+  }
+
+  const std::vector<std::unique_ptr<hw::Node>>& nodes() const {
+    return nodes_;
+  }
+
+  /// GC seconds spent by a JVM inside the measurement window (valid after
+  /// run()).
+  double window_gc_seconds(const jvm::Jvm& j) const;
+
+  sim::SimTime measure_start() const { return farm_->measure_start(); }
+  sim::SimTime measure_end() const { return farm_->measure_end(); }
+
+ private:
+  hw::Node& add_node(const std::string& name);
+  void on_measure_start();
+  void on_measure_end();
+
+  TestbedConfig cfg_;
+  sim::Simulator sim_;
+  sim::Rng rng_;
+  workload::RubbosWorkload workload_;
+
+  std::vector<std::unique_ptr<hw::Node>> nodes_;
+  std::vector<std::unique_ptr<hw::Link>> links_;
+  std::vector<std::unique_ptr<tier::MySqlServer>> mysqls_;
+  std::vector<std::unique_ptr<tier::CJdbcServer>> cjdbcs_;
+  std::vector<std::unique_ptr<tier::TomcatServer>> tomcats_;
+  std::vector<std::unique_ptr<tier::ApacheServer>> apaches_;
+  std::unique_ptr<workload::ClientFarm> farm_;
+  std::unique_ptr<sim::Sampler> sampler_;
+
+  std::map<const jvm::Jvm*, double> gc_baseline_;
+  std::map<const jvm::Jvm*, double> gc_at_end_;
+};
+
+}  // namespace softres::exp

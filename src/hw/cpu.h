@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+
+namespace softres::hw {
+
+/// Multi-core CPU under egalitarian processor sharing.
+///
+/// With n active jobs on c cores each job progresses at rate min(1, c/n);
+/// this is the standard model for a timeslicing OS scheduler at 1 s
+/// observation granularity and is what makes CPU saturation emerge naturally
+/// when tiers push more concurrent work than the node can absorb.
+///
+/// The CPU also supports *freezing* (`freeze(d)`): application jobs stop
+/// progressing for `d` seconds while the CPU is accounted fully busy. The JVM
+/// model uses this to realise synchronous stop-the-world garbage collection,
+/// which is the mechanism behind the paper's over-allocation collapse
+/// (Section III-B).
+class Cpu {
+ public:
+  using Callback = std::function<void()>;
+
+  Cpu(sim::Simulator& sim, std::string name, unsigned cores,
+      double context_switch_coeff = 0.0);
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Run a job needing `demand` core-seconds; `done` fires at completion.
+  /// The effective demand grows with the current run-queue length
+  /// (demand * (1 + cs_coeff * sqrt(n))): context switching, cache pollution
+  /// and scheduler overhead make a crowded CPU less efficient per job, which
+  /// is one of the two penalties of soft-resource over-allocation
+  /// (Section III-B; the other is GC).
+  void submit(double demand, Callback done);
+
+  /// Stop-the-world for `duration` seconds (extends any current freeze).
+  void freeze(double duration);
+
+  const std::string& name() const { return name_; }
+  unsigned cores() const { return cores_; }
+  std::size_t jobs_in_service() const { return jobs_.size(); }
+  bool frozen() const;
+
+  /// Cumulative busy core-seconds (application work + freeze time). A 1 Hz
+  /// monitor differentiates this to produce SysStat-style utilization.
+  double busy_core_seconds() const;
+  /// Cumulative core-seconds consumed by freezes (the "GC CPU" share).
+  double freeze_core_seconds() const;
+  /// Cumulative application work completed, in core-seconds.
+  double work_done() const;
+  std::uint64_t jobs_completed() const { return completed_; }
+
+  /// Instantaneous utilization in [0,1]: min(n,c)/c, or 1 while frozen.
+  double instantaneous_utilization() const;
+
+ private:
+  struct Job {
+    double finish_attained;  // attained-service level at which the job ends
+    std::uint64_t seq;       // FIFO tie-break
+    Callback done;
+  };
+  struct Cmp {
+    bool operator()(const Job& a, const Job& b) const {
+      if (a.finish_attained != b.finish_attained)
+        return a.finish_attained > b.finish_attained;
+      return a.seq > b.seq;
+    }
+  };
+
+  void advance_to_now();
+  double current_rate() const;  // per-job progress rate
+  void reschedule_completion();
+  void complete_ready_jobs();
+  void on_unfreeze();
+
+  sim::Simulator& sim_;
+  std::string name_;
+  unsigned cores_;
+  double cs_coeff_;
+
+  double attained_ = 0.0;  // cumulative per-job attained service
+  sim::SimTime last_update_ = 0.0;
+  double busy_core_seconds_ = 0.0;
+  double freeze_core_seconds_ = 0.0;
+  double work_done_ = 0.0;
+  sim::SimTime freeze_until_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t completed_ = 0;
+
+  std::priority_queue<Job, std::vector<Job>, Cmp> jobs_;
+  sim::EventHandle completion_event_;
+  sim::EventHandle unfreeze_event_;
+};
+
+}  // namespace softres::hw

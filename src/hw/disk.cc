@@ -1,0 +1,38 @@
+#include "hw/disk.h"
+
+#include <cassert>
+#include <utility>
+
+namespace softres::hw {
+
+Disk::Disk(sim::Simulator& sim, std::string name, sim::DistributionPtr service,
+           sim::Rng rng)
+    : sim_(sim), name_(std::move(name)), service_(std::move(service)),
+      rng_(rng) {
+  assert(service_);
+}
+
+void Disk::submit(Callback done) {
+  assert(done);
+  queue_.push_back(std::move(done));
+  if (!busy_) start_next();
+}
+
+void Disk::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Callback done = std::move(queue_.front());
+  queue_.pop_front();
+  const double s = service_->sample(rng_);
+  busy_seconds_ += s;
+  sim_.schedule(s, [this, done = std::move(done)]() mutable {
+    ++ops_;
+    done();
+    start_next();
+  });
+}
+
+}  // namespace softres::hw

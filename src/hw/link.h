@@ -1,0 +1,45 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace softres::hw {
+
+/// Point-to-point network link: propagation latency plus an FCFS serialised
+/// transmission stage (bytes / bandwidth). With the testbed's 1 Gbps links
+/// the transmission stage rarely matters, but modelling it keeps the network
+/// honest under response-heavy workloads.
+class Link {
+ public:
+  using Callback = std::function<void()>;
+
+  Link(sim::Simulator& sim, std::string name, double latency_s,
+       double bytes_per_second);
+  Link(const Link&) = delete;
+  Link& operator=(const Link&) = delete;
+
+  /// Deliver `bytes` across the link; `delivered` fires at the receiver.
+  void send(double bytes, Callback delivered);
+
+  const std::string& name() const { return name_; }
+  double latency() const { return latency_; }
+  double bytes_sent() const { return bytes_sent_; }
+  std::uint64_t messages_sent() const { return messages_; }
+  /// Cumulative seconds the transmitter was busy (for utilization probes).
+  double busy_seconds() const { return busy_seconds_; }
+
+ private:
+  sim::Simulator& sim_;
+  std::string name_;
+  double latency_;
+  double bytes_per_second_;
+  sim::SimTime tx_free_at_ = 0.0;  // when the transmitter becomes idle
+  double bytes_sent_ = 0.0;
+  double busy_seconds_ = 0.0;
+  std::uint64_t messages_ = 0;
+};
+
+}  // namespace softres::hw

@@ -1,0 +1,54 @@
+#include "hw/monitor.h"
+
+#include <algorithm>
+#include <memory>
+
+namespace softres::hw {
+namespace {
+
+struct DeltaState {
+  double prev_value = 0.0;
+  double prev_time = 0.0;
+};
+
+/// Differentiate a cumulative core-seconds counter into percent utilization.
+template <typename Getter>
+sim::Sampler::Probe make_rate_probe(const Cpu& cpu, Getter get) {
+  auto state = std::make_shared<DeltaState>();
+  const Cpu* c = &cpu;
+  return [state, c, get](sim::SimTime now) {
+    const double value = get(*c);
+    const double dt = now - state->prev_time;
+    const double dv = value - state->prev_value;
+    state->prev_value = value;
+    state->prev_time = now;
+    if (dt <= 0.0) return 0.0;
+    const double util = 100.0 * dv / (static_cast<double>(c->cores()) * dt);
+    return std::clamp(util, 0.0, 100.0);
+  };
+}
+
+}  // namespace
+
+std::size_t add_cpu_util_probe(sim::Sampler& sampler, const std::string& name,
+                               const Cpu& cpu) {
+  return sampler.add_probe(
+      name, make_rate_probe(cpu, [](const Cpu& c) { return c.busy_core_seconds(); }));
+}
+
+std::size_t add_gc_util_probe(sim::Sampler& sampler, const std::string& name,
+                              const Cpu& cpu) {
+  return sampler.add_probe(
+      name,
+      make_rate_probe(cpu, [](const Cpu& c) { return c.freeze_core_seconds(); }));
+}
+
+std::size_t add_cpu_load_probe(sim::Sampler& sampler, const std::string& name,
+                               const Cpu& cpu) {
+  const Cpu* c = &cpu;
+  return sampler.add_probe(name, [c](sim::SimTime) {
+    return static_cast<double>(c->jobs_in_service());
+  });
+}
+
+}  // namespace softres::hw

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <string>
+
+#include "hw/cpu.h"
+#include "sim/sampler.h"
+
+namespace softres::hw {
+
+/// SysStat-style probe registration. Each probe differentiates a cumulative
+/// counter over the sampling interval, yielding per-interval utilization
+/// percentages exactly as the paper's 1 s monitoring does.
+
+/// CPU utilization in percent (application work + GC freezes).
+std::size_t add_cpu_util_probe(sim::Sampler& sampler, const std::string& name,
+                               const Cpu& cpu);
+
+/// Share of the interval spent in stop-the-world freezes, in percent of
+/// total CPU capacity (the "GC CPU" series of Fig 5).
+std::size_t add_gc_util_probe(sim::Sampler& sampler, const std::string& name,
+                              const Cpu& cpu);
+
+/// Number of jobs resident on the CPU at sampling instants.
+std::size_t add_cpu_load_probe(sim::Sampler& sampler, const std::string& name,
+                               const Cpu& cpu);
+
+}  // namespace softres::hw

@@ -1,0 +1,18 @@
+#include "hw/node.h"
+
+namespace softres::hw {
+
+Node::Node(sim::Simulator& sim, std::string name, const NodeSpec& spec,
+           sim::Rng rng)
+    : name_(std::move(name)), memory_mb_(spec.memory_mb),
+      cpu_(sim, name_ + ".cpu", spec.cores, spec.context_switch_coeff) {
+  sim::DistributionPtr disk_service = spec.disk_service;
+  if (!disk_service) {
+    // 10k-rpm drive: ~4 ms median with a mild tail.
+    disk_service = sim::lognormal(0.004, 0.4);
+  }
+  disk_ = std::make_unique<Disk>(sim, name_ + ".disk", std::move(disk_service),
+                                 rng);
+}
+
+}  // namespace softres::hw

@@ -1,0 +1,25 @@
+#include "metrics/sla.h"
+
+namespace softres::metrics {
+
+SlaSplit SlaModel::split(const sim::SampleSet& response_times,
+                         double window_s) const {
+  SlaSplit s;
+  if (window_s <= 0.0) return s;
+  const auto good = response_times.count_at_or_below(threshold_s_);
+  const auto total = response_times.count();
+  s.goodput = static_cast<double>(good) / window_s;
+  s.badput = static_cast<double>(total - good) / window_s;
+  return s;
+}
+
+const std::vector<double>& SlaModel::common_thresholds() {
+  static const std::vector<double> kThresholds = {0.5, 1.0, 2.0};
+  return kThresholds;
+}
+
+sim::BucketedHistogram make_rt_buckets() {
+  return sim::BucketedHistogram({0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0});
+}
+
+}  // namespace softres::metrics

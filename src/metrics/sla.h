@@ -1,0 +1,55 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace softres::metrics {
+
+/// The paper's simplified SLA model: one response-time threshold splits
+/// throughput into goodput (within the bound) and badput (violations).
+/// Goodput + badput equals the classic throughput.
+struct SlaSplit {
+  double goodput = 0.0;  // requests/s within the threshold
+  double badput = 0.0;   // requests/s beyond the threshold
+  double throughput() const { return goodput + badput; }
+  /// SLO satisfaction ratio in [0,1]; 1.0 when there was no traffic.
+  double satisfaction() const {
+    const double t = throughput();
+    return t > 0.0 ? goodput / t : 1.0;
+  }
+};
+
+class SlaModel {
+ public:
+  explicit SlaModel(double threshold_s) : threshold_s_(threshold_s) {}
+
+  double threshold() const { return threshold_s_; }
+
+  /// Split a window's response-time samples into goodput/badput rates.
+  SlaSplit split(const sim::SampleSet& response_times,
+                 double window_s) const;
+
+  const static std::vector<double>& common_thresholds();
+
+ private:
+  double threshold_s_;
+};
+
+/// Revenue model attached to an SLA: earnings for compliant requests minus
+/// penalties for violations (the provider-revenue analysis of Section II-B).
+struct RevenueModel {
+  double earn_per_good = 1.0;
+  double penalty_per_bad = 2.0;
+
+  double revenue(const SlaSplit& split, double window_s) const {
+    return (split.goodput * earn_per_good - split.badput * penalty_per_bad) *
+           window_s;
+  }
+};
+
+/// The paper's Fig 3(c) response-time buckets:
+/// [0,.2], (.2,.4], ..., (1,1.5], (1.5,2], >2 seconds.
+sim::BucketedHistogram make_rt_buckets();
+
+}  // namespace softres::metrics

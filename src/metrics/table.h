@@ -1,0 +1,30 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace softres::metrics {
+
+/// Minimal fixed-width/CSV table printer for bench output. Columns are
+/// declared once; rows are streamed; `print` right-aligns numbers the way the
+/// paper's tables read.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+  /// Convenience: formats doubles with `precision` decimals.
+  Table& add_row(const std::vector<double>& cells, int precision = 1);
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+  static std::string fmt(double v, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace softres::metrics

@@ -1,0 +1,26 @@
+#include "net/tcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace softres::net {
+
+double TcpModel::median_fin_delay(double client_load) const {
+  double median = config_.fin_base_s;
+  if (config_.enable_load_dependence) {
+    const double overload =
+        std::max(0.0, client_load - config_.load_knee) / config_.load_scale;
+    if (overload > 0.0) {
+      median += config_.fin_load_coeff_s *
+                std::pow(overload, config_.fin_load_exponent);
+    }
+  }
+  return median;
+}
+
+double TcpModel::sample_fin_delay(double client_load) {
+  return rng_.lognormal_median(median_fin_delay(client_load),
+                               config_.fin_sigma);
+}
+
+}  // namespace softres::net

@@ -1,0 +1,55 @@
+#pragma once
+
+#include <functional>
+
+#include "sim/rng.h"
+
+namespace softres::net {
+
+/// Parameters of the client-side TCP teardown model.
+///
+/// With keepalive off, an Apache worker performs a lingering close after each
+/// response: it stays bound to the connection until the client's FIN arrives.
+/// The paper found (Section III-C) that under high workload this FIN wait
+/// explodes — loaded client machines acknowledge lazily — and becomes the
+/// dominant component of worker busy time, starving the back-end unless the
+/// front-tier thread pool is large enough to buffer the stalls.
+struct TcpConfig {
+  /// Median FIN delay when clients are unloaded.
+  double fin_base_s = 0.003;
+  /// Log-space sigma of the FIN delay distribution.
+  double fin_sigma = 0.5;
+  /// Client load fraction (offered users / client capacity) where delays
+  /// start to grow.
+  double load_knee = 0.88;
+  /// Added median delay per unit of normalised overload.
+  double fin_load_coeff_s = 0.030;
+  /// Normalisation width of the overload term.
+  double load_scale = 0.10;
+  /// Superlinearity of the overload term.
+  double fin_load_exponent = 1.5;
+  /// Set false to ablate the effect (bench_ablation_finwait).
+  bool enable_load_dependence = true;
+};
+
+/// Client TCP stack model: samples per-connection FIN-reply delays as a
+/// function of current client-side load.
+class TcpModel {
+ public:
+  TcpModel(TcpConfig config, sim::Rng rng)
+      : config_(config), rng_(rng) {}
+
+  /// Median FIN delay at the given client load (users / client capacity).
+  double median_fin_delay(double client_load) const;
+
+  /// Draw one FIN delay.
+  double sample_fin_delay(double client_load);
+
+  const TcpConfig& config() const { return config_; }
+
+ private:
+  TcpConfig config_;
+  sim::Rng rng_;
+};
+
+}  // namespace softres::net

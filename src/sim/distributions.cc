@@ -1,0 +1,93 @@
+#include "sim/distributions.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace softres::sim {
+
+double LogNormal::mean() const {
+  // mean of lognormal with mu = ln(median): median * exp(sigma^2 / 2).
+  return median_ * std::exp(0.5 * sigma_ * sigma_);
+}
+
+BoundedPareto::BoundedPareto(double lo, double hi, double alpha)
+    : lo_(lo), hi_(hi), alpha_(alpha) {
+  assert(lo > 0.0 && hi > lo && alpha > 0.0);
+}
+
+double BoundedPareto::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  // Inverse CDF of the bounded Pareto.
+  const double x = -(u * ha - u * la - ha) / (ha * la);
+  return std::pow(x, -1.0 / alpha_);
+}
+
+double BoundedPareto::mean() const {
+  if (std::abs(alpha_ - 1.0) < 1e-12) {
+    return std::log(hi_ / lo_) / (1.0 / lo_ - 1.0 / hi_);
+  }
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  return la / (1.0 - la / ha) * (alpha_ / (alpha_ - 1.0)) *
+         (1.0 / std::pow(lo_, alpha_ - 1.0) - 1.0 / std::pow(hi_, alpha_ - 1.0));
+}
+
+Empirical::Empirical(std::vector<double> values) : values_(std::move(values)) {
+  assert(!values_.empty());
+  mean_ = std::accumulate(values_.begin(), values_.end(), 0.0) /
+          static_cast<double>(values_.size());
+}
+
+double Empirical::sample(Rng& rng) const {
+  const auto i = static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(values_.size()) - 1));
+  return values_[i];
+}
+
+DiscreteChoice::DiscreteChoice(std::vector<double> weights) {
+  assert(!weights.empty());
+  cumulative_.resize(weights.size());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    assert(weights[i] >= 0.0);
+    acc += weights[i] / total;
+    cumulative_[i] = acc;
+  }
+  cumulative_.back() = 1.0;  // guard against round-off
+}
+
+std::size_t DiscreteChoice::sample(Rng& rng) const {
+  const double u = rng.next_double();
+  const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+  return static_cast<std::size_t>(it - cumulative_.begin());
+}
+
+double DiscreteChoice::probability(std::size_t i) const {
+  assert(i < cumulative_.size());
+  return i == 0 ? cumulative_[0] : cumulative_[i] - cumulative_[i - 1];
+}
+
+DistributionPtr constant(double v) { return std::make_shared<Deterministic>(v); }
+DistributionPtr exponential(double mean) {
+  return std::make_shared<Exponential>(mean);
+}
+DistributionPtr lognormal(double median, double sigma) {
+  return std::make_shared<LogNormal>(median, sigma);
+}
+DistributionPtr shifted_exp(double offset, double mean_extra) {
+  return std::make_shared<ShiftedExponential>(offset, mean_extra);
+}
+DistributionPtr uniform(double lo, double hi) {
+  return std::make_shared<Uniform>(lo, hi);
+}
+DistributionPtr bounded_pareto(double lo, double hi, double alpha) {
+  return std::make_shared<BoundedPareto>(lo, hi, alpha);
+}
+
+}  // namespace softres::sim

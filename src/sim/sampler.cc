@@ -1,0 +1,83 @@
+#include "sim/sampler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace softres::sim {
+
+double TimeSeries::mean() const {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double TimeSeries::mean_between(SimTime lo, SimTime hi) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] >= lo && times[i] < hi) {
+      sum += values[i];
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::max_between(SimTime lo, SimTime hi) const {
+  double best = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] >= lo && times[i] < hi) best = std::max(best, values[i]);
+  }
+  return best;
+}
+
+std::vector<double> TimeSeries::window(SimTime lo, SimTime hi) const {
+  std::vector<double> out;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    if (times[i] >= lo && times[i] < hi) out.push_back(values[i]);
+  }
+  return out;
+}
+
+Sampler::Sampler(Simulator& sim, SimTime interval)
+    : sim_(sim), interval_(interval) {
+  assert(interval > 0.0);
+}
+
+std::size_t Sampler::add_probe(std::string name, Probe probe) {
+  probes_.push_back(std::move(probe));
+  series_.push_back(TimeSeries{std::move(name), {}, {}});
+  return series_.size() - 1;
+}
+
+void Sampler::start() {
+  if (running_) return;
+  running_ = true;
+  pending_ = sim_.schedule(interval_, [this] { tick(); });
+}
+
+void Sampler::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = EventHandle();
+}
+
+void Sampler::tick() {
+  if (!running_) return;
+  const SimTime t = sim_.now();
+  for (std::size_t i = 0; i < probes_.size(); ++i) {
+    series_[i].add(t, probes_[i](t));
+  }
+  pending_ = sim_.schedule(interval_, [this] { tick(); });
+}
+
+const TimeSeries* Sampler::find(const std::string& name) const {
+  for (const auto& s : series_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace softres::sim

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+
+namespace softres::sim {
+
+/// A named time series of (time, value) samples, the in-memory analogue of a
+/// SysStat column.
+struct TimeSeries {
+  std::string name;
+  std::vector<SimTime> times;
+  std::vector<double> values;
+
+  void add(SimTime t, double v) {
+    times.push_back(t);
+    values.push_back(v);
+  }
+  std::size_t size() const { return values.size(); }
+  double mean() const;
+  double mean_between(SimTime lo, SimTime hi) const;
+  double max_between(SimTime lo, SimTime hi) const;
+  /// Values with lo <= t < hi (for density histograms per workload window).
+  std::vector<double> window(SimTime lo, SimTime hi) const;
+};
+
+/// Periodic probe runner: the simulated SysStat. Probes are polled at a fixed
+/// interval (default 1 s, matching the paper's measurement granularity) and
+/// each probe's return value is appended to its TimeSeries.
+class Sampler {
+ public:
+  using Probe = std::function<double(SimTime now)>;
+
+  Sampler(Simulator& sim, SimTime interval = 1.0);
+
+  /// Register a probe; returns its series index.
+  std::size_t add_probe(std::string name, Probe probe);
+
+  void start();
+  void stop();
+
+  const TimeSeries& series(std::size_t i) const { return series_[i]; }
+  const TimeSeries* find(const std::string& name) const;
+  std::size_t probes() const { return series_.size(); }
+
+ private:
+  void tick();
+
+  Simulator& sim_;
+  SimTime interval_;
+  bool running_ = false;
+  EventHandle pending_;
+  std::vector<Probe> probes_;
+  std::vector<TimeSeries> series_;
+};
+
+}  // namespace softres::sim

@@ -1,0 +1,16 @@
+#pragma once
+
+namespace softres::sim {
+
+/// Simulation time in seconds. The whole library models wall-clock seconds of
+/// the emulated testbed; a `double` gives sub-microsecond resolution over the
+/// multi-hour horizons we simulate while staying trivially arithmetic.
+using SimTime = double;
+
+/// Sentinel for "never".
+inline constexpr SimTime kNever = 1e300;
+
+/// Comparison slack for accumulated floating-point time arithmetic.
+inline constexpr SimTime kTimeEpsilon = 1e-9;
+
+}  // namespace softres::sim

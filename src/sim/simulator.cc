@@ -1,0 +1,97 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace softres::sim {
+
+Simulator::~Simulator() {
+  for (Record* r : all_) delete r;
+}
+
+Simulator::Record* Simulator::allocate() {
+  if (!freelist_.empty()) {
+    Record* r = freelist_.back();
+    freelist_.pop_back();
+    return r;
+  }
+  Record* r = new Record();
+  all_.push_back(r);
+  return r;
+}
+
+void Simulator::release(Record* r) {
+  r->seq = 0;
+  r->fn = nullptr;
+  freelist_.push_back(r);
+}
+
+EventHandle Simulator::schedule(SimTime delay, Callback fn) {
+  return schedule_at(now_ + (delay > 0.0 ? delay : 0.0), std::move(fn));
+}
+
+EventHandle Simulator::schedule_at(SimTime t, Callback fn) {
+  assert(fn);
+  Record* r = allocate();
+  r->time = t < now_ ? now_ : t;
+  r->seq = next_seq_++;
+  r->fn = std::move(fn);
+  heap_.push(r);
+  ++live_;
+  return EventHandle(r, r->seq);
+}
+
+bool Simulator::cancel(EventHandle h) {
+  if (!h.valid()) return false;
+  auto* r = static_cast<Record*>(h.record_);
+  if (r->seq != h.seq_ || r->seq == 0) return false;  // stale handle
+  // Mark cancelled; the record is reclaimed lazily when popped.
+  r->seq = 0;
+  r->fn = nullptr;
+  --live_;
+  return true;
+}
+
+void Simulator::dispatch(Record* r) {
+  now_ = r->time;
+  Callback fn = std::move(r->fn);
+  release(r);
+  --live_;
+  ++executed_;
+  fn();
+}
+
+bool Simulator::step() {
+  while (!heap_.empty()) {
+    Record* r = heap_.top();
+    heap_.pop();
+    if (r->seq == 0) {  // cancelled
+      freelist_.push_back(r);
+      continue;
+    }
+    dispatch(r);
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run(std::uint64_t limit) {
+  for (std::uint64_t i = 0; i < limit; ++i) {
+    if (!step()) return;
+  }
+}
+
+void Simulator::run_until(SimTime t) {
+  while (!heap_.empty()) {
+    Record* r = heap_.top();
+    if (r->seq != 0 && r->time > t) break;
+    heap_.pop();
+    if (r->seq == 0) {
+      freelist_.push_back(r);
+      continue;
+    }
+    dispatch(r);
+  }
+  if (t > now_) now_ = t;
+}
+
+}  // namespace softres::sim

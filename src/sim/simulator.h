@@ -1,0 +1,92 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace softres::sim {
+
+/// Handle to a scheduled event; allows O(1) cancellation. Default-constructed
+/// handles are inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return record_ != nullptr; }
+
+ private:
+  friend class Simulator;
+  EventHandle(void* record, std::uint64_t seq) : record_(record), seq_(seq) {}
+  void* record_ = nullptr;
+  std::uint64_t seq_ = 0;
+};
+
+/// Discrete-event simulation engine: a clock plus a pending-event heap.
+///
+/// All model components (CPUs, pools, servers, clients) are callback state
+/// machines driven by this single engine; the engine itself is strictly
+/// single-threaded and deterministic, which is what makes whole-testbed
+/// experiments exactly reproducible. Events scheduled for the same instant
+/// fire in FIFO order of scheduling.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
+
+  SimTime now() const { return now_; }
+
+  /// Schedule `fn` to run `delay` seconds from now (delay < 0 clamps to 0).
+  EventHandle schedule(SimTime delay, Callback fn);
+
+  /// Schedule `fn` at absolute time `t` (t < now clamps to now).
+  EventHandle schedule_at(SimTime t, Callback fn);
+
+  /// Cancel a pending event. Safe to call with stale or inert handles; returns
+  /// true iff the event was pending and is now cancelled.
+  bool cancel(EventHandle h);
+
+  /// Execute events until the queue is empty or `limit` events have run.
+  void run(std::uint64_t limit = ~0ull);
+
+  /// Execute events with time <= t, then set the clock to exactly t.
+  void run_until(SimTime t);
+
+  /// Pop and run the single earliest event; false if none pending.
+  bool step();
+
+  std::uint64_t events_executed() const { return executed_; }
+  std::size_t events_pending() const { return live_; }
+
+ private:
+  struct Record {
+    SimTime time = 0.0;
+    std::uint64_t seq = 0;  // tie-break + staleness check; 0 means free
+    Callback fn;
+  };
+  struct Cmp {
+    bool operator()(const Record* a, const Record* b) const {
+      if (a->time != b->time) return a->time > b->time;
+      return a->seq > b->seq;
+    }
+  };
+
+  Record* allocate();
+  void release(Record* r);
+  void dispatch(Record* r);
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t executed_ = 0;
+  std::size_t live_ = 0;  // scheduled and not cancelled
+  std::priority_queue<Record*, std::vector<Record*>, Cmp> heap_;
+  std::vector<Record*> freelist_;
+  std::vector<Record*> all_;  // ownership of every allocated record
+};
+
+}  // namespace softres::sim

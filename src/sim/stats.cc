@@ -1,0 +1,150 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace softres::sim {
+
+void Welford::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void Welford::merge(const Welford& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Welford::reset() { *this = Welford(); }
+
+double Welford::variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double Welford::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0) {
+  assert(hi > lo && bins > 0);
+}
+
+void Histogram::add(double x, double weight) {
+  total_ += weight;
+  if (x < lo_) {
+    underflow_ += weight;
+  } else if (x >= hi_) {
+    overflow_ += weight;
+  } else {
+    auto i = static_cast<std::size_t>((x - lo_) / width_);
+    if (i >= counts_.size()) i = counts_.size() - 1;  // round-off guard
+    counts_[i] += weight;
+  }
+}
+
+void Histogram::reset() {
+  std::fill(counts_.begin(), counts_.end(), 0.0);
+  underflow_ = overflow_ = total_ = 0.0;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+double Histogram::density(std::size_t i) const {
+  return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+BucketedHistogram::BucketedHistogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1, 0) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+}
+
+void BucketedHistogram::add(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  ++counts_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++total_;
+}
+
+double BucketedHistogram::upper_bound(std::size_t i) const {
+  return i < bounds_.size() ? bounds_[i]
+                            : std::numeric_limits<double>::infinity();
+}
+
+double BucketedHistogram::fraction(std::size_t i) const {
+  return total_ ? static_cast<double>(counts_[i]) /
+                      static_cast<double>(total_)
+                : 0.0;
+}
+
+void TimeWeighted::set(SimTime t, double value) {
+  assert(t + kTimeEpsilon >= last_);
+  const SimTime dt = t - last_;
+  if (dt > 0.0) weighted_sum_ += value_ * dt;
+  last_ = t;
+  value_ = value;
+}
+
+double TimeWeighted::average(SimTime until) const {
+  const SimTime span = until - start_;
+  if (span <= 0.0) return value_;
+  double sum = weighted_sum_;
+  if (until > last_) sum += value_ * (until - last_);
+  return sum / span;
+}
+
+void TimeWeighted::reset(SimTime t) {
+  start_ = last_ = t;
+  weighted_sum_ = 0.0;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::quantile(double q) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(samples_.size() - 1) + 0.5);
+  return samples_[rank];
+}
+
+std::size_t SampleSet::count_at_or_below(double threshold) const {
+  ensure_sorted();
+  return static_cast<std::size_t>(
+      std::upper_bound(samples_.begin(), samples_.end(), threshold) -
+      samples_.begin());
+}
+
+}  // namespace softres::sim

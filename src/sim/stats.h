@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace softres::sim {
+
+/// Streaming mean/variance/min/max (Welford's algorithm).
+class Welford {
+ public:
+  void add(double x);
+  void merge(const Welford& other);
+  void reset();
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const;  // sample variance (n-1)
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  double sum() const { return mean_ * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width histogram over [lo, hi) with under/overflow bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+  void reset();
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double underflow() const { return underflow_; }
+  double overflow() const { return overflow_; }
+  double total() const { return total_; }
+  /// Fraction of total weight in bin i (0 when empty).
+  double density(std::size_t i) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<double> counts_;
+  double underflow_ = 0.0;
+  double overflow_ = 0.0;
+  double total_ = 0.0;
+};
+
+/// Histogram with caller-supplied bucket boundaries (e.g. the paper's
+/// response-time buckets [0,.2,.4,.6,.8,1,1.5,2,inf) in Fig 3c).
+class BucketedHistogram {
+ public:
+  explicit BucketedHistogram(std::vector<double> upper_bounds);
+
+  void add(double x);
+  std::size_t buckets() const { return counts_.size(); }
+  /// Upper bound of bucket i; the last bucket is unbounded.
+  double upper_bound(std::size_t i) const;
+  std::size_t count(std::size_t i) const { return counts_[i]; }
+  std::size_t total() const { return total_; }
+  double fraction(std::size_t i) const;
+
+ private:
+  std::vector<double> bounds_;       // ascending; implicit +inf terminal bucket
+  std::vector<std::size_t> counts_;  // bounds_.size() + 1 entries
+  std::size_t total_ = 0;
+};
+
+/// Time-weighted average of a piecewise-constant signal (queue lengths, pool
+/// occupancy, #jobs in server). `set(t, v)` records that the signal holds
+/// value v from time t until the next call.
+class TimeWeighted {
+ public:
+  void set(SimTime t, double value);
+  /// Close the window at time t and return stats; the signal keeps running.
+  double average(SimTime until) const;
+  double current() const { return value_; }
+  void reset(SimTime t);
+
+ private:
+  SimTime start_ = 0.0;
+  SimTime last_ = 0.0;
+  double value_ = 0.0;
+  double weighted_sum_ = 0.0;
+};
+
+/// Reservoir of raw samples with exact quantile queries. The workloads we
+/// simulate produce < 10^6 response times per run, so exact storage is cheap
+/// and avoids estimator bias in the SLA goodput computation.
+class SampleSet {
+ public:
+  void add(double x) {
+    samples_.push_back(x);
+    sorted_ = false;
+  }
+  std::size_t count() const { return samples_.size(); }
+  double mean() const;
+  /// q in [0, 1]; nearest-rank quantile. Returns 0 for an empty set.
+  double quantile(double q) const;
+  /// Number of samples <= threshold.
+  std::size_t count_at_or_below(double threshold) const;
+  const std::vector<double>& raw() const { return samples_; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  void clear() {
+    samples_.clear();
+    sorted_ = false;
+  }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace softres::sim

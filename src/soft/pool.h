@@ -1,0 +1,83 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "sim/sim_time.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace softres::soft {
+
+/// A *soft resource* in the paper's sense: a counted pool of software units
+/// (worker threads, DB connections) that gate access to hardware. Acquires
+/// beyond capacity queue FIFO; this queueing is exactly how under-allocation
+/// bottlenecks form (Section III-A), and the capacity itself is what the
+/// allocation algorithm of Section IV tunes.
+class Pool {
+ public:
+  using Callback = std::function<void()>;
+
+  Pool(sim::Simulator& sim, std::string name, std::size_t capacity);
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Request one unit. `granted` fires immediately (synchronously) if a unit
+  /// is free, otherwise when one is released to this waiter (FIFO).
+  void acquire(Callback granted);
+
+  /// Non-blocking variant; true on success.
+  bool try_acquire();
+
+  /// Return one unit; hands it straight to the oldest waiter if any.
+  void release();
+
+  const std::string& name() const { return name_; }
+  std::size_t capacity() const { return capacity_; }
+  std::size_t in_use() const { return in_use_; }
+  std::size_t waiting() const { return waiters_.size(); }
+  /// Occupancy fraction in [0,1].
+  double utilization() const {
+    return capacity_ ? static_cast<double>(in_use_) /
+                           static_cast<double>(capacity_)
+                     : 1.0;
+  }
+  /// A pool is saturated when every unit is taken and someone is queued.
+  bool saturated() const { return in_use_ == capacity_ && !waiters_.empty(); }
+
+  std::uint64_t total_acquired() const { return total_acquired_; }
+  /// Mean time acquirers spent queued (0 when nothing ever waited).
+  double mean_wait_time() const { return wait_stats_.mean(); }
+  const sim::Welford& wait_stats() const { return wait_stats_; }
+  /// Time-weighted occupancy statistics since construction / last reset.
+  double average_in_use(sim::SimTime until) const {
+    return occupancy_.average(until);
+  }
+  void reset_stats(sim::SimTime t);
+
+  /// Resize the pool (the allocation algorithm's "S = 2S" step). Growing
+  /// admits waiters immediately; shrinking takes effect lazily as units are
+  /// released.
+  void set_capacity(std::size_t capacity);
+
+ private:
+  struct Waiter {
+    Callback granted;
+    sim::SimTime enqueued_at;
+  };
+
+  void grant(Callback granted, sim::SimTime waited_since);
+
+  sim::Simulator& sim_;
+  std::string name_;
+  std::size_t capacity_;
+  std::size_t in_use_ = 0;
+  std::deque<Waiter> waiters_;
+  std::uint64_t total_acquired_ = 0;
+  sim::Welford wait_stats_;
+  sim::TimeWeighted occupancy_;
+};
+
+}  // namespace softres::soft

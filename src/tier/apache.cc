@@ -1,0 +1,135 @@
+#include "tier/apache.h"
+
+#include <cassert>
+#include <utility>
+
+namespace softres::tier {
+
+ApacheServer::ApacheServer(sim::Simulator& sim, std::string name,
+                           hw::Node& node, std::size_t threads,
+                           hw::Link& to_tomcat, hw::Link& from_tomcat,
+                           hw::Link& to_client, net::TcpModel tcp,
+                           LoadFn client_load)
+    : Server(sim, std::move(name)), node_(node),
+      workers_(sim, this->name() + ".workers", threads),
+      to_tomcat_(to_tomcat), from_tomcat_(from_tomcat), to_client_(to_client),
+      tcp_(std::move(tcp)), client_load_(std::move(client_load)) {
+  assert(client_load_);
+}
+
+void ApacheServer::handle(const RequestPtr& req, Callback responded) {
+  workers_.acquire([this, req, responded = std::move(responded)]() mutable {
+    const sim::SimTime worker_started = sim().now();
+    const sim::SimTime entered = worker_started;
+    job_entered();
+
+    // Parse the request.
+    node_.cpu().submit(req->apache_demand_s * 0.5, [this, req, entered,
+                                                    worker_started,
+                                                    responded = std::move(
+                                                        responded)]() mutable {
+      if (req->kind == RequestKind::kStatic) {
+        // Static files are cached in memory; no Tomcat round trip.
+        respond(req, entered, worker_started, std::move(responded));
+        return;
+      }
+      // Proxy to a Tomcat instance (mod_jk-style balancing). The worker now
+      // occupies or waits for a Tomcat connection until the response returns.
+      assert(!tomcats_.empty());
+      ++connecting_tomcat_;
+      const sim::SimTime conn_started = sim().now();
+      TomcatServer* tomcat = tomcats_[next_tomcat_];
+      next_tomcat_ = (next_tomcat_ + 1) % tomcats_.size();
+      to_tomcat_.send(req->request_bytes, [this, req, tomcat, entered,
+                                           worker_started, conn_started,
+                                           responded = std::move(
+                                               responded)]() mutable {
+        tomcat->submit(req, [this, req, entered, worker_started, conn_started,
+                             responded = std::move(responded)]() mutable {
+          from_tomcat_.send(
+              req->response_bytes,
+              [this, req, entered, worker_started, conn_started,
+               responded = std::move(responded)]() mutable {
+                --connecting_tomcat_;
+                win_tomcat_sum_s_ += sim().now() - conn_started;
+                ++win_tomcat_n_;
+                respond(req, entered, worker_started, std::move(responded));
+              });
+        });
+      });
+    });
+  });
+}
+
+void ApacheServer::respond(const RequestPtr& req, sim::SimTime entered,
+                           sim::SimTime worker_started, Callback responded) {
+  // Assemble and write the response.
+  node_.cpu().submit(req->apache_demand_s * 0.5, [this, req, entered,
+                                                  worker_started,
+                                                  responded = std::move(
+                                                      responded)]() mutable {
+    to_client_.send(req->response_bytes, std::move(responded));
+    job_left(entered);
+    req->record_span(name(), entered, sim().now());
+    ++win_processed_;
+    // Lingering close: the worker stays bound to the connection until the
+    // client FINs; under loaded clients this dominates worker busy time.
+    const double fin_delay = tcp_.sample_fin_delay(client_load_());
+    sim().schedule(fin_delay, [this, worker_started] {
+      const double busy = sim().now() - worker_started;
+      win_busy_sum_s_ += busy;
+      ++win_busy_n_;
+      window_busy_stats_.add(busy);
+      workers_.release();
+    });
+  });
+}
+
+void ApacheServer::reset_window_stats() {
+  Server::reset_window_stats();
+  window_busy_stats_.reset();
+}
+
+ApacheServer::TimelineSample ApacheServer::sample_window(sim::SimTime now) {
+  if (now == cached_sample_time_) return cached_sample_;
+  TimelineSample s;
+  s.processed_requests = static_cast<double>(win_processed_);
+  s.pt_total_ms =
+      win_busy_n_ ? 1000.0 * win_busy_sum_s_ / static_cast<double>(win_busy_n_)
+                  : 0.0;
+  s.pt_tomcat_ms = win_tomcat_n_ ? 1000.0 * win_tomcat_sum_s_ /
+                                       static_cast<double>(win_tomcat_n_)
+                                 : 0.0;
+  s.threads_active = static_cast<double>(workers_.in_use());
+  s.threads_connecting = static_cast<double>(connecting_tomcat_);
+  win_processed_ = 0;
+  win_busy_sum_s_ = 0.0;
+  win_busy_n_ = 0;
+  win_tomcat_sum_s_ = 0.0;
+  win_tomcat_n_ = 0;
+  cached_sample_time_ = now;
+  cached_sample_ = s;
+  return s;
+}
+
+void add_apache_timeline_probes(sim::Sampler& sampler, ApacheServer& apache) {
+  ApacheServer* a = &apache;
+  const std::string prefix = apache.name();
+  sampler.add_probe(prefix + ".processed", [a](sim::SimTime t) {
+    return a->sample_window(t).processed_requests;
+  });
+  sampler.add_probe(prefix + ".pt_total_ms", [a](sim::SimTime t) {
+    return a->sample_window(t).pt_total_ms;
+  });
+  sampler.add_probe(prefix + ".pt_tomcat_ms", [a](sim::SimTime t) {
+    return a->sample_window(t).pt_tomcat_ms;
+  });
+  sampler.add_probe(prefix + ".threads_active", [a](sim::SimTime t) {
+    return a->sample_window(t).threads_active;
+  });
+  sampler.add_probe(prefix + ".threads_connecting", [a](sim::SimTime t) {
+    return a->sample_window(t).threads_connecting;
+  });
+}
+
+}  // namespace softres::tier

@@ -1,0 +1,46 @@
+#include "tier/cjdbc.h"
+
+#include <cassert>
+#include <utility>
+
+namespace softres::tier {
+
+CJdbcServer::CJdbcServer(sim::Simulator& sim, std::string name, hw::Node& node,
+                         jvm::JvmConfig jvm_config, hw::Link& down_link,
+                         hw::Link& up_link, double alloc_per_query_mb)
+    : Server(sim, std::move(name)), node_(node),
+      jvm_(sim, node.cpu(), jvm_config, this->name() + ".jvm"),
+      down_link_(down_link), up_link_(up_link),
+      alloc_per_query_mb_(alloc_per_query_mb) {}
+
+void CJdbcServer::query(const RequestPtr& req, Callback done) {
+  assert(!backends_.empty());
+  const sim::SimTime entered = sim().now();
+  job_entered();
+
+  // Query parsing + routing consumes middleware CPU; the JVM charges each
+  // query's allocations against the shared young generation.
+  jvm_.allocate(alloc_per_query_mb_);
+  const double demand = req->cjdbc_demand_s * jvm_.runtime_overhead_factor();
+
+  MySqlServer* backend = backends_[next_backend_];
+  next_backend_ = (next_backend_ + 1) % backends_.size();
+
+  auto finish = [this, req, entered, done = std::move(done)]() {
+    job_left(entered);
+    req->record_span(name(), entered, sim().now());
+    done();
+  };
+
+  node_.cpu().submit(demand, [this, req, backend,
+                              finish = std::move(finish)]() mutable {
+    down_link_.send(req->request_bytes, [this, req, backend,
+                                         finish = std::move(finish)]() mutable {
+      backend->query(req, [this, req, finish = std::move(finish)]() mutable {
+        up_link_.send(req->response_bytes * 0.25, std::move(finish));
+      });
+    });
+  });
+}
+
+}  // namespace softres::tier

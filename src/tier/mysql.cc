@@ -1,0 +1,31 @@
+#include "tier/mysql.h"
+
+#include <utility>
+
+namespace softres::tier {
+
+MySqlServer::MySqlServer(sim::Simulator& sim, std::string name, hw::Node& node,
+                         sim::Rng rng)
+    : Server(sim, std::move(name)), node_(node), rng_(rng) {}
+
+void MySqlServer::query(const RequestPtr& req, Callback done) {
+  const sim::SimTime entered = sim().now();
+  job_entered();
+  auto finish = [this, req, entered, done = std::move(done)]() {
+    job_left(entered);
+    req->record_span(name(), entered, sim().now());
+    done();
+  };
+  const bool disk_hit = rng_.bernoulli(req->mysql_disk_prob);
+  node_.cpu().submit(
+      req->mysql_demand_s,
+      [this, disk_hit, finish = std::move(finish)]() mutable {
+        if (disk_hit) {
+          node_.disk().submit(std::move(finish));
+        } else {
+          finish();
+        }
+      });
+}
+
+}  // namespace softres::tier

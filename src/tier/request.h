@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace softres::tier {
+
+enum class RequestKind {
+  kDynamic,  // servlet interaction (hits Tomcat, C-JDBC, MySQL)
+  kStatic,   // embedded static content (served from Apache's cache)
+};
+
+/// One HTTP request travelling down the invocation chain. The workload
+/// generator samples the per-tier demands when the interaction is chosen so
+/// servers stay policy-free.
+struct Request {
+  std::uint64_t id = 0;
+  RequestKind kind = RequestKind::kDynamic;
+  int interaction = 0;  // index into the RUBBoS interaction table
+
+  // Sampled demands.
+  double apache_demand_s = 0.0;  // HTTP parsing + response assembly
+  int num_queries = 0;           // SQL queries this servlet issues
+  double tomcat_demand_s = 0.0;  // servlet execution CPU (total, split 70/30
+                                 // around the DB phase)
+  double cjdbc_demand_s = 0.0;   // middleware CPU per query
+  double mysql_demand_s = 0.0;   // database CPU per query
+  double mysql_disk_prob = 0.0;  // probability a query misses cache -> disk
+  double request_bytes = 512.0;
+  double response_bytes = 8192.0;
+
+  // Client-side timestamps (set by the client farm).
+  sim::SimTime sent_at = 0.0;
+  sim::SimTime completed_at = 0.0;
+
+  /// One server visit of a traced request: [enter, leave) residence. For a
+  /// Tomcat visit this is the paper's T; the C-JDBC visits are its t1, t2
+  /// (Fig 9). Off by default; the client farm samples a subset.
+  struct TraceSpan {
+    std::string server;
+    sim::SimTime enter = 0.0;
+    sim::SimTime leave = 0.0;
+    double duration() const { return leave - enter; }
+  };
+  bool trace_enabled = false;
+  std::vector<TraceSpan> trace;
+
+  void record_span(const std::string& server, sim::SimTime enter,
+                   sim::SimTime leave) {
+    if (trace_enabled) trace.push_back(TraceSpan{server, enter, leave});
+  }
+};
+
+using RequestPtr = std::shared_ptr<Request>;
+
+}  // namespace softres::tier

@@ -1,0 +1,37 @@
+#include "tier/server.h"
+
+namespace softres::tier {
+
+Server::Server(sim::Simulator& sim, std::string name)
+    : sim_(sim), name_(std::move(name)) {
+  jobs_tw_.reset(sim.now());
+}
+
+void Server::reset_window_stats() {
+  window_start_ = sim_.now();
+  completed_ = 0;
+  rt_stats_.reset();
+  jobs_tw_.reset(sim_.now());
+  jobs_tw_.set(sim_.now(), static_cast<double>(jobs_inside_));
+}
+
+double Server::window_throughput() const {
+  const sim::SimTime span = sim_.now() - window_start_;
+  return span > 0.0 ? static_cast<double>(completed_) / span : 0.0;
+}
+
+double Server::window_avg_jobs() const { return jobs_tw_.average(sim_.now()); }
+
+void Server::job_entered() {
+  ++jobs_inside_;
+  jobs_tw_.set(sim_.now(), static_cast<double>(jobs_inside_));
+}
+
+void Server::job_left(sim::SimTime entered_at) {
+  --jobs_inside_;
+  jobs_tw_.set(sim_.now(), static_cast<double>(jobs_inside_));
+  ++completed_;
+  rt_stats_.add(sim_.now() - entered_at);
+}
+
+}  // namespace softres::tier

@@ -1,0 +1,80 @@
+#include "tier/tomcat.h"
+
+#include <utility>
+
+namespace softres::tier {
+
+TomcatServer::TomcatServer(sim::Simulator& sim, std::string name,
+                           hw::Node& node, jvm::JvmConfig jvm_config,
+                           std::size_t threads, std::size_t db_connections,
+                           CJdbcServer& cjdbc, hw::Link& down_link,
+                           hw::Link& up_link, double alloc_per_request_mb)
+    : Server(sim, std::move(name)), node_(node),
+      jvm_(sim, node.cpu(), jvm_config, this->name() + ".jvm"),
+      threads_(sim, this->name() + ".threads", threads),
+      db_conns_(sim, this->name() + ".dbconns", db_connections),
+      cjdbc_(cjdbc), down_link_(down_link), up_link_(up_link),
+      alloc_per_request_mb_(alloc_per_request_mb) {
+  // Idle threads and pooled connections consume heap whether used or not.
+  jvm_.set_live_threads(threads + db_connections);
+}
+
+void TomcatServer::submit(const RequestPtr& req, Callback done) {
+  threads_.acquire([this, req, done = std::move(done)]() mutable {
+    const sim::SimTime entered = sim().now();
+    job_entered();
+    jvm_.allocate(alloc_per_request_mb_);
+    const double pre_demand = req->tomcat_demand_s * kPreDbCpuFraction *
+                              jvm_.runtime_overhead_factor();
+
+    auto finish = [this, req, entered, done = std::move(done)]() mutable {
+      const double post_demand = req->tomcat_demand_s *
+                                 (1.0 - kPreDbCpuFraction) *
+                                 jvm_.runtime_overhead_factor();
+      node_.cpu().submit(post_demand,
+                         [this, req, entered,
+                          done = std::move(done)]() mutable {
+                           job_left(entered);
+                           req->record_span(name(), entered, sim().now());
+                           threads_.release();
+                           done();
+                         });
+    };
+
+    node_.cpu().submit(pre_demand, [this, req,
+                                    finish = std::move(finish)]() mutable {
+      if (req->num_queries <= 0) {
+        finish();
+        return;
+      }
+      // Hold one DB connection for the entire query phase (Fig 9).
+      db_conns_.acquire([this, req, finish = std::move(finish)]() mutable {
+        run_queries(req, req->num_queries,
+                    [this, finish = std::move(finish)]() mutable {
+                      db_conns_.release();
+                      finish();
+                    });
+      });
+    });
+  });
+}
+
+void TomcatServer::run_queries(const RequestPtr& req, int remaining,
+                               Callback done) {
+  if (remaining <= 0) {
+    done();
+    return;
+  }
+  down_link_.send(req->request_bytes, [this, req, remaining,
+                                       done = std::move(done)]() mutable {
+    cjdbc_.query(req, [this, req, remaining,
+                       done = std::move(done)]() mutable {
+      up_link_.send(req->response_bytes * 0.25,
+                    [this, req, remaining, done = std::move(done)]() mutable {
+                      run_queries(req, remaining - 1, std::move(done));
+                    });
+    });
+  });
+}
+
+}  // namespace softres::tier

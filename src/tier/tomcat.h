@@ -1,0 +1,64 @@
+#pragma once
+
+#include <functional>
+
+#include "hw/link.h"
+#include "hw/node.h"
+#include "jvm/jvm.h"
+#include "soft/pool.h"
+#include "tier/cjdbc.h"
+#include "tier/request.h"
+#include "tier/server.h"
+
+namespace softres::tier {
+
+/// Apache Tomcat application-server model.
+///
+/// Two soft resources gate a servlet's execution: the worker *thread pool*
+/// (one thread per in-flight request; under-allocating it is the Section
+/// III-A bottleneck) and the server-wide *DB connection pool* (the paper's
+/// modified RUBBoS shares one global pool across servlets; a request holds
+/// one connection for its whole DB phase, per Fig 9).
+class TomcatServer : public Server {
+ public:
+  using Callback = std::function<void()>;
+
+  TomcatServer(sim::Simulator& sim, std::string name, hw::Node& node,
+               jvm::JvmConfig jvm_config, std::size_t threads,
+               std::size_t db_connections, CJdbcServer& cjdbc,
+               hw::Link& down_link, hw::Link& up_link,
+               double alloc_per_request_mb);
+
+  /// Process one dynamic request; `done` fires when the response leaves this
+  /// server. The caller (an Apache worker) blocks in our thread-pool queue
+  /// until a Tomcat thread picks the request up — that queue is exactly the
+  /// "waiting for a Tomcat connection" state of Figs 7–8.
+  void submit(const RequestPtr& req, Callback done);
+
+  soft::Pool& thread_pool() { return threads_; }
+  const soft::Pool& thread_pool() const { return threads_; }
+  soft::Pool& connection_pool() { return db_conns_; }
+  const soft::Pool& connection_pool() const { return db_conns_; }
+
+  jvm::Jvm& jvm() { return jvm_; }
+  const jvm::Jvm& jvm() const { return jvm_; }
+  hw::Node& node() { return node_; }
+  const hw::Node& node() const { return node_; }
+
+  /// Fraction of servlet CPU spent before the DB phase.
+  static constexpr double kPreDbCpuFraction = 0.7;
+
+ private:
+  void run_queries(const RequestPtr& req, int remaining, Callback done);
+
+  hw::Node& node_;
+  jvm::Jvm jvm_;
+  soft::Pool threads_;
+  soft::Pool db_conns_;
+  CJdbcServer& cjdbc_;
+  hw::Link& down_link_;  // to C-JDBC
+  hw::Link& up_link_;    // from C-JDBC
+  double alloc_per_request_mb_;
+};
+
+}  // namespace softres::tier

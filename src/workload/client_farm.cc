@@ -1,0 +1,149 @@
+#include "workload/client_farm.h"
+
+#include <cassert>
+#include <memory>
+
+namespace softres::workload {
+
+ClientFarm::ClientFarm(sim::Simulator& sim, const RubbosWorkload& workload,
+                       ClientConfig config, hw::Link& to_server)
+    : sim_(sim), workload_(workload), config_(config), to_server_(to_server) {
+  sim::Rng master(config_.seed);
+  user_rngs_.reserve(config_.users);
+  for (std::size_t u = 0; u < config_.users; ++u) {
+    user_rngs_.push_back(master.split());
+  }
+}
+
+void ClientFarm::set_load_schedule(std::vector<LoadPhase> schedule) {
+  for (const auto& phase : schedule) {
+    assert(phase.active_users <= config_.users);
+    (void)phase;
+  }
+  schedule_ = std::move(schedule);
+}
+
+void ClientFarm::start() {
+  assert(!apaches_.empty());
+  user_active_.assign(config_.users, false);
+  if (schedule_.empty()) {
+    // Fixed population: stagger activation uniformly across the ramp-up.
+    active_target_ = config_.users;
+    for (std::size_t u = 0; u < config_.users; ++u) {
+      const double offset = config_.ramp_up_s *
+                            (static_cast<double>(u) + 0.5) /
+                            static_cast<double>(config_.users);
+      sim_.schedule(offset, [this, u] { start_user(u); });
+    }
+    return;
+  }
+  for (const auto& phase : schedule_) {
+    sim_.schedule_at(phase.start,
+                     [this, n = phase.active_users] { apply_target(n); });
+  }
+}
+
+void ClientFarm::apply_target(std::size_t target) {
+  active_target_ = target;
+  // Growth: wake dormant sessions, staggered over a couple of seconds so a
+  // phase change does not arrive as one synchronized burst. Shrink takes
+  // effect lazily: surplus sessions park at their next cycle boundary.
+  for (std::size_t u = 0; u < target; ++u) {
+    if (user_active_[u]) continue;
+    user_active_[u] = true;
+    ++started_users_;
+    const double jitter =
+        2.0 * static_cast<double>(u % 97) / 97.0;
+    sim_.schedule(jitter, [this, u] {
+      if (user_active_[u]) issue_page(u);
+    });
+  }
+}
+
+bool ClientFarm::stopped() const {
+  return sim_.now() >= measure_end() + config_.ramp_down_s;
+}
+
+double ClientFarm::client_load() const {
+  return static_cast<double>(started_users_) / config_.users_capacity;
+}
+
+void ClientFarm::start_user(std::size_t u) {
+  ++started_users_;
+  user_active_[u] = true;
+  // New sessions browse immediately, then settle into the think cycle.
+  issue_page(u);
+}
+
+void ClientFarm::think_then_browse(std::size_t u) {
+  if (stopped()) return;
+  if (u >= active_target_ && user_active_[u]) {
+    // Elastic shrink: this session leaves at the cycle boundary.
+    user_active_[u] = false;
+    --started_users_;
+    return;
+  }
+  const double think = user_rngs_[u].exponential(config_.think_time_mean_s);
+  sim_.schedule(think, [this, u] { issue_page(u); });
+}
+
+void ClientFarm::issue_page(std::size_t u) {
+  if (stopped()) return;
+  auto req = std::make_shared<tier::Request>();
+  req->id = next_request_id_++;
+  workload_.sample_dynamic(*req, user_rngs_[u]);
+  req->sent_at = sim_.now();
+  ++pages_started_;
+  if (config_.trace_sample_rate > 0.0 &&
+      traced_.size() < kMaxTracedRequests &&
+      user_rngs_[u].bernoulli(config_.trace_sample_rate)) {
+    req->trace_enabled = true;
+    traced_.push_back(req);
+  }
+  tier::ApacheServer* apache = next_apache();
+  to_server_.send(req->request_bytes, [this, u, req, apache] {
+    apache->handle(req, [this, u, req] {
+      req->completed_at = sim_.now();
+      if (req->completed_at >= measure_start() &&
+          req->completed_at < measure_end()) {
+        rts_.add(req->completed_at - req->sent_at);
+        completion_times_.push_back(req->completed_at);
+      }
+      issue_static(u, RubbosWorkload::kStaticsPerPage);
+    });
+  });
+}
+
+void ClientFarm::issue_static(std::size_t u, int remaining) {
+  if (remaining <= 0 || stopped()) {
+    think_then_browse(u);
+    return;
+  }
+  auto req = std::make_shared<tier::Request>();
+  req->id = next_request_id_++;
+  workload_.sample_static(*req, user_rngs_[u]);
+  req->sent_at = sim_.now();
+  tier::ApacheServer* apache = next_apache();
+  to_server_.send(req->request_bytes, [this, u, remaining, apache, req] {
+    apache->handle(req, [this, u, remaining](/*responded*/) {
+      issue_static(u, remaining - 1);
+    });
+  });
+}
+
+tier::ApacheServer* ClientFarm::next_apache() {
+  tier::ApacheServer* a = apaches_[next_apache_];
+  next_apache_ = (next_apache_ + 1) % apaches_.size();
+  return a;
+}
+
+double ClientFarm::window_throughput() const {
+  return static_cast<double>(rts_.count()) / config_.runtime_s;
+}
+
+double ClientFarm::goodput(double threshold_s) const {
+  return static_cast<double>(rts_.count_at_or_below(threshold_s)) /
+         config_.runtime_s;
+}
+
+}  // namespace softres::workload

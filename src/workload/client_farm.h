@@ -1,0 +1,128 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/link.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+#include "tier/apache.h"
+#include "workload/rubbos.h"
+
+namespace softres::workload {
+
+/// Closed-loop load generation parameters. The paper's trials are an 8 min
+/// ramp-up, 12 min runtime, 30 s ramp-down; the defaults here are compressed
+/// for iteration speed and widened by the experiment harness when
+/// SOFTRES_FULL is set.
+struct ClientConfig {
+  std::size_t users = 1000;
+  double think_time_mean_s = 7.0;
+  double ramp_up_s = 30.0;
+  double runtime_s = 120.0;
+  double ramp_down_s = 5.0;
+  /// Aggregate user capacity of the client machines; beyond ~88 % of this the
+  /// FIN-reply latency model kicks in (see net::TcpConfig).
+  double users_capacity = 8000.0;
+  std::uint64_t seed = 42;
+  /// Fraction of dynamic requests traced tier-by-tier (Request::trace). The
+  /// farm retains at most kMaxTracedRequests of them.
+  double trace_sample_rate = 0.0;
+};
+
+/// One step of an elastic load profile: from `start` (absolute simulation
+/// time) onward, `active_users` sessions are active. Internet-scale workloads
+/// have peak load several times the steady state (paper, Section I); the
+/// schedule lets experiments replay such profiles.
+struct LoadPhase {
+  sim::SimTime start = 0.0;
+  std::size_t active_users = 0;
+};
+
+/// Emulated RUBBoS client farm: `users` independent closed-loop sessions,
+/// each cycling think -> dynamic page request -> 2 static requests. Response
+/// times of dynamic requests completed inside the measurement window are
+/// recorded for the SLA goodput analysis.
+class ClientFarm {
+ public:
+  ClientFarm(sim::Simulator& sim, const RubbosWorkload& workload,
+             ClientConfig config, hw::Link& to_server);
+
+  /// Register the web server(s) requests go to; at least one must be added
+  /// before start(). Multiple servers are used round-robin (DNS balancing).
+  void add_target(tier::ApacheServer& apache) { apaches_.push_back(&apache); }
+
+  /// Replace the default fixed-population behaviour with an elastic load
+  /// profile. Phase populations must not exceed `config.users` (the slot
+  /// pool). Call before start().
+  void set_load_schedule(std::vector<LoadPhase> schedule);
+
+  /// Activate the users, staggered across the ramp-up period (fixed
+  /// population) or according to the load schedule (elastic).
+  void start();
+
+  /// Sessions currently active (the elastic population).
+  std::size_t active_users() const { return started_users_; }
+
+  /// Started-user fraction of client capacity; drives the FIN-delay model.
+  double client_load() const;
+
+  sim::SimTime measure_start() const { return config_.ramp_up_s; }
+  sim::SimTime measure_end() const {
+    return config_.ramp_up_s + config_.runtime_s;
+  }
+  sim::SimTime total_duration() const {
+    return config_.ramp_up_s + config_.runtime_s + config_.ramp_down_s;
+  }
+
+  /// Dynamic-request response times completed inside the window.
+  const sim::SampleSet& response_times() const { return rts_; }
+  const std::vector<sim::SimTime>& completion_times() const {
+    return completion_times_;
+  }
+
+  /// Interactions per second over the measurement window.
+  double window_throughput() const;
+  /// Interactions per second that met `threshold_s` (the paper's goodput).
+  double goodput(double threshold_s) const;
+
+  std::uint64_t pages_started() const { return pages_started_; }
+  const ClientConfig& config() const { return config_; }
+
+  /// Requests that carried tier-by-tier tracing (Fig 9 style analysis).
+  const std::vector<tier::RequestPtr>& traced_requests() const {
+    return traced_;
+  }
+  static constexpr std::size_t kMaxTracedRequests = 200;
+
+ private:
+  void start_user(std::size_t u);
+  void apply_target(std::size_t target);
+  void think_then_browse(std::size_t u);
+  void issue_page(std::size_t u);
+  void issue_static(std::size_t u, int remaining);
+  bool stopped() const;
+  tier::ApacheServer* next_apache();
+
+  sim::Simulator& sim_;
+  const RubbosWorkload& workload_;
+  ClientConfig config_;
+  hw::Link& to_server_;
+  std::vector<tier::ApacheServer*> apaches_;
+  std::size_t next_apache_ = 0;
+
+  std::vector<sim::Rng> user_rngs_;
+  std::vector<LoadPhase> schedule_;
+  std::vector<bool> user_active_;
+  std::size_t active_target_ = 0;
+  std::size_t started_users_ = 0;
+  std::uint64_t next_request_id_ = 1;
+  std::uint64_t pages_started_ = 0;
+
+  sim::SampleSet rts_;
+  std::vector<sim::SimTime> completion_times_;
+  std::vector<tier::RequestPtr> traced_;
+};
+
+}  // namespace softres::workload

@@ -1,0 +1,169 @@
+#include "exp/adaptive.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/config.h"
+#include "exp/testbed.h"
+#include "metrics/sla.h"
+
+namespace softres::exp {
+namespace {
+
+workload::ClientConfig quick_client(std::size_t users, double runtime = 60.0) {
+  workload::ClientConfig c;
+  c.users = users;
+  c.ramp_up_s = 5.0;
+  c.runtime_s = runtime;
+  c.ramp_down_s = 2.0;
+  return c;
+}
+
+TEST(ElasticLoadTest, ActiveUsersFollowSchedule) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  Testbed bed(cfg, quick_client(1000, 60.0));
+  bed.farm().set_load_schedule({{0.0, 200}, {20.0, 800}, {40.0, 300}});
+  bed.farm().start();
+  bed.simulator().run_until(10.0);
+  EXPECT_EQ(bed.farm().active_users(), 200u);
+  bed.simulator().run_until(25.0);
+  EXPECT_EQ(bed.farm().active_users(), 800u);
+  bed.simulator().run_until(65.0);
+  // Shrink is lazy (cycle boundaries) but must settle within think time.
+  EXPECT_LE(bed.farm().active_users(), 320u);
+  EXPECT_GE(bed.farm().active_users(), 250u);
+}
+
+TEST(ElasticLoadTest, ScheduleStartsWithRun) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  Testbed bed(cfg, quick_client(600, 40.0));
+  bed.farm().set_load_schedule({{0.0, 300}, {20.0, 600}});
+  bed.run();
+  EXPECT_GT(bed.farm().response_times().count(), 100u);
+  EXPECT_EQ(bed.farm().active_users(), 600u);
+}
+
+TEST(ElasticLoadTest, EmptyScheduleKeepsLegacyBehaviour) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  Testbed bed(cfg, quick_client(400, 30.0));
+  bed.run();
+  EXPECT_EQ(bed.farm().active_users(), 400u);
+}
+
+TEST(ElasticLoadTest, ThroughputTracksPopulation) {
+  // Double the active population below saturation -> ~double throughput.
+  TestbedConfig cfg = TestbedConfig::defaults();
+  Testbed bed(cfg, quick_client(1200, 120.0));
+  bed.farm().set_load_schedule({{0.0, 500}, {65.0, 1000}});
+  bed.run();
+  const auto& times = bed.farm().completion_times();
+  std::size_t first_half = 0, second_half = 0;
+  for (double t : times) {
+    // Measurement window is [5, 125); phase flips at 65.
+    if (t < 60.0) {
+      ++first_half;
+    } else if (t >= 70.0) {
+      ++second_half;
+    }
+  }
+  const double rate1 = static_cast<double>(first_half) / 55.0;
+  const double rate2 = static_cast<double>(second_half) / 55.0;
+  EXPECT_NEAR(rate2 / rate1, 2.0, 0.3);
+}
+
+TEST(AdaptiveTunerTest, GrowsStarvedPool) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  cfg.soft = SoftConfig{200, 4, 20};  // starved Tomcat threads
+  // 5000 users demand ~660 req/s; Little gives L ~ 7+ per Tomcat, well above
+  // the 4 configured threads, so the controller must grow the pool.
+  Testbed bed(cfg, quick_client(5000, 90.0));
+  AdaptiveTuner tuner(bed);
+  tuner.start();
+  bed.run();
+  EXPECT_GT(bed.tomcats()[0]->thread_pool().capacity(), 4u);
+  EXPECT_FALSE(tuner.actions().empty());
+}
+
+TEST(AdaptiveTunerTest, ShrinksIdlePool) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  cfg.soft = SoftConfig{400, 200, 200};  // wildly over-allocated
+  Testbed bed(cfg, quick_client(1500, 90.0));
+  AdaptiveTuner tuner(bed);
+  tuner.start();
+  bed.run();
+  EXPECT_LT(bed.tomcats()[0]->thread_pool().capacity(), 200u);
+  EXPECT_LT(bed.tomcats()[0]->connection_pool().capacity(), 200u);
+}
+
+TEST(AdaptiveTunerTest, RespectsBounds) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  cfg.soft = SoftConfig{400, 200, 200};
+  Testbed bed(cfg, quick_client(300, 90.0));  // nearly idle system
+  AdaptiveConfig acfg;
+  acfg.min_pool = 8;
+  acfg.max_pool = 64;
+  AdaptiveTuner tuner(bed, acfg);
+  tuner.start();
+  bed.run();
+  for (const auto& t : bed.tomcats()) {
+    EXPECT_GE(t->thread_pool().capacity(), 8u);
+    EXPECT_LE(t->thread_pool().capacity(), 64u);
+  }
+  for (const auto& a : tuner.actions()) {
+    EXPECT_GE(a.to, 8u);
+    EXPECT_LE(a.to, 64u);
+  }
+}
+
+TEST(AdaptiveTunerTest, SyncsJvmLiveThreads) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  cfg.soft = SoftConfig{400, 200, 200};
+  Testbed bed(cfg, quick_client(1500, 90.0));
+  AdaptiveTuner tuner(bed);
+  tuner.start();
+  bed.run();
+  for (const auto& t : bed.tomcats()) {
+    EXPECT_EQ(t->jvm().live_threads(),
+              t->thread_pool().capacity() + t->connection_pool().capacity());
+  }
+  std::size_t conns = 0;
+  for (const auto& t : bed.tomcats()) conns += t->connection_pool().capacity();
+  EXPECT_EQ(bed.cjdbcs()[0]->jvm().live_threads(), conns);
+}
+
+TEST(AdaptiveTunerTest, DeadbandSuppressesChurn) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  cfg.soft = SoftConfig{100, 20, 20};
+  Testbed bed(cfg, quick_client(1500, 120.0));
+  AdaptiveConfig acfg;
+  acfg.deadband = 10.0;  // effectively freeze
+  AdaptiveTuner tuner(bed, acfg);
+  tuner.start();
+  bed.run();
+  EXPECT_TRUE(tuner.actions().empty());
+  EXPECT_EQ(bed.tomcats()[0]->thread_pool().capacity(), 20u);
+}
+
+TEST(AdaptiveTunerTest, ImprovesOverAllocatedElasticRun) {
+  // On a bursty profile, adapting from a liberal start must not lose to
+  // staying liberal.
+  auto run_once = [](bool adaptive) {
+    TestbedConfig cfg = TestbedConfig::defaults();
+    cfg.hw = HardwareConfig{1, 4, 1, 4};
+    cfg.soft = SoftConfig{400, 200, 200};
+    workload::ClientConfig client = quick_client(7000, 150.0);
+    Testbed bed(cfg, client);
+    bed.farm().set_load_schedule({{0.0, 2500}, {60.0, 7000}, {110.0, 4000}});
+    AdaptiveTuner tuner(bed);
+    if (adaptive) tuner.start();
+    bed.run();
+    return metrics::SlaModel(1.0)
+        .split(bed.farm().response_times(), client.runtime_s)
+        .goodput;
+  };
+  const double static_goodput = run_once(false);
+  const double adaptive_goodput = run_once(true);
+  EXPECT_GT(adaptive_goodput, static_goodput * 1.02);
+}
+
+}  // namespace
+}  // namespace softres::exp

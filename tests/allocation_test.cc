@@ -1,0 +1,240 @@
+#include "core/allocation.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace softres::core {
+namespace {
+
+// Analytic stand-in for a testbed: a closed interactive system whose app tier
+// saturates at `hw_cap` req/s, with soft limits from the allocation. Lets the
+// algorithm be tested exactly and instantly.
+class ModelRunner final : public ExperimentRunner {
+ public:
+  double think_s = 7.0;
+  double hw_cap = 800.0;        // app-tier hardware ceiling (2 servers)
+  double base_rt = 0.030;       // app residence at low load
+  double cjdbc_rt = 0.004;
+  double req_ratio = 2.7;
+  int app_servers = 2;
+
+  Observation run(const Allocation& alloc, std::size_t workload) override {
+    Observation obs;
+    obs.workload = workload;
+    obs.req_ratio = req_ratio;
+    // Soft ceiling: per-server threads bound concurrency; the tier can push
+    // at most total_threads / base_rt through.
+    const double soft_cap =
+        static_cast<double>(alloc.app_threads * app_servers) / base_rt;
+    const double demand = static_cast<double>(workload) / (think_s + base_rt);
+    const double tp = std::min({demand, hw_cap, soft_cap});
+    obs.throughput = tp;
+    // Satisfaction degrades once demand exceeds capacity.
+    const double overload = demand / std::max(1.0, std::min(hw_cap, soft_cap));
+    obs.slo_satisfaction = overload <= 1.0 ? 1.0 : std::max(0.0, 2.0 - overload);
+    obs.goodput = tp * obs.slo_satisfaction;
+
+    const bool hw_saturated = demand >= hw_cap && soft_cap >= hw_cap;
+    const bool soft_saturated = demand >= soft_cap && soft_cap < hw_cap;
+    // Residence inflates once saturated (queueing).
+    const double rt = base_rt * (overload > 1.0 ? overload : 1.0);
+
+    obs.hardware = {
+        {"apache0.cpu", 30.0, false},
+        {"tomcat0.cpu", 100.0 * tp / hw_cap, hw_saturated},
+        {"tomcat1.cpu", 100.0 * tp / hw_cap, hw_saturated},
+        {"cjdbc0.cpu", 50.0, false},
+        {"mysql0.cpu", 40.0, false},
+    };
+    obs.soft = {
+        {"tomcat0.threads", alloc.app_threads, soft_saturated ? 100.0 : 50.0,
+         soft_saturated},
+        {"apache0.workers", alloc.web_threads, 40.0, false},
+    };
+    const double app_tp = tp / app_servers;
+    obs.servers = {
+        {Tier::kWeb, "apache0", tp * 3.0, 0.012, tp * 3.0 * 0.012},
+        {Tier::kApp, "tomcat0", app_tp, rt, app_tp * rt},
+        {Tier::kApp, "tomcat1", app_tp, rt, app_tp * rt},
+        {Tier::kMiddleware, "cjdbc0", tp * req_ratio, cjdbc_rt,
+         tp * req_ratio * cjdbc_rt},
+        {Tier::kDb, "mysql0", tp * req_ratio, 0.002, tp * req_ratio * 0.002},
+    };
+    return obs;
+  }
+};
+
+AlgorithmConfig quick_config() {
+  AlgorithmConfig cfg;
+  cfg.initial = {100, 25, 25};
+  cfg.start_workload = 1000;
+  cfg.workload_step = 1000;
+  cfg.small_step = 500;
+  cfg.max_runs = 50;
+  return cfg;
+}
+
+TEST(FindCriticalResourceTest, ExposesHardwareBottleneck) {
+  ModelRunner runner;
+  AllocationAlgorithm alg(runner, quick_config());
+  const CriticalResourceResult crit = alg.find_critical_resource();
+  EXPECT_EQ(crit.status, AlgorithmStatus::kOk);
+  EXPECT_EQ(crit.critical_resource, "tomcat0.cpu");
+  EXPECT_EQ(crit.critical_server, "tomcat0");
+  EXPECT_EQ(crit.critical_tier, Tier::kApp);
+  EXPECT_FALSE(crit.trace.empty());
+}
+
+TEST(FindCriticalResourceTest, DoublesAllocationOnSoftSaturation) {
+  ModelRunner runner;
+  AlgorithmConfig cfg = quick_config();
+  // Start with a pool so small it soft-saturates well before hardware:
+  // 2 threads x 2 servers / 0.030 s = 133 req/s << 800 req/s.
+  cfg.initial = {100, 2, 2};
+  AllocationAlgorithm alg(runner, cfg);
+  const CriticalResourceResult crit = alg.find_critical_resource();
+  EXPECT_EQ(crit.status, AlgorithmStatus::kOk);
+  // Doubling 2 -> 4 -> 8 -> 16: 16*2/0.03 = 1066 > 800 exposes hardware.
+  EXPECT_GE(crit.reserve.app_threads, 16u);
+  EXPECT_EQ(crit.critical_resource, "tomcat0.cpu");
+}
+
+TEST(FindCriticalResourceTest, ReportsNoBottleneckWhenUndetectable) {
+  ModelRunner runner;
+  // Make the model saturate without ever flagging a resource.
+  class Hidden final : public ExperimentRunner {
+   public:
+    ModelRunner inner;
+    Observation run(const Allocation& a, std::size_t w) override {
+      Observation obs = inner.run(a, w);
+      for (auto& h : obs.hardware) h.saturated = false;
+      for (auto& s : obs.soft) s.saturated = false;
+      return obs;
+    }
+  } hidden;
+  AllocationAlgorithm alg(hidden, quick_config());
+  const CriticalResourceResult crit = alg.find_critical_resource();
+  EXPECT_EQ(crit.status, AlgorithmStatus::kNoBottleneckFound);
+}
+
+TEST(FindCriticalResourceTest, BudgetBound) {
+  ModelRunner runner;
+  AlgorithmConfig cfg = quick_config();
+  cfg.max_runs = 2;  // not enough to reach saturation
+  cfg.workload_step = 100;
+  AllocationAlgorithm alg(runner, cfg);
+  const CriticalResourceResult crit = alg.find_critical_resource();
+  EXPECT_EQ(crit.status, AlgorithmStatus::kBudgetExhausted);
+}
+
+TEST(InferMinJobsTest, LittleLawAtSaturation) {
+  ModelRunner runner;
+  AllocationAlgorithm alg(runner, quick_config());
+  const CriticalResourceResult crit = alg.find_critical_resource();
+  const MinJobsResult jobs = alg.infer_min_concurrent_jobs(crit);
+  ASSERT_EQ(jobs.status, AlgorithmStatus::kOk);
+  // Expected minjobs ~ per-server TP (400) x base RT (0.030) = 12.
+  EXPECT_NEAR(static_cast<double>(jobs.min_jobs), 12.0, 3.0);
+  // Saturation close to N* = hw_cap * (Z + R) ~ 800 * 7.03 = 5624.
+  EXPECT_NEAR(static_cast<double>(jobs.saturation_workload), 5624.0, 1000.0);
+  EXPECT_GT(jobs.saturation_throughput, 0.0);
+}
+
+TEST(InferMinJobsTest, PropagatesFailure) {
+  ModelRunner runner;
+  AllocationAlgorithm alg(runner, quick_config());
+  CriticalResourceResult crit;
+  crit.status = AlgorithmStatus::kNoBottleneckFound;
+  const MinJobsResult jobs = alg.infer_min_concurrent_jobs(crit);
+  EXPECT_EQ(jobs.status, AlgorithmStatus::kNoBottleneckFound);
+}
+
+TEST(CalculateMinAllocationTest, AppCriticalSetsBothPools) {
+  ModelRunner runner;
+  AllocationAlgorithm alg(runner, quick_config());
+  const AllocationReport report = alg.run();
+  ASSERT_EQ(report.status, AlgorithmStatus::kOk);
+  EXPECT_EQ(report.recommended.app_threads, report.min_jobs.min_jobs);
+  EXPECT_EQ(report.recommended.app_connections, report.min_jobs.min_jobs);
+  EXPECT_GT(report.recommended.web_threads, 0u);
+  EXPECT_EQ(report.rows.size(), 4u);  // one per tier
+  // Rows carry the operational data of Table I.
+  for (const auto& row : report.rows) {
+    EXPECT_GT(row.throughput, 0.0);
+    EXPECT_GT(row.rtt_s, 0.0);
+    EXPECT_GT(row.pool_per_server, 0u);
+  }
+}
+
+TEST(CalculateMinAllocationTest, FrontTierUsesFormula3) {
+  ModelRunner runner;
+  AllocationAlgorithm alg(runner, quick_config());
+  const AllocationReport report = alg.run();
+  ASSERT_EQ(report.status, AlgorithmStatus::kOk);
+  const TierRow* web = nullptr;
+  const TierRow* app = nullptr;
+  for (const auto& row : report.rows) {
+    if (row.tier == Tier::kWeb) web = &row;
+    if (row.tier == Tier::kApp) app = &row;
+  }
+  ASSERT_NE(web, nullptr);
+  ASSERT_NE(app, nullptr);
+  // web pool >= its own measured L (Little's law at saturation).
+  EXPECT_GE(static_cast<double>(web->pool_total) + 1.0, web->avg_jobs * 0.8);
+}
+
+TEST(CalculateMinAllocationTest, MiddlewareCriticalSizesConnections) {
+  // Flip the model so the middleware saturates first.
+  class CmCritical final : public ExperimentRunner {
+   public:
+    ModelRunner inner;
+    Observation run(const Allocation& a, std::size_t w) override {
+      Observation obs = inner.run(a, w);
+      // Rebadge the saturating resource as the middleware CPU.
+      const double app_util = obs.hardware[1].util_pct;
+      const bool app_saturated = obs.hardware[1].saturated;
+      for (auto& h : obs.hardware) {
+        if (h.name == "cjdbc0.cpu") {
+          h.util_pct = app_util;
+          h.saturated = app_saturated;
+        }
+        if (h.name.rfind("tomcat", 0) == 0) h.saturated = false;
+      }
+      return obs;
+    }
+  } runner;
+  AllocationAlgorithm alg(runner, quick_config());
+  const AllocationReport report = alg.run();
+  ASSERT_EQ(report.status, AlgorithmStatus::kOk);
+  EXPECT_EQ(report.critical.critical_tier, Tier::kMiddleware);
+  // Connections jointly provide the middleware concurrency: total conns =
+  // minjobs (1 middleware server) spread over 2 app servers.
+  const std::size_t expect_per_app = static_cast<std::size_t>(std::ceil(
+      static_cast<double>(report.min_jobs.min_jobs) / 2.0));
+  EXPECT_EQ(report.recommended.app_connections, expect_per_app);
+}
+
+TEST(AllocationAlgorithmTest, CountsExperiments) {
+  ModelRunner runner;
+  AllocationAlgorithm alg(runner, quick_config());
+  const AllocationReport report = alg.run();
+  EXPECT_GT(report.experiments_run, 5u);
+  EXPECT_LE(report.experiments_run, 50u);
+  EXPECT_EQ(report.experiments_run, alg.experiments_run());
+}
+
+TEST(AllocationAlgorithmTest, StatusStrings) {
+  EXPECT_STREQ(to_string(AlgorithmStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(AlgorithmStatus::kNoBottleneckFound),
+               "no-bottleneck-found");
+  EXPECT_STREQ(to_string(AlgorithmStatus::kMultiBottleneck),
+               "multi-bottleneck");
+  EXPECT_STREQ(to_string(AlgorithmStatus::kBudgetExhausted),
+               "budget-exhausted");
+}
+
+}  // namespace
+}  // namespace softres::core

@@ -1,0 +1,119 @@
+#include "core/bottleneck.h"
+
+#include <gtest/gtest.h>
+
+namespace softres::core {
+namespace {
+
+Observation base_obs() {
+  Observation obs;
+  obs.servers = {
+      {Tier::kWeb, "apache0", 2400.0, 0.02, 48.0},
+      {Tier::kApp, "tomcat0", 400.0, 0.03, 12.0},
+      {Tier::kApp, "tomcat1", 400.0, 0.03, 12.0},
+      {Tier::kMiddleware, "cjdbc0", 2100.0, 0.004, 8.0},
+      {Tier::kDb, "mysql0", 1050.0, 0.002, 2.0},
+  };
+  obs.hardware = {
+      {"apache0.cpu", 30.0, false},
+      {"tomcat0.cpu", 80.0, false},
+      {"tomcat1.cpu", 80.0, false},
+      {"cjdbc0.cpu", 60.0, false},
+      {"mysql0.cpu", 50.0, false},
+  };
+  obs.soft = {
+      {"apache0.workers", 400, 40.0, false},
+      {"tomcat0.threads", 15, 60.0, false},
+      {"tomcat0.dbconns", 6, 30.0, false},
+  };
+  return obs;
+}
+
+TEST(BottleneckTest, NothingSaturated) {
+  const BottleneckReport r = detect_bottleneck(base_obs());
+  EXPECT_EQ(r.kind, BottleneckKind::kNone);
+  EXPECT_TRUE(r.hardware.empty());
+  EXPECT_TRUE(r.soft.empty());
+  EXPECT_TRUE(r.critical.empty());
+}
+
+TEST(BottleneckTest, SingleHardwareBottleneck) {
+  Observation obs = base_obs();
+  obs.hardware[1].saturated = true;  // tomcat0.cpu
+  const BottleneckReport r = detect_bottleneck(obs);
+  EXPECT_EQ(r.kind, BottleneckKind::kHardware);
+  EXPECT_EQ(r.critical, "tomcat0.cpu");
+}
+
+TEST(BottleneckTest, SymmetricReplicasAreOneBottleneck) {
+  // Both Tomcats saturate together in 1/2/1/2: still a single logical
+  // bottleneck (same tier), not a multi-bottleneck.
+  Observation obs = base_obs();
+  obs.hardware[1].saturated = true;
+  obs.hardware[2].saturated = true;
+  const BottleneckReport r = detect_bottleneck(obs);
+  EXPECT_EQ(r.kind, BottleneckKind::kHardware);
+  EXPECT_EQ(r.hardware.size(), 2u);
+  EXPECT_EQ(r.critical, "tomcat0.cpu");
+}
+
+TEST(BottleneckTest, CrossTierSaturationIsMulti) {
+  Observation obs = base_obs();
+  obs.hardware[1].saturated = true;  // tomcat0.cpu (app)
+  obs.hardware[3].saturated = true;  // cjdbc0.cpu (middleware)
+  const BottleneckReport r = detect_bottleneck(obs);
+  EXPECT_EQ(r.kind, BottleneckKind::kMulti);
+}
+
+TEST(BottleneckTest, SoftOnlyIsHiddenBottleneck) {
+  // The Section III-A case: pool pegged, all hardware idle.
+  Observation obs = base_obs();
+  obs.soft[1].saturated = true;  // tomcat0.threads
+  const BottleneckReport r = detect_bottleneck(obs);
+  EXPECT_EQ(r.kind, BottleneckKind::kSoft);
+  EXPECT_EQ(r.soft, std::vector<std::string>{"tomcat0.threads"});
+  EXPECT_TRUE(r.critical.empty());
+}
+
+TEST(BottleneckTest, HardwareTakesPriorityOverSoft) {
+  // Near saturation pools often peg alongside the CPU; the hardware
+  // bottleneck is the critical one.
+  Observation obs = base_obs();
+  obs.hardware[1].saturated = true;
+  obs.soft[1].saturated = true;
+  const BottleneckReport r = detect_bottleneck(obs);
+  EXPECT_EQ(r.kind, BottleneckKind::kHardware);
+  EXPECT_EQ(r.critical, "tomcat0.cpu");
+  EXPECT_EQ(r.soft.size(), 1u);  // still reported
+}
+
+TEST(ObservationTest, Helpers) {
+  Observation obs = base_obs();
+  EXPECT_FALSE(obs.any_hardware_saturated());
+  EXPECT_FALSE(obs.any_soft_saturated());
+  obs.hardware[0].saturated = true;
+  obs.soft[0].saturated = true;
+  EXPECT_TRUE(obs.any_hardware_saturated());
+  EXPECT_TRUE(obs.any_soft_saturated());
+  EXPECT_NE(obs.find_server("tomcat1"), nullptr);
+  EXPECT_EQ(obs.find_server("tomcat9"), nullptr);
+}
+
+TEST(AllocationTest, DoubledAndToString) {
+  Allocation a{100, 25, 25};
+  const Allocation d = a.doubled();
+  EXPECT_EQ(d.web_threads, 200u);
+  EXPECT_EQ(d.app_threads, 50u);
+  EXPECT_EQ(d.app_connections, 50u);
+  EXPECT_EQ(a.to_string(), "100-25-25");
+}
+
+TEST(TierTest, Names) {
+  EXPECT_STREQ(tier_name(Tier::kWeb), "web");
+  EXPECT_STREQ(tier_name(Tier::kApp), "app");
+  EXPECT_STREQ(tier_name(Tier::kMiddleware), "middleware");
+  EXPECT_STREQ(tier_name(Tier::kDb), "db");
+}
+
+}  // namespace
+}  // namespace softres::core

@@ -1,0 +1,124 @@
+// Calibration pins: the simulated testbed must keep reproducing the paper's
+// qualitative results (DESIGN.md §5). These run at full scale but with the
+// compressed trial schedule, so the suite stays in tens of seconds.
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.h"
+#include "exp/runner_adapter.h"
+#include "core/bottleneck.h"
+
+namespace softres::exp {
+namespace {
+
+ExperimentOptions opts() {
+  ExperimentOptions o;
+  o.client.ramp_up_s = 20.0;
+  o.client.runtime_s = 60.0;
+  o.client.ramp_down_s = 3.0;
+  return o;
+}
+
+Experiment make(const char* hw) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  cfg.hw = HardwareConfig::parse(hw);
+  return Experiment(cfg, opts());
+}
+
+TEST(CalibrationTest, TomcatCpuCriticalOn1212) {
+  Experiment e = make("1/2/1/2");
+  const RunResult r = e.run(SoftConfig{400, 15, 60}, 6200);
+  const CpuStat* tomcat = r.find_cpu("tomcat0.cpu");
+  const CpuStat* cjdbc = r.find_cpu("cjdbc0.cpu");
+  ASSERT_NE(tomcat, nullptr);
+  ASSERT_NE(cjdbc, nullptr);
+  EXPECT_GT(tomcat->util_pct, 95.0);
+  EXPECT_LT(cjdbc->util_pct, 95.0);
+  // Peak throughput in the paper's range (hundreds of req/s).
+  EXPECT_GT(r.throughput, 600.0);
+  EXPECT_LT(r.throughput, 1100.0);
+}
+
+TEST(CalibrationTest, CjdbcCpuCriticalOn1414) {
+  Experiment e = make("1/4/1/4");
+  const RunResult r = e.run(SoftConfig{400, 15, 20}, 7400);
+  const CpuStat* cjdbc = r.find_cpu("cjdbc0.cpu");
+  ASSERT_NE(cjdbc, nullptr);
+  EXPECT_GT(cjdbc->util_pct, 95.0);
+  for (int i = 0; i < 4; ++i) {
+    const CpuStat* t = r.find_cpu("tomcat" + std::to_string(i) + ".cpu");
+    ASSERT_NE(t, nullptr);
+    EXPECT_LT(t->util_pct, 95.0);
+  }
+}
+
+TEST(CalibrationTest, UnderAllocationHidesBottleneckFromHardware) {
+  // Section III-A: 6 threads per Tomcat caps goodput with all hardware idle.
+  Experiment e = make("1/2/1/2");
+  const RunResult r = e.run(SoftConfig{400, 6, 60}, 6200);
+  EXPECT_TRUE(r.saturated_hardware().empty());
+  EXPECT_FALSE(r.saturated_soft().empty());
+  // And a larger pool does better at the same workload.
+  const RunResult better = e.run(SoftConfig{400, 15, 60}, 6200);
+  EXPECT_GT(better.goodput(1.0), r.goodput(1.0) * 1.15);
+}
+
+TEST(CalibrationTest, OverAllocationGcCollapseOn1414) {
+  // Section III-B: 200 connections/Tomcat explode middleware GC time versus
+  // 10 connections, and goodput drops.
+  Experiment e = make("1/4/1/4");
+  const RunResult small = e.run(SoftConfig{400, 200, 10}, 7200);
+  const RunResult big = e.run(SoftConfig{400, 200, 200}, 7200);
+  EXPECT_GT(big.cjdbc_gc_seconds, small.cjdbc_gc_seconds * 5.0);
+  EXPECT_GT(small.goodput(2.0), big.goodput(2.0) * 1.2);
+}
+
+TEST(CalibrationTest, BufferingEffectOn1414) {
+  // Section III-C: a 30-thread Apache collapses at high workload and the
+  // *back-end* CPU utilization drops; 400 threads keep pushing work down.
+  Experiment e = make("1/4/1/4");
+  const RunResult small_mid = e.run(SoftConfig{30, 6, 20}, 6600);
+  const RunResult small_high = e.run(SoftConfig{30, 6, 20}, 7800);
+  const RunResult big_high = e.run(SoftConfig{400, 6, 20}, 7800);
+  // Non-monotone C-JDBC CPU for the small pool.
+  EXPECT_LT(small_high.find_cpu("cjdbc0.cpu")->util_pct,
+            small_mid.find_cpu("cjdbc0.cpu")->util_pct - 5.0);
+  // The large pool sustains much higher goodput at 7800.
+  EXPECT_GT(big_high.goodput(2.0), small_high.goodput(2.0) * 1.5);
+}
+
+TEST(CalibrationTest, MultiBottleneckDetectedAcrossTiers) {
+  // The paper's excluded case [9]: with inflated per-query DB demand the app
+  // and database tiers saturate together, and the detector must classify the
+  // observation as a multi-bottleneck rather than pick a single tier.
+  TestbedConfig cfg = TestbedConfig::defaults();
+  cfg.hw = HardwareConfig::parse("1/2/1/2");
+  // Lift MySQL demand so its capacity (~1/(D * Req_ratio/2 servers)) lands
+  // at the Tomcat tier's ~780 req/s.
+  cfg.demands.mysql_per_query_s = 0.00078;
+  ExperimentOptions o = opts();
+  Experiment e(cfg, o);
+  const RunResult r = e.run(SoftConfig{400, 30, 60}, 6800);
+  bool app_saturated = false, db_saturated = false;
+  for (const auto& c : r.cpus) {
+    if (c.name.rfind("tomcat", 0) == 0 && c.saturated) app_saturated = true;
+    if (c.name.rfind("mysql", 0) == 0 && c.saturated) db_saturated = true;
+  }
+  EXPECT_TRUE(app_saturated);
+  EXPECT_TRUE(db_saturated);
+  const core::BottleneckReport report = core::detect_bottleneck(
+      RunnerAdapter::to_observation(r, 1.0));
+  EXPECT_EQ(report.kind, core::BottleneckKind::kMulti);
+}
+
+TEST(CalibrationTest, InteractiveLawHoldsBelowSaturation) {
+  // Below the knee the closed-loop identity N = X (R + Z) must hold.
+  Experiment e = make("1/2/1/2");
+  const RunResult r = e.run(SoftConfig{400, 15, 60}, 3000);
+  const double n = r.throughput *
+                   (r.response_times.mean() + 7.0 /* think time */);
+  EXPECT_NEAR(n, 3000.0, 150.0);
+}
+
+}  // namespace
+}  // namespace softres::exp

@@ -1,0 +1,67 @@
+#include "exp/config.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace softres::exp {
+namespace {
+
+TEST(HardwareConfigTest, ParsesPaperNotation) {
+  const HardwareConfig hw = HardwareConfig::parse("1/2/1/2");
+  EXPECT_EQ(hw.web, 1);
+  EXPECT_EQ(hw.app, 2);
+  EXPECT_EQ(hw.middleware, 1);
+  EXPECT_EQ(hw.db, 2);
+  EXPECT_EQ(hw.to_string(), "1/2/1/2");
+}
+
+TEST(HardwareConfigTest, RoundTrips) {
+  for (const char* text : {"1/2/1/2", "1/4/1/4", "2/8/2/8", "1/1/1/1"}) {
+    EXPECT_EQ(HardwareConfig::parse(text).to_string(), text);
+  }
+}
+
+TEST(HardwareConfigTest, RejectsMalformed) {
+  EXPECT_THROW(HardwareConfig::parse(""), std::invalid_argument);
+  EXPECT_THROW(HardwareConfig::parse("1/2/1"), std::invalid_argument);
+  EXPECT_THROW(HardwareConfig::parse("1/2/1/2/3"), std::invalid_argument);
+  EXPECT_THROW(HardwareConfig::parse("1/a/1/2"), std::invalid_argument);
+  EXPECT_THROW(HardwareConfig::parse("1//1/2"), std::invalid_argument);
+  EXPECT_THROW(HardwareConfig::parse("1/-2/1/2"), std::invalid_argument);
+  EXPECT_THROW(HardwareConfig::parse("0/2/1/2"), std::invalid_argument);
+}
+
+TEST(SoftConfigTest, ParsesPaperNotation) {
+  const SoftConfig s = SoftConfig::parse("400-15-6");
+  EXPECT_EQ(s.apache_threads, 400u);
+  EXPECT_EQ(s.tomcat_threads, 15u);
+  EXPECT_EQ(s.db_connections, 6u);
+  EXPECT_EQ(s.to_string(), "400-15-6");
+}
+
+TEST(SoftConfigTest, RejectsMalformed) {
+  EXPECT_THROW(SoftConfig::parse("400-15"), std::invalid_argument);
+  EXPECT_THROW(SoftConfig::parse("400-15-6-1"), std::invalid_argument);
+  EXPECT_THROW(SoftConfig::parse("x-15-6"), std::invalid_argument);
+  EXPECT_THROW(SoftConfig::parse("0-15-6"), std::invalid_argument);
+  EXPECT_THROW(SoftConfig::parse(""), std::invalid_argument);
+}
+
+TEST(SoftConfigTest, Equality) {
+  EXPECT_EQ(SoftConfig::parse("400-15-6"), (SoftConfig{400, 15, 6}));
+  EXPECT_NE(SoftConfig::parse("400-15-6"), (SoftConfig{400, 15, 7}));
+}
+
+TEST(TestbedConfigTest, DefaultsAreSane) {
+  const TestbedConfig cfg = TestbedConfig::defaults();
+  EXPECT_EQ(cfg.node.cores, 1u);
+  EXPECT_GT(cfg.tomcat_jvm.young_gen_mb, 0.0);
+  EXPECT_GT(cfg.cjdbc_jvm.young_gen_mb, 0.0);
+  EXPECT_GT(cfg.link_bandwidth_Bps, 1e8);
+  EXPECT_GT(cfg.tomcat_alloc_per_request_mb, 0.0);
+  EXPECT_GT(cfg.cjdbc_alloc_per_query_mb, 0.0);
+}
+
+}  // namespace
+}  // namespace softres::exp

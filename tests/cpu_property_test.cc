@@ -1,0 +1,118 @@
+// Parameterized property sweeps on the processor-sharing CPU model: the
+// invariants must hold for any (cores, jobs, demand-pattern) combination.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "hw/cpu.h"
+#include "sim/rng.h"
+#include "sim/simulator.h"
+
+namespace softres::hw {
+namespace {
+
+using Param = std::tuple<unsigned /*cores*/, int /*jobs*/, double /*mean*/>;
+
+class CpuPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CpuPropertyTest, WorkConservationAndMakespan) {
+  const auto& [cores, jobs, mean_demand] = GetParam();
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", cores);
+  sim::Rng rng(static_cast<std::uint64_t>(jobs) * 7919u + cores);
+
+  double total = 0.0;
+  double max_demand = 0.0;
+  int completed = 0;
+  for (int i = 0; i < jobs; ++i) {
+    const double d = rng.exponential(mean_demand) + 1e-6;
+    total += d;
+    max_demand = std::max(max_demand, d);
+    cpu.submit(d, [&] { ++completed; });
+  }
+  sim.run();
+
+  EXPECT_EQ(completed, jobs);
+  // Work conservation: exactly the submitted demand was executed.
+  EXPECT_NEAR(cpu.work_done(), total, 1e-6 * total + 1e-9);
+  // Makespan bounds: no faster than total/cores or the longest job; no
+  // slower than serial execution.
+  const double lower = std::max(total / cores, max_demand);
+  EXPECT_GE(sim.now() + 1e-9, lower);
+  EXPECT_LE(sim.now(), total + 1e-9);
+  EXPECT_EQ(cpu.jobs_completed(), static_cast<std::uint64_t>(jobs));
+}
+
+TEST_P(CpuPropertyTest, BusyTimeNeverExceedsCapacity) {
+  const auto& [cores, jobs, mean_demand] = GetParam();
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", cores);
+  sim::Rng rng(1234u + cores);
+  for (int i = 0; i < jobs; ++i) {
+    // Staggered arrivals.
+    const double at = rng.uniform(0.0, 1.0);
+    const double d = rng.exponential(mean_demand) + 1e-6;
+    sim.schedule(at, [&cpu, d] { cpu.submit(d, [] {}); });
+  }
+  sim.run();
+  EXPECT_LE(cpu.busy_core_seconds(),
+            static_cast<double>(cores) * sim.now() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CpuPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(1, 7, 64),
+                       ::testing::Values(0.001, 0.1)),
+    [](const auto& param_info) {
+      return "cores" + std::to_string(std::get<0>(param_info.param)) + "_jobs" +
+             std::to_string(std::get<1>(param_info.param)) + "_mean" +
+             std::to_string(static_cast<int>(std::get<2>(param_info.param) * 1000));
+    });
+
+// PS fairness: under continuous overload, two streams of equal-demand jobs
+// complete at equal rates regardless of submission interleaving.
+TEST(CpuFairnessTest, EqualStreamsProgressEqually) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  int done_a = 0, done_b = 0;
+  std::function<void()> feed_a = [&] {
+    cpu.submit(0.01, [&] {
+      ++done_a;
+      feed_a();
+    });
+  };
+  std::function<void()> feed_b = [&] {
+    cpu.submit(0.01, [&] {
+      ++done_b;
+      feed_b();
+    });
+  };
+  feed_a();
+  feed_b();
+  sim.run_until(10.0);
+  EXPECT_GT(done_a, 100);
+  EXPECT_NEAR(static_cast<double>(done_a), static_cast<double>(done_b),
+              2.0);
+}
+
+// Freeze interleaving: total freeze time equals the sum of disjoint freezes
+// and work resumes exactly where it stopped.
+TEST(CpuFreezeProperty, RepeatedFreezesAccumulate) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  double done_at = -1.0;
+  cpu.submit(1.0, [&] { done_at = sim.now(); });
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(0.1 + 0.3 * i, [&] { cpu.freeze(0.1); });
+  }
+  sim.run();
+  EXPECT_NEAR(cpu.freeze_core_seconds(), 0.5, 1e-9);
+  EXPECT_NEAR(done_at, 1.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace softres::hw

@@ -1,0 +1,206 @@
+#include "hw/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulator.h"
+
+namespace softres::hw {
+namespace {
+
+TEST(CpuTest, SingleJobTakesItsDemand) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  double done_at = -1.0;
+  cpu.submit(2.0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 2.0, 1e-9);
+  EXPECT_NEAR(cpu.work_done(), 2.0, 1e-9);
+  EXPECT_EQ(cpu.jobs_completed(), 1u);
+}
+
+TEST(CpuTest, ZeroDemandCompletesImmediately) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  bool done = false;
+  cpu.submit(0.0, [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(sim.now(), 0.0);
+}
+
+TEST(CpuTest, TwoEqualJobsShareProcessor) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  std::vector<double> done_times;
+  cpu.submit(1.0, [&] { done_times.push_back(sim.now()); });
+  cpu.submit(1.0, [&] { done_times.push_back(sim.now()); });
+  sim.run();
+  ASSERT_EQ(done_times.size(), 2u);
+  // Egalitarian PS: both progress at rate 1/2, both end at t=2.
+  EXPECT_NEAR(done_times[0], 2.0, 1e-9);
+  EXPECT_NEAR(done_times[1], 2.0, 1e-9);
+}
+
+TEST(CpuTest, ShortJobOvertakesLongJobUnderPs) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  double short_done = -1.0, long_done = -1.0;
+  cpu.submit(10.0, [&] { long_done = sim.now(); });
+  cpu.submit(1.0, [&] { short_done = sim.now(); });
+  sim.run();
+  // Short job: progresses at 1/2 -> done at 2.0. Long job: 1 unit done at
+  // t=2 (rate 1/2), then full rate: done at 2 + 9 = 11.
+  EXPECT_NEAR(short_done, 2.0, 1e-9);
+  EXPECT_NEAR(long_done, 11.0, 1e-9);
+}
+
+TEST(CpuTest, LateArrivalSharesRemainingWork) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  double first = -1.0, second = -1.0;
+  cpu.submit(2.0, [&] { first = sim.now(); });
+  sim.schedule(1.0, [&] { cpu.submit(2.0, [&] { second = sim.now(); }); });
+  sim.run();
+  // First job has 1.0 left at t=1; both share: first ends at t=3.
+  EXPECT_NEAR(first, 3.0, 1e-9);
+  // Second has 1.0 left at t=3, runs alone: ends at 4.
+  EXPECT_NEAR(second, 4.0, 1e-9);
+}
+
+TEST(CpuTest, MultiCoreRunsJobsInParallel) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 2);
+  std::vector<double> done;
+  for (int i = 0; i < 2; ++i) {
+    cpu.submit(3.0, [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  ASSERT_EQ(done.size(), 2u);
+  EXPECT_NEAR(done[0], 3.0, 1e-9);  // each gets a full core
+  EXPECT_NEAR(done[1], 3.0, 1e-9);
+}
+
+TEST(CpuTest, MultiCoreSharingBeyondCores) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 2);
+  std::vector<double> done;
+  for (int i = 0; i < 4; ++i) {
+    cpu.submit(1.0, [&] { done.push_back(sim.now()); });
+  }
+  sim.run();
+  // 4 jobs on 2 cores: per-job rate 1/2, all complete at t=2.
+  for (double t : done) EXPECT_NEAR(t, 2.0, 1e-9);
+}
+
+TEST(CpuTest, WorkConservation) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  const std::vector<double> demands = {0.5, 1.5, 0.25, 2.0, 0.75};
+  int completed = 0;
+  double expected = 0.0;
+  for (double d : demands) {
+    expected += d;
+    cpu.submit(d, [&] { ++completed; });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 5);
+  EXPECT_NEAR(cpu.work_done(), expected, 1e-9);
+  // Single core, always busy until all work done.
+  EXPECT_NEAR(sim.now(), expected, 1e-9);
+  EXPECT_NEAR(cpu.busy_core_seconds(), expected, 1e-9);
+}
+
+TEST(CpuTest, FreezeDelaysCompletionAndCountsBusy) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  double done_at = -1.0;
+  cpu.submit(1.0, [&] { done_at = sim.now(); });
+  sim.schedule(0.5, [&] { cpu.freeze(2.0); });
+  sim.run();
+  // 0.5 executed, then frozen [0.5, 2.5], then remaining 0.5.
+  EXPECT_NEAR(done_at, 3.0, 1e-9);
+  EXPECT_NEAR(cpu.freeze_core_seconds(), 2.0, 1e-9);
+  EXPECT_NEAR(cpu.busy_core_seconds(), 3.0, 1e-9);  // work + freeze
+  EXPECT_NEAR(cpu.work_done(), 1.0, 1e-9);
+}
+
+TEST(CpuTest, OverlappingFreezesExtend) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  double done_at = -1.0;
+  cpu.submit(1.0, [&] { done_at = sim.now(); });
+  sim.schedule(0.25, [&] { cpu.freeze(1.0); });   // frozen until 1.25
+  sim.schedule(0.75, [&] { cpu.freeze(1.0); });   // extends to 1.75
+  sim.schedule(1.0, [&] { cpu.freeze(0.1); });    // shorter: no effect
+  sim.run();
+  // Work: 0.25 before freeze, frozen [0.25, 1.75], 0.75 after.
+  EXPECT_NEAR(done_at, 2.5, 1e-9);
+  EXPECT_NEAR(cpu.freeze_core_seconds(), 1.5, 1e-9);
+}
+
+TEST(CpuTest, SubmitDuringFreezeWaits) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  double done_at = -1.0;
+  cpu.freeze(1.0);
+  cpu.submit(0.5, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done_at, 1.5, 1e-9);
+}
+
+TEST(CpuTest, InstantaneousUtilization) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 2);
+  EXPECT_EQ(cpu.instantaneous_utilization(), 0.0);
+  cpu.submit(10.0, [] {});
+  EXPECT_NEAR(cpu.instantaneous_utilization(), 0.5, 1e-12);
+  cpu.submit(10.0, [] {});
+  cpu.submit(10.0, [] {});
+  EXPECT_EQ(cpu.instantaneous_utilization(), 1.0);
+  cpu.freeze(1.0);
+  EXPECT_EQ(cpu.instantaneous_utilization(), 1.0);
+}
+
+TEST(CpuTest, CompletionCallbackCanResubmit) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  int chain = 0;
+  std::function<void()> again = [&] {
+    if (++chain < 5) cpu.submit(1.0, again);
+  };
+  cpu.submit(1.0, again);
+  sim.run();
+  EXPECT_EQ(chain, 5);
+  EXPECT_NEAR(sim.now(), 5.0, 1e-9);
+}
+
+TEST(CpuTest, ContextSwitchPenaltyInflatesDemand) {
+  sim::Simulator sim;
+  Cpu fast(sim, "fast", 1, 0.0);
+  Cpu slow(sim, "slow", 1, 0.1);
+  double fast_done = -1, slow_done = -1;
+  // Preload each CPU with 3 long jobs so the 4th sees a run queue.
+  for (int i = 0; i < 3; ++i) {
+    fast.submit(100.0, [] {});
+    slow.submit(100.0, [] {});
+  }
+  fast.submit(1.0, [&] { fast_done = sim.now(); });
+  slow.submit(1.0, [&] { slow_done = sim.now(); });
+  sim.run(100000);
+  EXPECT_GT(slow_done, fast_done);
+}
+
+TEST(CpuTest, FifoTieBreakForEqualFinish) {
+  sim::Simulator sim;
+  Cpu cpu(sim, "cpu", 1);
+  std::vector<int> order;
+  cpu.submit(1.0, [&] { order.push_back(0); });
+  cpu.submit(1.0, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+}
+
+}  // namespace
+}  // namespace softres::hw

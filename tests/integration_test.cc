@@ -1,0 +1,121 @@
+// Cross-module integration: the core algorithm driving the simulated testbed
+// through the RunnerAdapter, on a 10x-scaled-down deployment so the whole
+// loop stays fast.
+
+#include <gtest/gtest.h>
+
+#include "core/allocation.h"
+#include "exp/config.h"
+#include "exp/runner_adapter.h"
+
+namespace softres {
+namespace {
+
+// Scale demands up 10x so the testbed saturates around ~80 req/s / ~650
+// users, making each RunExperiment trial cheap.
+exp::TestbedConfig small_testbed(const char* hw) {
+  exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+  cfg.hw = exp::HardwareConfig::parse(hw);
+  cfg.demands.tomcat_base_s *= 10.0;
+  cfg.demands.cjdbc_per_query_s *= 10.0;
+  cfg.demands.mysql_per_query_s *= 10.0;
+  cfg.demands.apache_dynamic_s *= 10.0;
+  cfg.demands.apache_static_s *= 10.0;
+  return cfg;
+}
+
+exp::ExperimentOptions quick_opts() {
+  exp::ExperimentOptions opts;
+  opts.client.ramp_up_s = 5.0;
+  opts.client.runtime_s = 25.0;
+  opts.client.ramp_down_s = 2.0;
+  opts.client.users_capacity = 1e9;  // keep FIN effects out of this test
+  return opts;
+}
+
+core::AlgorithmConfig quick_alg() {
+  core::AlgorithmConfig cfg;
+  cfg.initial = {40, 4, 4};
+  cfg.start_workload = 100;
+  cfg.workload_step = 150;
+  cfg.small_step = 75;
+  cfg.max_runs = 60;
+  return cfg;
+}
+
+TEST(IntegrationTest, AdapterTranslatesConfigs) {
+  const core::Allocation alloc{80, 12, 9};
+  const exp::SoftConfig soft = exp::RunnerAdapter::to_soft_config(alloc);
+  EXPECT_EQ(soft.apache_threads, 80u);
+  EXPECT_EQ(soft.tomcat_threads, 12u);
+  EXPECT_EQ(soft.db_connections, 9u);
+}
+
+TEST(IntegrationTest, AdapterProducesCompleteObservation) {
+  exp::Experiment e(small_testbed("1/2/1/2"), quick_opts());
+  exp::RunnerAdapter adapter(e, 1.0);
+  const core::Observation obs = adapter.run({50, 10, 10}, 200);
+  EXPECT_EQ(obs.workload, 200u);
+  EXPECT_GT(obs.throughput, 5.0);
+  EXPECT_GE(obs.slo_satisfaction, 0.0);
+  EXPECT_LE(obs.slo_satisfaction, 1.0);
+  EXPECT_EQ(obs.hardware.size(), 6u);
+  EXPECT_EQ(obs.servers.size(), 6u);
+  EXPECT_FALSE(obs.soft.empty());
+  // Tier labels assigned by name.
+  EXPECT_EQ(obs.find_server("apache0")->tier, core::Tier::kWeb);
+  EXPECT_EQ(obs.find_server("tomcat1")->tier, core::Tier::kApp);
+  EXPECT_EQ(obs.find_server("cjdbc0")->tier, core::Tier::kMiddleware);
+  EXPECT_EQ(obs.find_server("mysql0")->tier, core::Tier::kDb);
+  EXPECT_EQ(adapter.runs(), 1u);
+}
+
+TEST(IntegrationTest, AlgorithmFindsAppCpuOn1212) {
+  exp::Experiment e(small_testbed("1/2/1/2"), quick_opts());
+  exp::RunnerAdapter adapter(e, 1.0);
+  core::AllocationAlgorithm alg(adapter, quick_alg());
+  const core::AllocationReport report = alg.run();
+  ASSERT_EQ(report.status, core::AlgorithmStatus::kOk)
+      << core::to_string(report.status);
+  EXPECT_EQ(report.critical.critical_tier, core::Tier::kApp);
+  EXPECT_GT(report.min_jobs.min_jobs, 1u);
+  EXPECT_LT(report.min_jobs.min_jobs, 100u);
+  EXPECT_GT(report.recommended.app_threads, 0u);
+  EXPECT_GT(report.recommended.web_threads, 0u);
+  EXPECT_EQ(report.rows.size(), 4u);
+}
+
+TEST(IntegrationTest, AlgorithmFindsMiddlewareCpuOn1414) {
+  exp::Experiment e(small_testbed("1/4/1/4"), quick_opts());
+  exp::RunnerAdapter adapter(e, 1.0);
+  core::AllocationAlgorithm alg(adapter, quick_alg());
+  const core::AllocationReport report = alg.run();
+  ASSERT_EQ(report.status, core::AlgorithmStatus::kOk)
+      << core::to_string(report.status);
+  EXPECT_EQ(report.critical.critical_tier, core::Tier::kMiddleware);
+  // Middleware critical: connection pools jointly provide its concurrency.
+  EXPECT_GT(report.recommended.app_connections, 0u);
+}
+
+TEST(IntegrationTest, RecommendationOutperformsUnderAllocation) {
+  // The tuned allocation must beat a blatantly under-allocated one at the
+  // saturation workload.
+  exp::TestbedConfig cfg = small_testbed("1/2/1/2");
+  exp::Experiment e(cfg, quick_opts());
+  exp::RunnerAdapter adapter(e, 1.0);
+  core::AllocationAlgorithm alg(adapter, quick_alg());
+  const core::AllocationReport report = alg.run();
+  ASSERT_EQ(report.status, core::AlgorithmStatus::kOk);
+
+  const std::size_t wl = report.min_jobs.saturation_workload + 100;
+  const exp::RunResult tuned = e.run(
+      exp::RunnerAdapter::to_soft_config(report.recommended), wl);
+  exp::SoftConfig starved = exp::RunnerAdapter::to_soft_config(
+      report.recommended);
+  starved.tomcat_threads = 1;
+  const exp::RunResult bad = e.run(starved, wl);
+  EXPECT_GT(tuned.goodput(1.0), bad.goodput(1.0) * 1.1);
+}
+
+}  // namespace
+}  // namespace softres

@@ -1,0 +1,98 @@
+#include "core/intervention.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace softres::core {
+namespace {
+
+TEST(InterventionTest, FlatSeriesNoChange) {
+  const std::vector<double> s(10, 0.99);
+  const InterventionResult r = intervention_analysis(s);
+  EXPECT_FALSE(r.found);
+  EXPECT_EQ(r.last_stable_index, 9u);
+}
+
+TEST(InterventionTest, SharpDropDetected) {
+  // Stable at 1.0 through index 5, collapse after.
+  std::vector<double> s = {1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.6, 0.3, 0.1};
+  const InterventionResult r = intervention_analysis(s);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.change_index, 6u);
+  EXPECT_EQ(r.last_stable_index, 5u);
+}
+
+TEST(InterventionTest, SingleOutlierIgnoredWithConfirmations) {
+  std::vector<double> s = {1.0, 1.0, 1.0, 0.5, 1.0, 1.0, 1.0, 1.0};
+  InterventionConfig cfg;
+  cfg.confirmations = 2;
+  const InterventionResult r = intervention_analysis(s, cfg);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(InterventionTest, TrailingSinglePointCounts) {
+  // Series ends mid-deterioration: the tail still flags.
+  std::vector<double> s = {1.0, 1.0, 1.0, 1.0, 0.4};
+  const InterventionResult r = intervention_analysis(s);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.change_index, 4u);
+  EXPECT_EQ(r.last_stable_index, 3u);
+}
+
+TEST(InterventionTest, GradualDriftWithinBandNotFlagged) {
+  // Small noise around the baseline stays stable.
+  std::vector<double> s = {1.0, 0.999, 1.0, 0.998, 0.999, 0.997, 0.999};
+  const InterventionResult r = intervention_analysis(s);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(InterventionTest, MinDropGuardsAgainstTinySigma) {
+  // Baseline is perfectly constant (sigma = 0); only drops beyond min_drop
+  // count.
+  std::vector<double> s = {1.0, 1.0, 1.0, 0.995, 0.994, 0.95, 0.90};
+  InterventionConfig cfg;
+  cfg.min_drop = 0.02;
+  const InterventionResult r = intervention_analysis(s, cfg);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.change_index, 5u);
+}
+
+TEST(InterventionTest, NoisyBaselineWidensBand) {
+  // Baseline noise sigma ~0.1: a drop to 0.75 is within 3 sigma.
+  std::vector<double> s = {1.0, 0.8, 1.0, 0.8, 1.0, 0.8, 0.75, 0.76};
+  InterventionConfig cfg;
+  cfg.baseline_points = 6;
+  const InterventionResult r = intervention_analysis(s, cfg);
+  EXPECT_FALSE(r.found);
+}
+
+TEST(InterventionTest, ShortSeriesSafe) {
+  EXPECT_FALSE(intervention_analysis({}).found);
+  EXPECT_FALSE(intervention_analysis({1.0}).found);
+  EXPECT_EQ(intervention_analysis({1.0}).last_stable_index, 0u);
+}
+
+TEST(InterventionTest, RecoveryResetsRun) {
+  // Dip of length 1 then recovery then real change.
+  std::vector<double> s = {1.0, 1.0, 1.0, 0.5, 1.0, 1.0, 0.4, 0.3};
+  InterventionConfig cfg;
+  cfg.confirmations = 2;
+  const InterventionResult r = intervention_analysis(s, cfg);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.change_index, 6u);
+  EXPECT_EQ(r.last_stable_index, 5u);
+}
+
+TEST(InterventionTest, BaselineClampedToHalfSeries) {
+  // baseline_points larger than half the series must not swallow the change.
+  std::vector<double> s = {1.0, 1.0, 0.2, 0.1};
+  InterventionConfig cfg;
+  cfg.baseline_points = 100;
+  const InterventionResult r = intervention_analysis(s, cfg);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.change_index, 2u);
+}
+
+}  // namespace
+}  // namespace softres::core

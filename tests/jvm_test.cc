@@ -1,0 +1,136 @@
+#include "jvm/jvm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hw/cpu.h"
+#include "sim/simulator.h"
+
+namespace softres::jvm {
+namespace {
+
+JvmConfig small_heap() {
+  JvmConfig cfg;
+  cfg.young_gen_mb = 10.0;
+  cfg.pause_base_s = 0.01;
+  cfg.pause_per_thread_s = 0.001;
+  cfg.thread_exponent = 1.0;
+  cfg.full_gc_period = 4;
+  cfg.full_gc_multiplier = 3.0;
+  return cfg;
+}
+
+TEST(JvmTest, NoCollectionBelowYoungGen) {
+  sim::Simulator sim;
+  hw::Cpu cpu(sim, "c", 1);
+  Jvm jvm(sim, cpu, small_heap(), "j");
+  jvm.allocate(9.9);
+  EXPECT_EQ(jvm.collections(), 0u);
+  EXPECT_EQ(jvm.total_gc_seconds(), 0.0);
+}
+
+TEST(JvmTest, CollectionTriggersAtThreshold) {
+  sim::Simulator sim;
+  hw::Cpu cpu(sim, "c", 1);
+  Jvm jvm(sim, cpu, small_heap(), "j");
+  jvm.set_live_threads(10);
+  jvm.allocate(10.0);
+  EXPECT_EQ(jvm.collections(), 1u);
+  // Pause = 0.01 + 0.001 * 10 = 0.02 s.
+  EXPECT_NEAR(jvm.total_gc_seconds(), 0.02, 1e-12);
+  EXPECT_TRUE(cpu.frozen());
+}
+
+TEST(JvmTest, PauseGrowsWithLiveThreads) {
+  sim::Simulator sim;
+  hw::Cpu cpu(sim, "c", 1);
+  Jvm jvm(sim, cpu, small_heap(), "j");
+  jvm.set_live_threads(10);
+  const double p10 = jvm.pause_duration(false);
+  jvm.set_live_threads(800);
+  const double p800 = jvm.pause_duration(false);
+  EXPECT_GT(p800, p10 * 10.0);
+}
+
+TEST(JvmTest, SuperlinearExponent) {
+  sim::Simulator sim;
+  hw::Cpu cpu(sim, "c", 1);
+  JvmConfig cfg = small_heap();
+  cfg.pause_base_s = 0.0;
+  cfg.thread_exponent = 1.25;
+  Jvm jvm(sim, cpu, cfg, "j");
+  jvm.set_live_threads(100);
+  const double p100 = jvm.pause_duration(false);
+  jvm.set_live_threads(200);
+  const double p200 = jvm.pause_duration(false);
+  EXPECT_NEAR(p200 / p100, std::pow(2.0, 1.25), 1e-9);
+}
+
+TEST(JvmTest, FullGcPeriodMultiplies) {
+  sim::Simulator sim;
+  hw::Cpu cpu(sim, "c", 1);
+  Jvm jvm(sim, cpu, small_heap(), "j");
+  jvm.set_live_threads(0);
+  // Collections 1..3 minor, 4th full (period 4).
+  double before = 0.0;
+  for (int i = 1; i <= 4; ++i) {
+    before = jvm.total_gc_seconds();
+    sim.run();  // let any freeze expire
+    jvm.allocate(10.0);
+  }
+  const double last = jvm.total_gc_seconds() - before;
+  EXPECT_NEAR(last, 0.01 * 3.0, 1e-12);  // full multiplier
+  EXPECT_EQ(jvm.collections(), 4u);
+}
+
+TEST(JvmTest, AllocationAccumulatesAcrossCalls) {
+  sim::Simulator sim;
+  hw::Cpu cpu(sim, "c", 1);
+  Jvm jvm(sim, cpu, small_heap(), "j");
+  for (int i = 0; i < 9; ++i) jvm.allocate(1.0);
+  EXPECT_EQ(jvm.collections(), 0u);
+  jvm.allocate(1.0);
+  EXPECT_EQ(jvm.collections(), 1u);
+}
+
+TEST(JvmTest, NoRetriggerWhileFrozen) {
+  sim::Simulator sim;
+  hw::Cpu cpu(sim, "c", 1);
+  Jvm jvm(sim, cpu, small_heap(), "j");
+  jvm.allocate(10.0);
+  EXPECT_EQ(jvm.collections(), 1u);
+  // CPU is frozen; further allocation defers the next collection.
+  jvm.allocate(50.0);
+  EXPECT_EQ(jvm.collections(), 1u);
+  sim.run();  // unfreeze
+  jvm.allocate(10.0);
+  EXPECT_EQ(jvm.collections(), 2u);
+}
+
+TEST(JvmTest, RuntimeOverheadFactor) {
+  sim::Simulator sim;
+  hw::Cpu cpu(sim, "c", 1);
+  JvmConfig cfg;
+  cfg.overhead_per_thread = 1e-3;
+  Jvm jvm(sim, cpu, cfg, "j");
+  jvm.set_live_threads(0);
+  EXPECT_NEAR(jvm.runtime_overhead_factor(), 1.0, 1e-12);
+  jvm.set_live_threads(200);
+  EXPECT_NEAR(jvm.runtime_overhead_factor(), 1.2, 1e-12);
+}
+
+TEST(JvmTest, GcFreezeDelaysCpuWork) {
+  sim::Simulator sim;
+  hw::Cpu cpu(sim, "c", 1);
+  Jvm jvm(sim, cpu, small_heap(), "j");
+  jvm.set_live_threads(0);
+  double done_at = -1.0;
+  cpu.submit(1.0, [&] { done_at = sim.now(); });
+  sim.schedule(0.5, [&] { jvm.allocate(10.0); });  // 0.01 s pause at t=0.5
+  sim.run();
+  EXPECT_NEAR(done_at, 1.01, 1e-9);
+}
+
+}  // namespace
+}  // namespace softres::jvm

@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/rng.h"
+
+#include "metrics/sla.h"
+#include "metrics/table.h"
+
+namespace softres::metrics {
+namespace {
+
+TEST(SlaModelTest, SplitsAtThreshold) {
+  sim::SampleSet rts;
+  for (double v : {0.1, 0.5, 1.0, 1.5, 2.5, 3.0}) rts.add(v);
+  SlaModel sla(1.0);
+  const SlaSplit s = sla.split(rts, 2.0);  // 2 s window
+  EXPECT_NEAR(s.goodput, 1.5, 1e-12);      // 3 requests / 2 s
+  EXPECT_NEAR(s.badput, 1.5, 1e-12);
+  EXPECT_NEAR(s.throughput(), 3.0, 1e-12);
+  EXPECT_NEAR(s.satisfaction(), 0.5, 1e-12);
+}
+
+TEST(SlaModelTest, ThresholdBoundaryIsInclusive) {
+  sim::SampleSet rts;
+  rts.add(1.0);
+  const SlaSplit s = SlaModel(1.0).split(rts, 1.0);
+  EXPECT_EQ(s.goodput, 1.0);
+  EXPECT_EQ(s.badput, 0.0);
+}
+
+TEST(SlaModelTest, EmptyWindowSafe) {
+  sim::SampleSet rts;
+  const SlaSplit s = SlaModel(1.0).split(rts, 10.0);
+  EXPECT_EQ(s.goodput, 0.0);
+  EXPECT_EQ(s.badput, 0.0);
+  EXPECT_EQ(s.satisfaction(), 1.0);  // vacuously satisfied
+  EXPECT_EQ(SlaModel(1.0).split(rts, 0.0).throughput(), 0.0);
+}
+
+TEST(SlaModelTest, TighterThresholdNeverIncreasesGoodput) {
+  sim::SampleSet rts;
+  sim::Rng rng(11);
+  for (int i = 0; i < 1000; ++i) rts.add(rng.exponential(1.0));
+  double prev = 1e18;
+  for (double thr : {2.0, 1.0, 0.5, 0.2}) {
+    const double gp = SlaModel(thr).split(rts, 1.0).goodput;
+    EXPECT_LE(gp, prev);
+    prev = gp;
+  }
+}
+
+TEST(RevenueModelTest, EarningsMinusPenalties) {
+  RevenueModel rev{2.0, 5.0};
+  SlaSplit s;
+  s.goodput = 10.0;
+  s.badput = 2.0;
+  // (10*2 - 2*5) * 60 s
+  EXPECT_NEAR(rev.revenue(s, 60.0), 600.0, 1e-9);
+}
+
+TEST(RevenueModelTest, CanGoNegative) {
+  RevenueModel rev{1.0, 10.0};
+  SlaSplit s;
+  s.goodput = 1.0;
+  s.badput = 1.0;
+  EXPECT_LT(rev.revenue(s, 1.0), 0.0);
+}
+
+TEST(RtBucketsTest, MatchesPaperBoundaries) {
+  sim::BucketedHistogram h = make_rt_buckets();
+  EXPECT_EQ(h.buckets(), 8u);
+  EXPECT_EQ(h.upper_bound(0), 0.2);
+  EXPECT_EQ(h.upper_bound(6), 2.0);
+  EXPECT_TRUE(std::isinf(h.upper_bound(7)));
+}
+
+TEST(TableTest, PrintAlignsColumns) {
+  Table t({"a", "long_header", "c"});
+  t.add_row({"1", "2", "3"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("long_header"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(TableTest, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row(std::vector<std::string>{"1", "2"});
+  t.add_row(std::vector<double>{3.14159, 2.0}, 2);
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "x,y\n1,2\n3.14,2.00\n");
+}
+
+TEST(TableTest, ShortRowsPadded) {
+  Table t({"a", "b", "c"});
+  t.add_row({"only"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(), "a,b,c\nonly,,\n");
+}
+
+TEST(TableTest, FmtPrecision) {
+  EXPECT_EQ(Table::fmt(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::fmt(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace softres::metrics

@@ -1,0 +1,53 @@
+#include "core/ops_laws.h"
+
+#include <gtest/gtest.h>
+
+namespace softres::core {
+namespace {
+
+TEST(OpsLawsTest, LittlesLaw) {
+  EXPECT_NEAR(little_l(100.0, 0.05), 5.0, 1e-12);
+  EXPECT_NEAR(little_rt(5.0, 100.0), 0.05, 1e-12);
+  EXPECT_EQ(little_rt(5.0, 0.0), 0.0);
+}
+
+TEST(OpsLawsTest, LittleInversesCompose) {
+  const double x = 380.0, r = 0.035;
+  EXPECT_NEAR(little_rt(little_l(x, r), x), r, 1e-12);
+}
+
+TEST(OpsLawsTest, ForcedFlow) {
+  // 800 requests/s at the front, 2.7 queries per request.
+  EXPECT_NEAR(forced_flow(800.0, 2.7), 2160.0, 1e-9);
+}
+
+TEST(OpsLawsTest, UtilizationLaw) {
+  EXPECT_NEAR(utilization_law(380.0, 0.0026), 0.988, 1e-9);
+}
+
+TEST(OpsLawsTest, InteractiveResponseTime) {
+  // N = X (R + Z)  =>  R = N/X - Z.
+  EXPECT_NEAR(interactive_rt(6000, 780.0, 7.0), 6000.0 / 780.0 - 7.0, 1e-12);
+  EXPECT_EQ(interactive_rt(6000, 0.0, 7.0), 0.0);
+}
+
+TEST(OpsLawsTest, FrontTierJobsFormula3) {
+  // L_tomcat = L_cjdbc * (RTT_tomcat/RTT_cjdbc) / Req_ratio.
+  // Paper example: 32 jobs in C-JDBC, RTT ratio 3, 2.7 queries/request.
+  EXPECT_NEAR(front_tier_jobs(32.0, 3.0, 2.7), 32.0 * 3.0 / 2.7, 1e-12);
+  EXPECT_EQ(front_tier_jobs(32.0, 3.0, 0.0), 0.0);
+}
+
+TEST(OpsLawsTest, FrontTierJobsConsistentWithLittle) {
+  // Derive via Little + Forced Flow and check Formula (3) agrees.
+  const double crit_tp = 2500.0, crit_rtt = 0.012;
+  const double front_tp = 930.0, front_rtt = 0.055;
+  const double l_crit = little_l(crit_tp, crit_rtt);
+  const double req_ratio = crit_tp / front_tp;
+  const double rtt_ratio = front_rtt / crit_rtt;
+  EXPECT_NEAR(front_tier_jobs(l_crit, rtt_ratio, req_ratio),
+              little_l(front_tp, front_rtt), 1e-9);
+}
+
+}  // namespace
+}  // namespace softres::core

@@ -1,0 +1,109 @@
+// Parameterized property sweeps on the soft-resource pool: accounting
+// invariants must hold across capacities and contention levels.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/simulator.h"
+#include "soft/pool.h"
+
+namespace softres::soft {
+namespace {
+
+using Param = std::tuple<std::size_t /*capacity*/, int /*customers*/>;
+
+class PoolPropertyTest : public ::testing::TestWithParam<Param> {};
+
+TEST_P(PoolPropertyTest, AccountingInvariants) {
+  const auto& [capacity, customers] = GetParam();
+  sim::Simulator sim;
+  Pool pool(sim, "p", capacity);
+  sim::Rng rng(99);
+
+  int completed = 0;
+  for (int i = 0; i < customers; ++i) {
+    const double at = rng.uniform(0.0, 1.0);
+    const double hold = rng.exponential(0.05) + 1e-4;
+    sim.schedule(at, [&pool, &sim, &completed, hold] {
+      pool.acquire([&pool, &sim, &completed, hold] {
+        sim.schedule(hold, [&pool, &completed] {
+          pool.release();
+          ++completed;
+        });
+      });
+    });
+  }
+  // Invariant holds at every step: in_use <= capacity, and nobody waits
+  // while units are free.
+  while (sim.step()) {
+    ASSERT_LE(pool.in_use(), capacity);
+    if (pool.waiting() > 0) {
+      ASSERT_EQ(pool.in_use(), capacity);
+    }
+  }
+  EXPECT_EQ(completed, customers);
+  EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.waiting(), 0u);
+  EXPECT_EQ(pool.total_acquired(), static_cast<std::uint64_t>(customers));
+}
+
+TEST_P(PoolPropertyTest, FifoOrderPreserved) {
+  const auto& [capacity, customers] = GetParam();
+  sim::Simulator sim;
+  Pool pool(sim, "p", capacity);
+  std::vector<int> grant_order;
+  for (int i = 0; i < customers; ++i) {
+    pool.acquire([&grant_order, i] { grant_order.push_back(i); });
+  }
+  while (!grant_order.empty() &&
+         grant_order.size() < static_cast<std::size_t>(customers)) {
+    pool.release();
+  }
+  for (std::size_t i = 0; i < grant_order.size(); ++i) {
+    ASSERT_EQ(grant_order[i], static_cast<int>(i));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PoolPropertyTest,
+    ::testing::Combine(::testing::Values(std::size_t{1}, std::size_t{4},
+                                         std::size_t{32}),
+                       ::testing::Values(3, 40, 300)),
+    [](const auto& param_info) {
+      return "cap" + std::to_string(std::get<0>(param_info.param)) + "_n" +
+             std::to_string(std::get<1>(param_info.param));
+    });
+
+// Capacity changes mid-flight preserve conservation.
+TEST(PoolResizeProperty, ResizeUnderLoadConserves) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 2);
+  sim::Rng rng(7);
+  int completed = 0;
+  const int customers = 200;
+  for (int i = 0; i < customers; ++i) {
+    sim.schedule(rng.uniform(0.0, 2.0), [&] {
+      pool.acquire([&] {
+        sim.schedule(0.01, [&] {
+          pool.release();
+          ++completed;
+        });
+      });
+    });
+  }
+  // Whipsaw the capacity while customers flow.
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(0.2 * i, [&pool, i] {
+      pool.set_capacity(i % 2 == 0 ? 1 : 16);
+    });
+  }
+  sim.run();
+  EXPECT_EQ(completed, customers);
+  EXPECT_EQ(pool.in_use(), 0u);
+}
+
+}  // namespace
+}  // namespace softres::soft

@@ -1,0 +1,168 @@
+#include "soft/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/sampler.h"
+#include "sim/simulator.h"
+#include "soft/pool_monitor.h"
+
+namespace softres::soft {
+namespace {
+
+TEST(PoolTest, GrantsImmediatelyWhenFree) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 2);
+  int granted = 0;
+  pool.acquire([&] { ++granted; });
+  pool.acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 2);  // synchronous grant
+  EXPECT_EQ(pool.in_use(), 2u);
+  EXPECT_EQ(pool.waiting(), 0u);
+}
+
+TEST(PoolTest, QueuesBeyondCapacityFifo) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 1);
+  std::vector<int> order;
+  pool.acquire([&] { order.push_back(0); });
+  pool.acquire([&] { order.push_back(1); });
+  pool.acquire([&] { order.push_back(2); });
+  EXPECT_EQ(order, (std::vector<int>{0}));
+  EXPECT_EQ(pool.waiting(), 2u);
+  EXPECT_TRUE(pool.saturated());
+  pool.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1}));
+  pool.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(pool.waiting(), 0u);
+  EXPECT_EQ(pool.in_use(), 1u);
+}
+
+TEST(PoolTest, UtilizationFraction) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 4);
+  EXPECT_EQ(pool.utilization(), 0.0);
+  pool.acquire([] {});
+  pool.acquire([] {});
+  EXPECT_NEAR(pool.utilization(), 0.5, 1e-12);
+}
+
+TEST(PoolTest, SaturatedRequiresWaiters) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 1);
+  pool.acquire([] {});
+  EXPECT_FALSE(pool.saturated());  // full but nobody queued
+  pool.acquire([] {});
+  EXPECT_TRUE(pool.saturated());
+}
+
+TEST(PoolTest, TryAcquireRespectsQueue) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 2);
+  EXPECT_TRUE(pool.try_acquire());
+  EXPECT_TRUE(pool.try_acquire());
+  EXPECT_FALSE(pool.try_acquire());  // full
+  pool.acquire([] {});               // waiter
+  pool.release();
+  // Waiter got the unit; try_acquire must not jump the queue.
+  EXPECT_EQ(pool.waiting(), 0u);
+  EXPECT_FALSE(pool.try_acquire());
+}
+
+TEST(PoolTest, WaitTimeMeasured) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 1);
+  pool.acquire([] {});
+  bool granted = false;
+  pool.acquire([&] { granted = true; });
+  sim.schedule(2.0, [&] { pool.release(); });
+  sim.run();
+  EXPECT_TRUE(granted);
+  // Two acquisitions: one waited 0, one waited 2.0.
+  EXPECT_NEAR(pool.mean_wait_time(), 1.0, 1e-9);
+  EXPECT_EQ(pool.total_acquired(), 2u);
+}
+
+TEST(PoolTest, GrowCapacityAdmitsWaiters) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 1);
+  int granted = 0;
+  for (int i = 0; i < 3; ++i) pool.acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 1);
+  pool.set_capacity(3);
+  EXPECT_EQ(granted, 3);
+  EXPECT_EQ(pool.in_use(), 3u);
+}
+
+TEST(PoolTest, ShrinkCapacityTakesEffectLazily) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 3);
+  for (int i = 0; i < 3; ++i) pool.acquire([] {});
+  pool.set_capacity(1);
+  EXPECT_EQ(pool.in_use(), 3u);  // nothing evicted
+  pool.release();
+  pool.release();
+  // Now at capacity; a new acquire queues.
+  int granted = 0;
+  pool.acquire([&] { ++granted; });
+  EXPECT_EQ(granted, 0);
+  pool.release();
+  EXPECT_EQ(granted, 1);
+}
+
+TEST(PoolTest, AverageInUseTimeWeighted) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 2);
+  pool.reset_stats(0.0);
+  pool.acquire([] {});               // 1 in use from t=0
+  sim.schedule(4.0, [&] { pool.acquire([] {}); });  // 2 in use from t=4
+  sim.run();
+  sim.run_until(8.0);
+  EXPECT_NEAR(pool.average_in_use(8.0), 1.5, 1e-9);
+}
+
+TEST(PoolMonitorTest, UtilProbeAndDensity) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 2);
+  sim::Sampler sampler(sim, 1.0);
+  add_pool_util_probe(sampler, "p.util", pool);
+  sampler.start();
+  pool.acquire([] {});
+  sim.run_until(5.0);
+  const sim::TimeSeries* s = sampler.find("p.util");
+  ASSERT_EQ(s->size(), 5u);
+  for (double v : s->values) EXPECT_NEAR(v, 50.0, 1e-9);
+  sim::Histogram density = utilization_density(*s, 0.0, 5.0, 10);
+  EXPECT_NEAR(density.density(5), 1.0, 1e-12);  // all mass in [50,60)
+}
+
+TEST(PoolMonitorTest, SaturationRule) {
+  sim::TimeSeries s{"x", {}, {}};
+  // 70% of samples at 100% -> saturated.
+  for (int i = 0; i < 10; ++i) s.add(i, i < 7 ? 100.0 : 50.0);
+  EXPECT_TRUE(is_saturated(s, 0.0, 10.0));
+  // Only 30% at 100% -> not saturated.
+  sim::TimeSeries s2{"x", {}, {}};
+  for (int i = 0; i < 10; ++i) s2.add(i, i < 3 ? 100.0 : 50.0);
+  EXPECT_FALSE(is_saturated(s2, 0.0, 10.0));
+  // Empty window -> not saturated.
+  EXPECT_FALSE(is_saturated(s, 20.0, 30.0));
+}
+
+TEST(PoolMonitorTest, WaitersProbe) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 1);
+  sim::Sampler sampler(sim, 1.0);
+  add_pool_waiters_probe(sampler, "p.waiters", pool);
+  sampler.start();
+  pool.acquire([] {});
+  pool.acquire([] {});
+  pool.acquire([] {});
+  sim.run_until(1.0);
+  EXPECT_EQ(sampler.find("p.waiters")->values[0], 2.0);
+}
+
+}  // namespace
+}  // namespace softres::soft

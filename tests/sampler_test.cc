@@ -1,0 +1,100 @@
+#include "sim/sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace softres::sim {
+namespace {
+
+TEST(TimeSeriesTest, WindowAndAggregates) {
+  TimeSeries s{"x", {}, {}};
+  for (int i = 1; i <= 10; ++i) s.add(i, i * 10.0);
+  EXPECT_EQ(s.size(), 10u);
+  EXPECT_NEAR(s.mean(), 55.0, 1e-12);
+  EXPECT_NEAR(s.mean_between(3.0, 6.0), 40.0, 1e-12);  // t=3,4,5
+  EXPECT_EQ(s.max_between(2.0, 8.0), 70.0);
+  EXPECT_EQ(s.window(4.0, 6.0), (std::vector<double>{40.0, 50.0}));
+}
+
+TEST(TimeSeriesTest, EmptyWindowIsZero) {
+  TimeSeries s{"x", {}, {}};
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.mean_between(0.0, 1.0), 0.0);
+  EXPECT_EQ(s.max_between(0.0, 1.0), 0.0);
+}
+
+TEST(SamplerTest, PollsAtFixedInterval) {
+  Simulator sim;
+  Sampler sampler(sim, 1.0);
+  int calls = 0;
+  sampler.add_probe("count", [&](SimTime) { return static_cast<double>(++calls); });
+  sampler.start();
+  sim.run_until(5.5);
+  const TimeSeries& s = sampler.series(0);
+  ASSERT_EQ(s.size(), 5u);  // t = 1..5
+  EXPECT_EQ(s.times.front(), 1.0);
+  EXPECT_EQ(s.times.back(), 5.0);
+  EXPECT_EQ(s.values.back(), 5.0);
+}
+
+TEST(SamplerTest, StopHaltsSampling) {
+  Simulator sim;
+  Sampler sampler(sim, 1.0);
+  sampler.add_probe("x", [](SimTime) { return 1.0; });
+  sampler.start();
+  sim.run_until(3.5);
+  sampler.stop();
+  sim.run_until(10.0);
+  EXPECT_EQ(sampler.series(0).size(), 3u);
+}
+
+TEST(SamplerTest, ProbeReceivesSampleTime) {
+  Simulator sim;
+  Sampler sampler(sim, 0.5);
+  std::vector<SimTime> seen;
+  sampler.add_probe("t", [&](SimTime t) {
+    seen.push_back(t);
+    return t;
+  });
+  sampler.start();
+  sim.run_until(2.0);
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], 0.5);
+  EXPECT_EQ(seen[3], 2.0);
+}
+
+TEST(SamplerTest, FindByName) {
+  Simulator sim;
+  Sampler sampler(sim);
+  sampler.add_probe("a", [](SimTime) { return 1.0; });
+  sampler.add_probe("b", [](SimTime) { return 2.0; });
+  EXPECT_NE(sampler.find("a"), nullptr);
+  EXPECT_NE(sampler.find("b"), nullptr);
+  EXPECT_EQ(sampler.find("c"), nullptr);
+  EXPECT_EQ(sampler.find("b")->name, "b");
+}
+
+TEST(SamplerTest, MultipleProbesSampledTogether) {
+  Simulator sim;
+  Sampler sampler(sim, 1.0);
+  sampler.add_probe("one", [](SimTime) { return 1.0; });
+  sampler.add_probe("two", [](SimTime) { return 2.0; });
+  sampler.start();
+  sim.run_until(3.0);
+  EXPECT_EQ(sampler.series(0).size(), sampler.series(1).size());
+  EXPECT_EQ(sampler.series(1).values[0], 2.0);
+}
+
+TEST(SamplerTest, StartIsIdempotent) {
+  Simulator sim;
+  Sampler sampler(sim, 1.0);
+  sampler.add_probe("x", [](SimTime) { return 0.0; });
+  sampler.start();
+  sampler.start();  // must not double-schedule
+  sim.run_until(2.5);
+  EXPECT_EQ(sampler.series(0).size(), 2u);
+}
+
+}  // namespace
+}  // namespace softres::sim

@@ -1,0 +1,164 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace softres::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0.0);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 3.0);
+}
+
+TEST(SimulatorTest, TiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim;
+  sim.schedule(5.0, [] {});
+  sim.run();
+  bool fired = false;
+  sim.schedule(-1.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.now(), 5.0);
+}
+
+TEST(SimulatorTest, ClockAdvancesToEventTime) {
+  Simulator sim;
+  double seen = -1.0;
+  sim.schedule(2.5, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 2.5);
+}
+
+TEST(SimulatorTest, EventsCanScheduleEvents) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 10) sim.schedule(1.0, chain);
+  };
+  sim.schedule(1.0, chain);
+  sim.run();
+  EXPECT_EQ(fired, 10);
+  EXPECT_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(h));
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(SimulatorTest, CancelIsIdempotentAndStaleSafe) {
+  Simulator sim;
+  EventHandle h = sim.schedule(1.0, [] {});
+  EXPECT_TRUE(sim.cancel(h));
+  EXPECT_FALSE(sim.cancel(h));       // already cancelled
+  EXPECT_FALSE(sim.cancel(EventHandle{}));  // inert handle
+  sim.run();
+}
+
+TEST(SimulatorTest, StaleHandleAfterExecutionIsRejected) {
+  Simulator sim;
+  EventHandle h = sim.schedule(1.0, [] {});
+  sim.run();
+  EXPECT_FALSE(sim.cancel(h));
+}
+
+TEST(SimulatorTest, HandleReuseDoesNotCancelNewEvent) {
+  Simulator sim;
+  EventHandle h1 = sim.schedule(1.0, [] {});
+  sim.run();  // h1's record may be recycled
+  bool fired = false;
+  sim.schedule(1.0, [&] { fired = true; });
+  EXPECT_FALSE(sim.cancel(h1));  // stale seq must not match recycled record
+  sim.run();
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  std::vector<double> times;
+  for (double t : {1.0, 2.0, 3.0, 4.0}) {
+    sim.schedule(t, [&times, &sim] { times.push_back(sim.now()); });
+  }
+  sim.run_until(2.5);
+  EXPECT_EQ(times, (std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(sim.now(), 2.5);
+  EXPECT_EQ(sim.events_pending(), 2u);
+  sim.run_until(10.0);
+  EXPECT_EQ(times.size(), 4u);
+  EXPECT_EQ(sim.now(), 10.0);
+}
+
+TEST(SimulatorTest, RunWithLimitExecutesExactly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) sim.schedule(1.0 + i, [&] { ++fired; });
+  sim.run(4);
+  EXPECT_EQ(fired, 4);
+}
+
+TEST(SimulatorTest, EventCountersTrackExecution) {
+  Simulator sim;
+  for (int i = 0; i < 7; ++i) sim.schedule(1.0, [] {});
+  EXPECT_EQ(sim.events_pending(), 7u);
+  sim.run();
+  EXPECT_EQ(sim.events_executed(), 7u);
+  EXPECT_EQ(sim.events_pending(), 0u);
+}
+
+TEST(SimulatorTest, ManyEventsStressFreelist) {
+  Simulator sim;
+  int fired = 0;
+  std::function<void()> recur = [&] {
+    ++fired;
+    if (fired < 100000) sim.schedule(0.001, recur);
+  };
+  sim.schedule(0.0, recur);
+  sim.run();
+  EXPECT_EQ(fired, 100000);
+}
+
+TEST(SimulatorTest, CancelInterleavedWithExecution) {
+  Simulator sim;
+  std::vector<EventHandle> handles;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    handles.push_back(sim.schedule(1.0 + i, [&] { ++fired; }));
+  }
+  // Cancel every other event.
+  for (size_t i = 0; i < handles.size(); i += 2) sim.cancel(handles[i]);
+  sim.run();
+  EXPECT_EQ(fired, 50);
+}
+
+}  // namespace
+}  // namespace softres::sim

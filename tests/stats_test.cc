@@ -1,0 +1,166 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace softres::sim {
+namespace {
+
+TEST(WelfordTest, BasicMoments) {
+  Welford w;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) w.add(v);
+  EXPECT_EQ(w.count(), 8u);
+  EXPECT_NEAR(w.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(w.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_EQ(w.min(), 2.0);
+  EXPECT_EQ(w.max(), 9.0);
+  EXPECT_NEAR(w.sum(), 40.0, 1e-9);
+}
+
+TEST(WelfordTest, EmptyIsZero) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0u);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.stddev(), 0.0);
+}
+
+TEST(WelfordTest, MergeEqualsCombinedStream) {
+  Rng rng(5);
+  Welford a, b, all;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.normal(3.0, 2.0);
+    (i % 2 ? a : b).add(v);
+    all.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(WelfordTest, MergeWithEmptySides) {
+  Welford a, b;
+  a.add(1.0);
+  a.merge(b);  // empty rhs: no-op
+  EXPECT_EQ(a.count(), 1u);
+  b.merge(a);  // empty lhs: copies
+  EXPECT_EQ(b.count(), 1u);
+  EXPECT_EQ(b.mean(), 1.0);
+}
+
+TEST(HistogramTest, BinningAndDensity) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(-1.0);   // underflow
+  h.add(10.0);   // overflow (hi is exclusive)
+  h.add(999.0);  // overflow
+  EXPECT_EQ(h.count(0), 1.0);
+  EXPECT_EQ(h.count(1), 2.0);
+  EXPECT_EQ(h.underflow(), 1.0);
+  EXPECT_EQ(h.overflow(), 2.0);
+  EXPECT_EQ(h.total(), 6.0);
+  EXPECT_NEAR(h.density(1), 2.0 / 6.0, 1e-12);
+  EXPECT_EQ(h.bin_lo(1), 1.0);
+  EXPECT_EQ(h.bin_hi(1), 2.0);
+}
+
+TEST(HistogramTest, WeightsAccumulate) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(0.25, 2.5);
+  h.add(0.75, 0.5);
+  EXPECT_EQ(h.count(0), 2.5);
+  EXPECT_EQ(h.count(1), 0.5);
+  EXPECT_EQ(h.total(), 3.0);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(0.3);
+  h.reset();
+  EXPECT_EQ(h.total(), 0.0);
+  EXPECT_EQ(h.count(1), 0.0);
+}
+
+TEST(BucketedHistogramTest, PaperRtBuckets) {
+  BucketedHistogram h({0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0});
+  EXPECT_EQ(h.buckets(), 8u);
+  h.add(0.1);   // [0, .2]
+  h.add(0.2);   // [0, .2] (upper bound inclusive)
+  h.add(0.25);  // (.2, .4]
+  h.add(1.2);   // (1, 1.5]
+  h.add(5.0);   // > 2
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.count(5), 1u);
+  EXPECT_EQ(h.count(7), 1u);
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_NEAR(h.fraction(0), 0.4, 1e-12);
+  EXPECT_TRUE(std::isinf(h.upper_bound(7)));
+}
+
+TEST(TimeWeightedTest, PiecewiseConstantAverage) {
+  TimeWeighted tw;
+  tw.reset(0.0);
+  tw.set(0.0, 2.0);   // value 2 on [0, 4)
+  tw.set(4.0, 6.0);   // value 6 on [4, 8)
+  EXPECT_NEAR(tw.average(8.0), 4.0, 1e-12);
+  EXPECT_EQ(tw.current(), 6.0);
+}
+
+TEST(TimeWeightedTest, AverageExtrapolatesTail) {
+  TimeWeighted tw;
+  tw.reset(0.0);
+  tw.set(0.0, 1.0);
+  // No further updates; at t=10 the signal has been 1.0 throughout.
+  EXPECT_NEAR(tw.average(10.0), 1.0, 1e-12);
+}
+
+TEST(TimeWeightedTest, ResetRebasesWindow) {
+  TimeWeighted tw;
+  tw.reset(0.0);
+  tw.set(0.0, 100.0);
+  tw.set(5.0, 2.0);
+  tw.reset(5.0);
+  tw.set(5.0, 2.0);
+  EXPECT_NEAR(tw.average(10.0), 2.0, 1e-12);
+}
+
+TEST(SampleSetTest, QuantilesAndThresholdCounts) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_EQ(s.count(), 100u);
+  EXPECT_NEAR(s.mean(), 50.5, 1e-12);
+  EXPECT_EQ(s.quantile(0.0), 1.0);
+  EXPECT_EQ(s.quantile(1.0), 100.0);
+  EXPECT_NEAR(s.quantile(0.5), 50.0, 1.0);
+  EXPECT_EQ(s.count_at_or_below(50.0), 50u);
+  EXPECT_EQ(s.count_at_or_below(0.5), 0u);
+  EXPECT_EQ(s.count_at_or_below(1000.0), 100u);
+}
+
+TEST(SampleSetTest, EmptySetIsSafe) {
+  SampleSet s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.quantile(0.5), 0.0);
+  EXPECT_EQ(s.count_at_or_below(1.0), 0u);
+}
+
+TEST(SampleSetTest, AddAfterQueryResorts) {
+  SampleSet s;
+  s.add(3.0);
+  EXPECT_EQ(s.count_at_or_below(2.0), 0u);
+  s.add(1.0);
+  EXPECT_EQ(s.count_at_or_below(2.0), 1u);
+}
+
+}  // namespace
+}  // namespace softres::sim

@@ -1,0 +1,70 @@
+#include "net/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace softres::net {
+namespace {
+
+TEST(TcpModelTest, BaseDelayBelowKnee) {
+  TcpConfig cfg;
+  TcpModel model(cfg, sim::Rng(1));
+  EXPECT_NEAR(model.median_fin_delay(0.0), cfg.fin_base_s, 1e-12);
+  EXPECT_NEAR(model.median_fin_delay(cfg.load_knee), cfg.fin_base_s, 1e-12);
+  EXPECT_NEAR(model.median_fin_delay(0.5), cfg.fin_base_s, 1e-12);
+}
+
+TEST(TcpModelTest, DelayGrowsBeyondKnee) {
+  TcpConfig cfg;
+  TcpModel model(cfg, sim::Rng(1));
+  const double at_knee = model.median_fin_delay(cfg.load_knee);
+  const double above1 = model.median_fin_delay(cfg.load_knee + 0.1);
+  const double above2 = model.median_fin_delay(cfg.load_knee + 0.2);
+  EXPECT_GT(above1, at_knee);
+  EXPECT_GT(above2, above1);
+  // Superlinear: the second increment adds more than the first.
+  EXPECT_GT(above2 - above1, above1 - at_knee);
+}
+
+TEST(TcpModelTest, ExactOverloadFormula) {
+  TcpConfig cfg;
+  cfg.fin_base_s = 0.01;
+  cfg.load_knee = 1.0;
+  cfg.fin_load_coeff_s = 0.1;
+  cfg.load_scale = 0.1;
+  cfg.fin_load_exponent = 2.0;
+  TcpModel model(cfg, sim::Rng(1));
+  // overload = (1.2 - 1.0)/0.1 = 2; extra = 0.1 * 2^2 = 0.4.
+  EXPECT_NEAR(model.median_fin_delay(1.2), 0.41, 1e-12);
+}
+
+TEST(TcpModelTest, AblationDisablesLoadDependence) {
+  TcpConfig cfg;
+  cfg.enable_load_dependence = false;
+  TcpModel model(cfg, sim::Rng(1));
+  EXPECT_NEAR(model.median_fin_delay(2.0), cfg.fin_base_s, 1e-12);
+}
+
+TEST(TcpModelTest, SampleMedianTracksConfiguredMedian) {
+  TcpConfig cfg;
+  TcpModel model(cfg, sim::Rng(99));
+  std::vector<double> v;
+  const int n = 40001;
+  v.reserve(n);
+  for (int i = 0; i < n; ++i) v.push_back(model.sample_fin_delay(1.0));
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  EXPECT_NEAR(v[n / 2], model.median_fin_delay(1.0),
+              0.1 * model.median_fin_delay(1.0));
+}
+
+TEST(TcpModelTest, SamplesAreNonNegative) {
+  TcpModel model(TcpConfig{}, sim::Rng(7));
+  for (int i = 0; i < 10000; ++i) {
+    ASSERT_GE(model.sample_fin_delay(1.2), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace softres::net

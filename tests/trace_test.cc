@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "exp/config.h"
+#include "exp/testbed.h"
+
+namespace softres::exp {
+namespace {
+
+workload::ClientConfig traced_client() {
+  workload::ClientConfig c;
+  c.users = 300;
+  c.ramp_up_s = 5.0;
+  c.runtime_s = 30.0;
+  c.ramp_down_s = 2.0;
+  c.trace_sample_rate = 0.05;
+  return c;
+}
+
+TEST(TraceTest, DisabledByDefault) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  workload::ClientConfig c = traced_client();
+  c.trace_sample_rate = 0.0;
+  Testbed bed(cfg, c);
+  bed.run();
+  EXPECT_TRUE(bed.farm().traced_requests().empty());
+}
+
+TEST(TraceTest, SampledRequestsCarrySpans) {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  Testbed bed(cfg, traced_client());
+  bed.run();
+  const auto& traced = bed.farm().traced_requests();
+  ASSERT_FALSE(traced.empty());
+  EXPECT_LE(traced.size(), workload::ClientFarm::kMaxTracedRequests);
+
+  std::size_t complete = 0;
+  for (const auto& req : traced) {
+    if (req->trace.empty()) continue;  // in flight at trial end
+    ++complete;
+    int tomcat = 0, cjdbc = 0, mysql = 0, apache = 0;
+    for (const auto& span : req->trace) {
+      EXPECT_GE(span.leave, span.enter);
+      if (span.server.rfind("tomcat", 0) == 0) ++tomcat;
+      if (span.server.rfind("cjdbc", 0) == 0) ++cjdbc;
+      if (span.server.rfind("mysql", 0) == 0) ++mysql;
+      if (span.server.rfind("apache", 0) == 0) ++apache;
+    }
+    if (apache == 0) continue;  // completed mid-teardown
+    // One Apache + one Tomcat visit; one C-JDBC and one MySQL visit per
+    // query.
+    EXPECT_EQ(tomcat, 1);
+    EXPECT_EQ(apache, 1);
+    EXPECT_EQ(cjdbc, req->num_queries);
+    EXPECT_EQ(mysql, req->num_queries);
+  }
+  EXPECT_GT(complete, 0u);
+}
+
+TEST(TraceTest, NestingInvariants) {
+  // MySQL spans nest inside their C-JDBC span; C-JDBC spans inside the
+  // Tomcat span; the Tomcat span inside the Apache span.
+  TestbedConfig cfg = TestbedConfig::defaults();
+  Testbed bed(cfg, traced_client());
+  bed.run();
+  for (const auto& req : bed.farm().traced_requests()) {
+    double tomcat_enter = -1, tomcat_leave = -1;
+    double apache_enter = -1, apache_leave = -1;
+    for (const auto& span : req->trace) {
+      if (span.server.rfind("tomcat", 0) == 0) {
+        tomcat_enter = span.enter;
+        tomcat_leave = span.leave;
+      }
+      if (span.server.rfind("apache", 0) == 0) {
+        apache_enter = span.enter;
+        apache_leave = span.leave;
+      }
+    }
+    if (tomcat_enter < 0 || apache_enter < 0) continue;
+    EXPECT_LE(apache_enter, tomcat_enter + 1e-9);
+    EXPECT_GE(apache_leave, tomcat_leave - 1e-9);
+    for (const auto& span : req->trace) {
+      if (span.server.rfind("cjdbc", 0) == 0 ||
+          span.server.rfind("mysql", 0) == 0) {
+        EXPECT_GE(span.enter, tomcat_enter - 1e-9);
+        EXPECT_LE(span.leave, tomcat_leave + 1e-9);
+      }
+    }
+  }
+}
+
+TEST(TraceTest, TomcatResidenceExceedsQuerySum) {
+  // The Fig 9 premise: T > sum(t_i), which is why DB connections must be
+  // provisioned above the C-JDBC concurrency.
+  TestbedConfig cfg = TestbedConfig::defaults();
+  Testbed bed(cfg, traced_client());
+  bed.run();
+  int checked = 0;
+  for (const auto& req : bed.farm().traced_requests()) {
+    double tomcat_T = 0.0, cjdbc_sum = 0.0;
+    for (const auto& span : req->trace) {
+      if (span.server.rfind("tomcat", 0) == 0) tomcat_T = span.duration();
+      if (span.server.rfind("cjdbc", 0) == 0) cjdbc_sum += span.duration();
+    }
+    if (tomcat_T <= 0.0 || cjdbc_sum <= 0.0) continue;
+    EXPECT_GT(tomcat_T, cjdbc_sum);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+}  // namespace
+}  // namespace softres::exp

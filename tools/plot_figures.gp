@@ -1,0 +1,41 @@
+# Plot the paper-figure CSVs produced by the benches.
+#
+#   SOFTRES_CSV_DIR=out ./build/bench/bench_fig2   (and fig5, fig6, ...)
+#   gnuplot -e "dir='out'" tools/plot_figures.gp
+#
+# Produces PNGs next to the CSVs. Column layout: workload,<series...>.
+
+if (!exists("dir")) dir = "."
+
+set datafile separator ","
+set terminal pngcairo size 900,540
+set key autotitle columnhead
+set key left bottom
+set xlabel "Workload [# users]"
+set grid
+
+do_plot(name, ylab) = sprintf(\
+  "set output '%s/%s.png'; set ylabel '%s'; \
+   stats '%s/%s.csv' skip 1 nooutput; \
+   plot for [i=2:STATS_columns] '%s/%s.csv' using 1:i with linespoints", \
+  dir, name, ylab, dir, name, dir, name)
+
+# Figure 2: goodput under three SLA thresholds.
+if (system(sprintf("[ -f %s/fig2_goodput_0.5s.csv ] && echo 1 || echo 0", dir)) eq "1\n") {
+  eval do_plot("fig2_goodput_0.5s", "Goodput [req/s] (0.5 s SLA)")
+  eval do_plot("fig2_goodput_1.0s", "Goodput [req/s] (1 s SLA)")
+  eval do_plot("fig2_goodput_2.0s", "Goodput [req/s] (2 s SLA)")
+}
+
+# Figure 5: conn-pool over-allocation.
+if (system(sprintf("[ -f %s/fig5a_goodput.csv ] && echo 1 || echo 0", dir)) eq "1\n") {
+  eval do_plot("fig5a_goodput", "Goodput [req/s] (2 s SLA)")
+  eval do_plot("fig5b_cjdbc_cpu", "C-JDBC CPU [%]")
+  eval do_plot("fig5c_gc_seconds", "JVM GC time [s]")
+}
+
+# Figure 6: Apache buffering.
+if (system(sprintf("[ -f %s/fig6a_goodput.csv ] && echo 1 || echo 0", dir)) eq "1\n") {
+  eval do_plot("fig6a_goodput", "Goodput [req/s] (2 s SLA)")
+  eval do_plot("fig6b_cjdbc_cpu", "C-JDBC CPU [%]")
+}
