@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_finwait"
+  "../bench/bench_ablation_finwait.pdb"
+  "CMakeFiles/bench_ablation_finwait.dir/bench_ablation_finwait.cpp.o"
+  "CMakeFiles/bench_ablation_finwait.dir/bench_ablation_finwait.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_finwait.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bottleneck_hunt.dir/bottleneck_hunt.cpp.o"
+  "CMakeFiles/bottleneck_hunt.dir/bottleneck_hunt.cpp.o.d"
+  "bottleneck_hunt"
+  "bottleneck_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bottleneck_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elastic_workload.dir/elastic_workload.cpp.o"
+  "CMakeFiles/elastic_workload.dir/elastic_workload.cpp.o.d"
+  "elastic_workload"
+  "elastic_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elastic_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cc" "src/core/CMakeFiles/softres_core.dir/allocation.cc.o" "gcc" "src/core/CMakeFiles/softres_core.dir/allocation.cc.o.d"
+  "/root/repo/src/core/bottleneck.cc" "src/core/CMakeFiles/softres_core.dir/bottleneck.cc.o" "gcc" "src/core/CMakeFiles/softres_core.dir/bottleneck.cc.o.d"
+  "/root/repo/src/core/intervention.cc" "src/core/CMakeFiles/softres_core.dir/intervention.cc.o" "gcc" "src/core/CMakeFiles/softres_core.dir/intervention.cc.o.d"
+  "/root/repo/src/core/runner.cc" "src/core/CMakeFiles/softres_core.dir/runner.cc.o" "gcc" "src/core/CMakeFiles/softres_core.dir/runner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/softres_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softres_core.dir/allocation.cc.o"
+  "CMakeFiles/softres_core.dir/allocation.cc.o.d"
+  "CMakeFiles/softres_core.dir/bottleneck.cc.o"
+  "CMakeFiles/softres_core.dir/bottleneck.cc.o.d"
+  "CMakeFiles/softres_core.dir/intervention.cc.o"
+  "CMakeFiles/softres_core.dir/intervention.cc.o.d"
+  "CMakeFiles/softres_core.dir/runner.cc.o"
+  "CMakeFiles/softres_core.dir/runner.cc.o.d"
+  "libsoftres_core.a"
+  "libsoftres_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softres_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

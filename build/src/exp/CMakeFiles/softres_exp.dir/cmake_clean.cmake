@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softres_exp.dir/adaptive.cc.o"
+  "CMakeFiles/softres_exp.dir/adaptive.cc.o.d"
+  "CMakeFiles/softres_exp.dir/config.cc.o"
+  "CMakeFiles/softres_exp.dir/config.cc.o.d"
+  "CMakeFiles/softres_exp.dir/experiment.cc.o"
+  "CMakeFiles/softres_exp.dir/experiment.cc.o.d"
+  "CMakeFiles/softres_exp.dir/runner_adapter.cc.o"
+  "CMakeFiles/softres_exp.dir/runner_adapter.cc.o.d"
+  "CMakeFiles/softres_exp.dir/sweep.cc.o"
+  "CMakeFiles/softres_exp.dir/sweep.cc.o.d"
+  "CMakeFiles/softres_exp.dir/testbed.cc.o"
+  "CMakeFiles/softres_exp.dir/testbed.cc.o.d"
+  "libsoftres_exp.a"
+  "libsoftres_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softres_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsoftres_exp.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softres_hw.dir/cpu.cc.o"
+  "CMakeFiles/softres_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/softres_hw.dir/disk.cc.o"
+  "CMakeFiles/softres_hw.dir/disk.cc.o.d"
+  "CMakeFiles/softres_hw.dir/link.cc.o"
+  "CMakeFiles/softres_hw.dir/link.cc.o.d"
+  "CMakeFiles/softres_hw.dir/monitor.cc.o"
+  "CMakeFiles/softres_hw.dir/monitor.cc.o.d"
+  "CMakeFiles/softres_hw.dir/node.cc.o"
+  "CMakeFiles/softres_hw.dir/node.cc.o.d"
+  "libsoftres_hw.a"
+  "libsoftres_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softres_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

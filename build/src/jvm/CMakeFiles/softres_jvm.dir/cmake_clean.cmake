@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softres_jvm.dir/jvm.cc.o"
+  "CMakeFiles/softres_jvm.dir/jvm.cc.o.d"
+  "libsoftres_jvm.a"
+  "libsoftres_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softres_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

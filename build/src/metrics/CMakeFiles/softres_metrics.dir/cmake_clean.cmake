@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softres_metrics.dir/csv.cc.o"
+  "CMakeFiles/softres_metrics.dir/csv.cc.o.d"
+  "CMakeFiles/softres_metrics.dir/sla.cc.o"
+  "CMakeFiles/softres_metrics.dir/sla.cc.o.d"
+  "CMakeFiles/softres_metrics.dir/table.cc.o"
+  "CMakeFiles/softres_metrics.dir/table.cc.o.d"
+  "libsoftres_metrics.a"
+  "libsoftres_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softres_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

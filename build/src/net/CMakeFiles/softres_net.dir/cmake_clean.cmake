@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softres_net.dir/tcp.cc.o"
+  "CMakeFiles/softres_net.dir/tcp.cc.o.d"
+  "libsoftres_net.a"
+  "libsoftres_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softres_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softres_sim.dir/distributions.cc.o"
+  "CMakeFiles/softres_sim.dir/distributions.cc.o.d"
+  "CMakeFiles/softres_sim.dir/rng.cc.o"
+  "CMakeFiles/softres_sim.dir/rng.cc.o.d"
+  "CMakeFiles/softres_sim.dir/sampler.cc.o"
+  "CMakeFiles/softres_sim.dir/sampler.cc.o.d"
+  "CMakeFiles/softres_sim.dir/simulator.cc.o"
+  "CMakeFiles/softres_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/softres_sim.dir/stats.cc.o"
+  "CMakeFiles/softres_sim.dir/stats.cc.o.d"
+  "libsoftres_sim.a"
+  "libsoftres_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softres_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

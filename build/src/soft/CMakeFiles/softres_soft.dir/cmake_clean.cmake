@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softres_soft.dir/pool.cc.o"
+  "CMakeFiles/softres_soft.dir/pool.cc.o.d"
+  "CMakeFiles/softres_soft.dir/pool_monitor.cc.o"
+  "CMakeFiles/softres_soft.dir/pool_monitor.cc.o.d"
+  "libsoftres_soft.a"
+  "libsoftres_soft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softres_soft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

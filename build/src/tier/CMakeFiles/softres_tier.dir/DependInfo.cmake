@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tier/apache.cc" "src/tier/CMakeFiles/softres_tier.dir/apache.cc.o" "gcc" "src/tier/CMakeFiles/softres_tier.dir/apache.cc.o.d"
+  "/root/repo/src/tier/cjdbc.cc" "src/tier/CMakeFiles/softres_tier.dir/cjdbc.cc.o" "gcc" "src/tier/CMakeFiles/softres_tier.dir/cjdbc.cc.o.d"
+  "/root/repo/src/tier/mysql.cc" "src/tier/CMakeFiles/softres_tier.dir/mysql.cc.o" "gcc" "src/tier/CMakeFiles/softres_tier.dir/mysql.cc.o.d"
+  "/root/repo/src/tier/server.cc" "src/tier/CMakeFiles/softres_tier.dir/server.cc.o" "gcc" "src/tier/CMakeFiles/softres_tier.dir/server.cc.o.d"
+  "/root/repo/src/tier/tomcat.cc" "src/tier/CMakeFiles/softres_tier.dir/tomcat.cc.o" "gcc" "src/tier/CMakeFiles/softres_tier.dir/tomcat.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/softres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/softres_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/soft/CMakeFiles/softres_soft.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/softres_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/softres_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softres_tier.dir/apache.cc.o"
+  "CMakeFiles/softres_tier.dir/apache.cc.o.d"
+  "CMakeFiles/softres_tier.dir/cjdbc.cc.o"
+  "CMakeFiles/softres_tier.dir/cjdbc.cc.o.d"
+  "CMakeFiles/softres_tier.dir/mysql.cc.o"
+  "CMakeFiles/softres_tier.dir/mysql.cc.o.d"
+  "CMakeFiles/softres_tier.dir/server.cc.o"
+  "CMakeFiles/softres_tier.dir/server.cc.o.d"
+  "CMakeFiles/softres_tier.dir/tomcat.cc.o"
+  "CMakeFiles/softres_tier.dir/tomcat.cc.o.d"
+  "libsoftres_tier.a"
+  "libsoftres_tier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softres_tier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/softres_workload.dir/client_farm.cc.o"
+  "CMakeFiles/softres_workload.dir/client_farm.cc.o.d"
+  "CMakeFiles/softres_workload.dir/rubbos.cc.o"
+  "CMakeFiles/softres_workload.dir/rubbos.cc.o.d"
+  "libsoftres_workload.a"
+  "libsoftres_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/softres_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

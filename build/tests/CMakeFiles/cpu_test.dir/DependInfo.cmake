@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpu_test.cc" "tests/CMakeFiles/cpu_test.dir/cpu_test.cc.o" "gcc" "tests/CMakeFiles/cpu_test.dir/cpu_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/softres_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/softres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/softres_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tier/CMakeFiles/softres_tier.dir/DependInfo.cmake"
+  "/root/repo/build/src/soft/CMakeFiles/softres_soft.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/softres_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/softres_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/softres_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/softres_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/softres_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

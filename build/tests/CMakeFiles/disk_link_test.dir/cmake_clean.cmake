@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_link_test.dir/disk_link_test.cc.o"
+  "CMakeFiles/disk_link_test.dir/disk_link_test.cc.o.d"
+  "disk_link_test"
+  "disk_link_test.pdb"
+  "disk_link_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_link_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intervention_test.dir/intervention_test.cc.o"
+  "CMakeFiles/intervention_test.dir/intervention_test.cc.o.d"
+  "intervention_test"
+  "intervention_test.pdb"
+  "intervention_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intervention_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pool_property_test.dir/pool_property_test.cc.o"
+  "CMakeFiles/pool_property_test.dir/pool_property_test.cc.o.d"
+  "pool_property_test"
+  "pool_property_test.pdb"
+  "pool_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pool_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
