@@ -8,10 +8,30 @@
 #include <algorithm>
 
 #include "bench_util.h"
+#include "obs/registry.h"
 
 using namespace softres;
 
 namespace {
+
+// The timeline series now come out of the unified obs::Registry (the legacy
+// dotted names are registry aliases); the end-of-run snapshot additionally
+// exports every metric as Prometheus text / flat CSV when SOFTRES_CSV_DIR is
+// set.
+void maybe_export_snapshot(const exp::RunResult& r, const std::string& stem) {
+  const std::string dir = metrics::csv_dir_from_env();
+  if (dir.empty()) return;
+  if (metrics::export_csv(dir, stem + ".prom", [&](std::ostream& os) {
+        obs::write_prometheus(os, r.metrics);
+      })) {
+    std::cout << "[prom] wrote " << dir << "/" << stem << ".prom\n";
+  }
+  if (metrics::export_csv(dir, stem + ".metrics.csv", [&](std::ostream& os) {
+        obs::write_csv(os, r.metrics);
+      })) {
+    std::cout << "[csv] wrote " << dir << "/" << stem << ".metrics.csv\n";
+  }
+}
 
 void print_timeline(const exp::RunResult& r, double from, double to) {
   const auto* processed = r.find_series("apache0.processed");
@@ -63,13 +83,25 @@ int main() {
                              from + opts.client.runtime_s);
 
   std::cout << "\n-- Fig 7(a-c): Apache 30-6-20, workload 6000 --\n";
-  print_timeline(e.run(exp::SoftConfig{30, 6, 20}, 6000), from, to);
+  {
+    const exp::RunResult r = e.run(exp::SoftConfig{30, 6, 20}, 6000);
+    print_timeline(r, from, to);
+    maybe_export_snapshot(r, "fig7_wl6000_pool30");
+  }
 
   std::cout << "\n-- Fig 7(d-f): Apache 30-6-20, workload 7400 --\n";
-  print_timeline(e.run(exp::SoftConfig{30, 6, 20}, 7400), from, to);
+  {
+    const exp::RunResult r = e.run(exp::SoftConfig{30, 6, 20}, 7400);
+    print_timeline(r, from, to);
+    maybe_export_snapshot(r, "fig7_wl7400_pool30");
+  }
 
   std::cout << "\n-- Fig 8: Apache 400-6-20, workload 7400 --\n";
-  print_timeline(e.run(exp::SoftConfig{400, 6, 20}, 7400), from, to);
+  {
+    const exp::RunResult r = e.run(exp::SoftConfig{400, 6, 20}, 7400);
+    print_timeline(r, from, to);
+    maybe_export_snapshot(r, "fig8_wl7400_pool400");
+  }
 
   std::cout << "\npaper's reading: at WL 7400 with 30 threads, PT_total "
                "spikes (FIN waits) while threads interacting with Tomcat "

@@ -88,6 +88,10 @@ BENCHMARK(BM_PoolContended);
 
 void BM_TestbedTrial(benchmark::State& state) {
   const auto users = static_cast<std::size_t>(state.range(0));
+  // range(1): trace sample rate in 1/1000 — 0 measures the tracing-off fast
+  // path (a null-pointer check per event), which must stay within noise of
+  // the pre-observability kernel.
+  const double trace_rate = static_cast<double>(state.range(1)) / 1000.0;
   std::uint64_t events = 0;
   for (auto _ : state) {
     exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
@@ -96,6 +100,7 @@ void BM_TestbedTrial(benchmark::State& state) {
     client.ramp_up_s = 5.0;
     client.runtime_s = 15.0;
     client.ramp_down_s = 2.0;
+    client.trace_sample_rate = trace_rate;
     exp::Testbed bed(cfg, client);
     bed.run();
     events += bed.simulator().events_executed();
@@ -104,7 +109,12 @@ void BM_TestbedTrial(benchmark::State& state) {
   state.SetLabel("events/iter=" +
                  std::to_string(events / state.iterations()));
 }
-BENCHMARK(BM_TestbedTrial)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_TestbedTrial)
+    ->Args({500, 0})
+    ->Args({2000, 0})
+    ->Args({2000, 10})   // 1% traced
+    ->Args({2000, 1000}) // every dynamic request traced
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

@@ -19,15 +19,13 @@
 namespace softres::bench {
 
 /// Trial schedule for benches: compressed by default, the paper's 8 min /
-/// 12 min schedule with SOFTRES_FULL=1.
+/// 12 min schedule with SOFTRES_FULL=1. Delegates to
+/// ExperimentOptions::from_env() so the environment switches (SOFTRES_FULL,
+/// SOFTRES_TRACE_RATE) are interpreted in exactly one place.
 inline exp::ExperimentOptions bench_options() {
-  exp::ExperimentOptions opts;
+  exp::ExperimentOptions opts = exp::ExperimentOptions::from_env();
   const char* full = std::getenv("SOFTRES_FULL");
-  if (full != nullptr && full[0] == '1') {
-    opts.client.ramp_up_s = 480.0;
-    opts.client.runtime_s = 720.0;
-    opts.client.ramp_down_s = 30.0;
-  } else {
+  if (full == nullptr || full[0] != '1') {
     opts.client.ramp_up_s = 20.0;
     opts.client.runtime_s = 60.0;
     opts.client.ramp_down_s = 3.0;

@@ -2,13 +2,21 @@
 // SLA-split performance and where the bottleneck sits.
 //
 // Usage: quickstart [users] [hw e.g. 1/2/1/2] [soft e.g. 400-150-60]
+//
+// Observability switches (see DESIGN.md "Observability"):
+//   SOFTRES_TRACE_RATE=0.01   trace ~1% of dynamic requests tier-by-tier and
+//                             print the per-tier latency breakdown
+//   SOFTRES_TRACE_JSON=f.json additionally write the traced requests as
+//                             Chrome trace_event JSON (Perfetto-loadable)
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "exp/config.h"
 #include "exp/experiment.h"
 #include "metrics/table.h"
+#include "obs/trace.h"
 
 using namespace softres;
 
@@ -70,5 +78,23 @@ int main(int argc, char** argv) {
             << metrics::Table::fmt(r.tomcat_gc_seconds, 1)
             << "  cjdbc=" << metrics::Table::fmt(r.cjdbc_gc_seconds, 1)
             << "\n";
+
+  if (r.traces.size() > 0) {
+    std::cout << "\nTraced " << r.traces.size()
+              << " requests (SOFTRES_TRACE_RATE="
+              << experiment.options().trace_sample_rate() << "):\n";
+    r.traces.breakdown().print(std::cout);
+    if (const char* path = std::getenv("SOFTRES_TRACE_JSON")) {
+      std::ofstream os(path);
+      if (os) {
+        r.traces.write_chrome_trace(os);
+        std::cout << "[trace] wrote " << path
+                  << " (load in Perfetto / chrome://tracing)\n";
+      } else {
+        std::cerr << "[trace] cannot open " << path << "\n";
+        return 1;
+      }
+    }
+  }
   return 0;
 }

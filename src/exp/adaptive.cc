@@ -21,6 +21,18 @@ AdaptiveTuner::AdaptiveTuner(Testbed& bed, AdaptiveConfig config)
 }
 
 void AdaptiveTuner::start() {
+  obs::Registry& registry = bed_.registry();
+  resizes_ = registry.counter("tuner_resizes_total", {},
+                              "Pool capacity changes applied by the tuner");
+  for (auto& t : tracked_) {
+    Tracked* tp = &t;
+    registry.gauge_fn(
+        "tuner_target",
+        [tp](sim::SimTime) { return tp->last_target; },
+        {{"pool", t.pool->name()}},
+        "Most recent capacity target computed for this pool",
+        t.pool->name() + ".tuner_target");
+  }
   bed_.simulator().schedule(config_.sample_interval_s, [this] { sample(); });
   bed_.simulator().schedule(config_.control_interval_s, [this] { control(); });
 }
@@ -73,6 +85,7 @@ void AdaptiveTuner::resize(Tracked& tracked, bool allow_growth) {
   auto target = std::clamp(
       static_cast<std::size_t>(std::ceil(target_raw)), config_.min_pool,
       config_.max_pool);
+  tracked.last_target = static_cast<double>(target);
   const auto current = tracked.pool->capacity();
   if (!allow_growth && target > current) return;
   const double change =
@@ -81,6 +94,7 @@ void AdaptiveTuner::resize(Tracked& tracked, bool allow_growth) {
   if (change < config_.deadband) return;
   actions_.push_back(Action{bed_.simulator().now(), tracked.pool->name(),
                             current, target});
+  resizes_.inc();
   tracked.pool->set_capacity(target);
 }
 

@@ -46,7 +46,9 @@ class AdaptiveTuner {
  public:
   AdaptiveTuner(Testbed& bed, AdaptiveConfig config = {});
 
-  /// Begin sampling and controlling; call before Testbed::run().
+  /// Begin sampling and controlling; call before Testbed::run(). The tuner
+  /// registers its own observability ("tuner_resizes_total" plus a
+  /// per-tracked-pool target gauge) on the testbed's registry.
   void start();
 
   struct Action {
@@ -64,6 +66,7 @@ class AdaptiveTuner {
     soft::Pool* pool = nullptr;
     double headroom = 1.0;  // margin multiplier for this pool
     sim::Welford demand;    // samples of in_use + waiting
+    double last_target = 0.0;  // exported via tuner_target{pool=...}
   };
 
   void sample();
@@ -75,6 +78,7 @@ class AdaptiveTuner {
   Testbed& bed_;
   AdaptiveConfig config_;
   std::vector<Tracked> tracked_;
+  obs::Counter resizes_;
   std::vector<Action> actions_;
   std::size_t samples_in_interval_ = 0;
   std::size_t saturated_samples_ = 0;

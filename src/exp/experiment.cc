@@ -14,6 +14,9 @@ ExperimentOptions ExperimentOptions::from_env() {
     opts.client.runtime_s = 720.0;   // 12 minutes
     opts.client.ramp_down_s = 30.0;
   }
+  if (const char* rate = std::getenv("SOFTRES_TRACE_RATE")) {
+    opts.client.trace_sample_rate = std::atof(rate);
+  }
   return opts;
 }
 
@@ -168,6 +171,8 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
       r.series.push_back(bed.sampler().series(i));
     }
   }
+  r.metrics = bed.registry().snapshot(bed.simulator().now());
+  r.traces.collect(bed.farm().traced_requests());
   return r;
 }
 

@@ -6,6 +6,8 @@
 #include "exp/config.h"
 #include "exp/testbed.h"
 #include "metrics/sla.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/sampler.h"
 #include "sim/stats.h"
 #include "workload/client_farm.h"
@@ -18,6 +20,14 @@ struct ExperimentOptions {
   workload::ClientConfig client;   // users is overridden per run
   double sla_threshold_s = 2.0;    // reporting default, as in the paper
   bool keep_series = true;         // retain all sampler series in the result
+
+  /// Single switch for tier-by-tier request tracing, plumbed into
+  /// ClientConfig::trace_sample_rate (0 = off, the default; 1 = every dynamic
+  /// request). from_env() reads it from SOFTRES_TRACE_RATE.
+  double trace_sample_rate() const { return client.trace_sample_rate; }
+  void set_trace_sample_rate(double rate) {
+    client.trace_sample_rate = rate;
+  }
 
   static ExperimentOptions from_env();
 };
@@ -63,6 +73,13 @@ struct RunResult {
   double req_ratio = 0.0;          // workload's queries per interaction
 
   std::vector<sim::TimeSeries> series;  // all sampler series (optional)
+
+  /// End-of-trial registry snapshot (every probe, counter and histogram);
+  /// export with obs::write_prometheus / obs::write_csv.
+  obs::Snapshot metrics;
+  /// Assembled span trees of the traced requests (empty unless
+  /// trace_sample_rate > 0); traces.breakdown() is the Fig 9 analysis.
+  obs::TraceCollector traces;
 
   double goodput(double threshold_s) const;
   metrics::SlaSplit sla(double threshold_s) const;

@@ -2,8 +2,7 @@
 
 #include <cassert>
 
-#include "hw/monitor.h"
-#include "soft/pool_monitor.h"
+#include "obs/probes.h"
 
 namespace softres::exp {
 
@@ -80,26 +79,34 @@ Testbed::Testbed(const TestbedConfig& cfg,
     farm_->add_target(*apaches_.back());
   }
 
-  // SysStat-equivalent monitoring at 1 s granularity.
+  // Unified observability: every probe family registers on the one Registry;
+  // the SysStat-equivalent sampler polls it at 1 s granularity. Registry
+  // aliases keep the historical dotted series names ("tomcat0.threads.util",
+  // "apache0.processed", ...) resolvable through Sampler::find_series.
   sampler_ = std::make_unique<sim::Sampler>(sim_, 1.0);
   for (auto& node : nodes_) {
-    hw::add_cpu_util_probe(*sampler_, node->name() + ".cpu", node->cpu());
+    obs::register_cpu_util(registry_, *node);
   }
   for (auto& t : tomcats_) {
-    hw::add_gc_util_probe(*sampler_, t->name() + ".gc", t->node().cpu());
-    soft::add_pool_util_probe(*sampler_, t->name() + ".threads.util",
-                              t->thread_pool());
-    soft::add_pool_util_probe(*sampler_, t->name() + ".dbconns.util",
-                              t->connection_pool());
+    obs::register_gc_util(registry_, t->name(), t->node().cpu());
+    obs::register_pool(registry_, t->thread_pool());
+    obs::register_pool(registry_, t->connection_pool());
+    obs::register_server_ops(registry_, *t);
   }
   for (auto& c : cjdbcs_) {
-    hw::add_gc_util_probe(*sampler_, c->name() + ".gc", c->node().cpu());
+    obs::register_gc_util(registry_, c->name(), c->node().cpu());
+    obs::register_server_ops(registry_, *c);
+  }
+  for (auto& m : mysqls_) {
+    obs::register_server_ops(registry_, *m);
   }
   for (auto& a : apaches_) {
-    soft::add_pool_util_probe(*sampler_, a->name() + ".workers.util",
-                              a->worker_pool());
-    tier::add_apache_timeline_probes(*sampler_, *a);
+    obs::register_pool(registry_, a->worker_pool());
+    obs::register_apache_timeline(registry_, *a);
+    obs::register_server_ops(registry_, *a);
   }
+  farm_->bind_registry(registry_);
+  registry_.attach(*sampler_);
 }
 
 hw::Node& Testbed::add_node(const std::string& name) {

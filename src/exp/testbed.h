@@ -8,6 +8,7 @@
 #include "exp/config.h"
 #include "hw/link.h"
 #include "hw/node.h"
+#include "obs/registry.h"
 #include "sim/sampler.h"
 #include "sim/simulator.h"
 #include "tier/apache.h"
@@ -35,6 +36,10 @@ class Testbed {
   sim::Simulator& simulator() { return sim_; }
   sim::Sampler& sampler() { return *sampler_; }
   const sim::Sampler& sampler() const { return *sampler_; }
+  /// Unified metrics registry: every probe of every tier, the client farm and
+  /// any runtime tuner registers here; the sampler polls it at 1 Hz.
+  obs::Registry& registry() { return registry_; }
+  const obs::Registry& registry() const { return registry_; }
   workload::ClientFarm& farm() { return *farm_; }
   const workload::ClientFarm& farm() const { return *farm_; }
   const workload::RubbosWorkload& workload() const { return workload_; }
@@ -93,6 +98,7 @@ class Testbed {
   std::vector<std::unique_ptr<tier::TomcatServer>> tomcats_;
   std::vector<std::unique_ptr<tier::ApacheServer>> apaches_;
   std::unique_ptr<workload::ClientFarm> farm_;
+  obs::Registry registry_;
   std::unique_ptr<sim::Sampler> sampler_;
 
   std::map<const jvm::Jvm*, double> gc_baseline_;

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+
+#include "obs/registry.h"
+
+namespace softres::hw {
+class Cpu;
+class Node;
+}  // namespace softres::hw
+namespace softres::soft {
+class Pool;
+}
+namespace softres::tier {
+class ApacheServer;
+class Server;
+}  // namespace softres::tier
+
+namespace softres::obs {
+
+/// Adapters that register every existing probe family into one Registry —
+/// the single place the testbed (and future deployments) wire monitoring.
+/// Each keeps the legacy dotted sim::Sampler series name as its alias so all
+/// historical series consumers ("tomcat0.threads.util", "apache0.processed",
+/// ...) keep working when the registry is attached to the sampler.
+
+/// "cpu_util_pct{node=...}" (alias "<node>.cpu"): SysStat-style percent
+/// utilization differenced over the sampling interval.
+void register_cpu_util(Registry& registry, const hw::Node& node);
+
+/// "gc_util_pct{node=...}" (alias "<server>.gc"): percent of the interval the
+/// CPU spent frozen in stop-the-world collections (the Fig 5 "GC CPU").
+void register_gc_util(Registry& registry, const std::string& server,
+                      const hw::Cpu& cpu);
+
+/// "pool_util_pct{pool=...}" and "pool_waiting{pool=...}" (aliases
+/// "<pool>.util" / "<pool>.waiting"): occupancy percent and queued acquirers.
+void register_pool(Registry& registry, const soft::Pool& pool);
+
+/// "server_throughput{server=...}" / "server_mean_rt_seconds{server=...}":
+/// per-window operational quantities of any tier server.
+void register_server_ops(Registry& registry, const tier::Server& server);
+
+/// The five Fig 7/8 Apache timeline series (processed, busy-time split,
+/// parallelism), aliases "<name>.processed", ".pt_total_ms", ".pt_tomcat_ms",
+/// ".threads_active", ".threads_connecting".
+void register_apache_timeline(Registry& registry, tier::ApacheServer& apache);
+
+}  // namespace softres::obs

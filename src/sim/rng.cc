@@ -91,4 +91,9 @@ Rng Rng::split() {
   return child;
 }
 
+std::uint64_t Rng::hash_mix(std::uint64_t seed, std::uint64_t value) {
+  std::uint64_t x = seed ^ (value + 0x9E3779B97F4A7C15ull * (value | 1));
+  return splitmix64(x);
+}
+
 }  // namespace softres::sim

@@ -43,6 +43,11 @@ class Rng {
   /// Derive an independent child stream; deterministic given current state.
   Rng split();
 
+  /// Stateless SplitMix64 finalizer of (seed, value): the same pair always
+  /// maps to the same 64-bit word, independent of any stream's draw order.
+  /// Used for deterministic per-item decisions such as 1-in-N trace sampling.
+  static std::uint64_t hash_mix(std::uint64_t seed, std::uint64_t value);
+
   // UniformRandomBitGenerator interface (for std::shuffle etc.).
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~0ull; }

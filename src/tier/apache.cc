@@ -18,19 +18,22 @@ ApacheServer::ApacheServer(sim::Simulator& sim, std::string name,
 }
 
 void ApacheServer::handle(const RequestPtr& req, Callback responded) {
-  workers_.acquire([this, req, responded = std::move(responded)]() mutable {
+  const sim::SimTime arrived = sim().now();
+  workers_.acquire([this, req, arrived,
+                    responded = std::move(responded)]() mutable {
     const sim::SimTime worker_started = sim().now();
     const sim::SimTime entered = worker_started;
+    const double queue_s = worker_started - arrived;
     job_entered();
 
     // Parse the request.
     node_.cpu().submit(req->apache_demand_s * 0.5, [this, req, entered,
-                                                    worker_started,
+                                                    worker_started, queue_s,
                                                     responded = std::move(
                                                         responded)]() mutable {
       if (req->kind == RequestKind::kStatic) {
         // Static files are cached in memory; no Tomcat round trip.
-        respond(req, entered, worker_started, std::move(responded));
+        respond(req, entered, worker_started, queue_s, std::move(responded));
         return;
       }
       // Proxy to a Tomcat instance (mod_jk-style balancing). The worker now
@@ -42,18 +45,21 @@ void ApacheServer::handle(const RequestPtr& req, Callback responded) {
       next_tomcat_ = (next_tomcat_ + 1) % tomcats_.size();
       to_tomcat_.send(req->request_bytes, [this, req, tomcat, entered,
                                            worker_started, conn_started,
+                                           queue_s,
                                            responded = std::move(
                                                responded)]() mutable {
         tomcat->submit(req, [this, req, entered, worker_started, conn_started,
+                             queue_s,
                              responded = std::move(responded)]() mutable {
           from_tomcat_.send(
               req->response_bytes,
-              [this, req, entered, worker_started, conn_started,
+              [this, req, entered, worker_started, conn_started, queue_s,
                responded = std::move(responded)]() mutable {
                 --connecting_tomcat_;
                 win_tomcat_sum_s_ += sim().now() - conn_started;
                 ++win_tomcat_n_;
-                respond(req, entered, worker_started, std::move(responded));
+                respond(req, entered, worker_started, queue_s,
+                        std::move(responded));
               });
         });
       });
@@ -62,19 +68,21 @@ void ApacheServer::handle(const RequestPtr& req, Callback responded) {
 }
 
 void ApacheServer::respond(const RequestPtr& req, sim::SimTime entered,
-                           sim::SimTime worker_started, Callback responded) {
+                           sim::SimTime worker_started, double queue_s,
+                           Callback responded) {
   // Assemble and write the response.
   node_.cpu().submit(req->apache_demand_s * 0.5, [this, req, entered,
-                                                  worker_started,
+                                                  worker_started, queue_s,
                                                   responded = std::move(
                                                       responded)]() mutable {
     to_client_.send(req->response_bytes, std::move(responded));
     job_left(entered);
-    req->record_span(name(), entered, sim().now());
     ++win_processed_;
     // Lingering close: the worker stays bound to the connection until the
     // client FINs; under loaded clients this dominates worker busy time.
     const double fin_delay = tcp_.sample_fin_delay(client_load_());
+    req->record_span(name(), entered, sim().now(), queue_s,
+                     /*conn_queue_s=*/0.0, /*gc_s=*/0.0, fin_delay);
     sim().schedule(fin_delay, [this, worker_started] {
       const double busy = sim().now() - worker_started;
       win_busy_sum_s_ += busy;

@@ -69,7 +69,8 @@ class ApacheServer : public Server {
 
  private:
   void respond(const RequestPtr& req, sim::SimTime entered,
-               sim::SimTime worker_started, Callback responded);
+               sim::SimTime worker_started, double queue_s,
+               Callback responded);
 
   hw::Node& node_;
   soft::Pool workers_;

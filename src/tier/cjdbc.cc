@@ -16,6 +16,7 @@ CJdbcServer::CJdbcServer(sim::Simulator& sim, std::string name, hw::Node& node,
 void CJdbcServer::query(const RequestPtr& req, Callback done) {
   assert(!backends_.empty());
   const sim::SimTime entered = sim().now();
+  const double gc0 = req->trace ? jvm_.total_gc_seconds() : 0.0;
   job_entered();
 
   // Query parsing + routing consumes middleware CPU; the JVM charges each
@@ -26,9 +27,12 @@ void CJdbcServer::query(const RequestPtr& req, Callback done) {
   MySqlServer* backend = backends_[next_backend_];
   next_backend_ = (next_backend_ + 1) % backends_.size();
 
-  auto finish = [this, req, entered, done = std::move(done)]() {
+  auto finish = [this, req, entered, gc0, done = std::move(done)]() {
     job_left(entered);
-    req->record_span(name(), entered, sim().now());
+    if (req->trace) {
+      req->record_span(name(), entered, sim().now(), /*queue_s=*/0.0,
+                       /*conn_queue_s=*/0.0, jvm_.total_gc_seconds() - gc0);
+    }
     done();
   };
 

@@ -37,21 +37,56 @@ struct Request {
   sim::SimTime sent_at = 0.0;
   sim::SimTime completed_at = 0.0;
 
-  /// One server visit of a traced request: [enter, leave) residence. For a
-  /// Tomcat visit this is the paper's T; the C-JDBC visits are its t1, t2
-  /// (Fig 9). Off by default; the client farm samples a subset.
+  /// One server visit of a traced request: [enter, leave) is the service
+  /// residence (for a Tomcat visit this is the paper's T; the C-JDBC visits
+  /// are its t1, t2 — Fig 9), annotated with the sub-phases the observability
+  /// layer breaks latency into:
+  ///  * queue_s      — wait for a pool unit (worker/servlet thread) *before*
+  ///                   enter; the residence interval excludes it.
+  ///  * conn_queue_s — in-residence wait for a downstream connection (the
+  ///                   Tomcat DB-connection pool).
+  ///  * gc_s         — stop-the-world freeze time of this server's JVM that
+  ///                   overlapped the residence.
+  ///  * fin_wait_s   — lingering-close FIN wait *after* leave (web tier); the
+  ///                   worker stays bound but the response is already out, so
+  ///                   this is part of worker busy time, not of response time.
   struct TraceSpan {
     std::string server;
     sim::SimTime enter = 0.0;
     sim::SimTime leave = 0.0;
+    double queue_s = 0.0;
+    double conn_queue_s = 0.0;
+    double gc_s = 0.0;
+    double fin_wait_s = 0.0;
     double duration() const { return leave - enter; }
   };
-  bool trace_enabled = false;
-  std::vector<TraceSpan> trace;
+
+  /// Span storage for a sampled request. Tracing is off by default; the farm
+  /// arms a deterministic 1-in-N subset by allocating this block. Servers on
+  /// the hot path pay exactly one pointer-null check when tracing is off.
+  struct Trace {
+    std::vector<TraceSpan> spans;
+  };
+  std::unique_ptr<Trace> trace;
+
+  bool traced() const { return trace != nullptr; }
+  void enable_trace() {
+    if (!trace) trace = std::make_unique<Trace>();
+  }
+  /// Spans of a traced request (empty vector when tracing is off).
+  const std::vector<TraceSpan>& spans() const {
+    static const std::vector<TraceSpan> kEmpty;
+    return trace ? trace->spans : kEmpty;
+  }
 
   void record_span(const std::string& server, sim::SimTime enter,
-                   sim::SimTime leave) {
-    if (trace_enabled) trace.push_back(TraceSpan{server, enter, leave});
+                   sim::SimTime leave, double queue_s = 0.0,
+                   double conn_queue_s = 0.0, double gc_s = 0.0,
+                   double fin_wait_s = 0.0) {
+    if (!trace) return;
+    trace->spans.push_back(
+        TraceSpan{server, enter, leave, queue_s, conn_queue_s, gc_s,
+                  fin_wait_s});
   }
 };
 

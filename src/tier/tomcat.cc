@@ -20,22 +20,32 @@ TomcatServer::TomcatServer(sim::Simulator& sim, std::string name,
 }
 
 void TomcatServer::submit(const RequestPtr& req, Callback done) {
-  threads_.acquire([this, req, done = std::move(done)]() mutable {
+  const sim::SimTime arrived = sim().now();
+  threads_.acquire([this, req, arrived, done = std::move(done)]() mutable {
     const sim::SimTime entered = sim().now();
+    const double queue_s = entered - arrived;
+    const double gc0 = req->trace ? jvm_.total_gc_seconds() : 0.0;
     job_entered();
     jvm_.allocate(alloc_per_request_mb_);
     const double pre_demand = req->tomcat_demand_s * kPreDbCpuFraction *
                               jvm_.runtime_overhead_factor();
 
-    auto finish = [this, req, entered, done = std::move(done)]() mutable {
+    // `finish(conn_queue_s)` runs the post-DB CPU phase and closes the span.
+    auto finish = [this, req, entered, queue_s, gc0,
+                   done = std::move(done)](double conn_queue_s) mutable {
       const double post_demand = req->tomcat_demand_s *
                                  (1.0 - kPreDbCpuFraction) *
                                  jvm_.runtime_overhead_factor();
       node_.cpu().submit(post_demand,
-                         [this, req, entered,
+                         [this, req, entered, queue_s, conn_queue_s, gc0,
                           done = std::move(done)]() mutable {
                            job_left(entered);
-                           req->record_span(name(), entered, sim().now());
+                           if (req->trace) {
+                             req->record_span(
+                                 name(), entered, sim().now(), queue_s,
+                                 conn_queue_s,
+                                 jvm_.total_gc_seconds() - gc0);
+                           }
                            threads_.release();
                            done();
                          });
@@ -44,15 +54,19 @@ void TomcatServer::submit(const RequestPtr& req, Callback done) {
     node_.cpu().submit(pre_demand, [this, req,
                                     finish = std::move(finish)]() mutable {
       if (req->num_queries <= 0) {
-        finish();
+        finish(0.0);
         return;
       }
       // Hold one DB connection for the entire query phase (Fig 9).
-      db_conns_.acquire([this, req, finish = std::move(finish)]() mutable {
+      const sim::SimTime conn_wait_started = sim().now();
+      db_conns_.acquire([this, req, conn_wait_started,
+                         finish = std::move(finish)]() mutable {
+        const double conn_queue_s = sim().now() - conn_wait_started;
         run_queries(req, req->num_queries,
-                    [this, finish = std::move(finish)]() mutable {
+                    [this, conn_queue_s,
+                     finish = std::move(finish)]() mutable {
                       db_conns_.release();
-                      finish();
+                      finish(conn_queue_s);
                     });
       });
     });

@@ -15,6 +15,27 @@ ClientFarm::ClientFarm(sim::Simulator& sim, const RubbosWorkload& workload,
   }
 }
 
+void ClientFarm::bind_registry(obs::Registry& registry) {
+  dynamic_requests_ =
+      registry.counter("client_requests_total", {{"kind", "dynamic"}},
+                       "Requests issued by the client farm");
+  static_requests_ =
+      registry.counter("client_requests_total", {{"kind", "static"}},
+                       "Requests issued by the client farm");
+  // The paper's Fig 3c response-time buckets.
+  rt_hist_ = registry.histogram(
+      "client_response_time_seconds", {0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0}, {},
+      "End-to-end response time of dynamic requests in the window");
+  registry.gauge_fn(
+      "client_active_users",
+      [this](sim::SimTime) { return static_cast<double>(started_users_); },
+      {}, "Closed-loop sessions currently active", "client.active_users");
+  registry.gauge_fn(
+      "client_load", [this](sim::SimTime) { return client_load(); }, {},
+      "Started-user fraction of client capacity (drives the FIN-delay model)",
+      "client.load");
+}
+
 void ClientFarm::set_load_schedule(std::vector<LoadPhase> schedule) {
   for (const auto& phase : schedule) {
     assert(phase.active_users <= config_.users);
@@ -94,10 +115,11 @@ void ClientFarm::issue_page(std::size_t u) {
   workload_.sample_dynamic(*req, user_rngs_[u]);
   req->sent_at = sim_.now();
   ++pages_started_;
+  dynamic_requests_.inc();
   if (config_.trace_sample_rate > 0.0 &&
       traced_.size() < kMaxTracedRequests &&
-      user_rngs_[u].bernoulli(config_.trace_sample_rate)) {
-    req->trace_enabled = true;
+      should_trace(req->id)) {
+    req->enable_trace();
     traced_.push_back(req);
   }
   tier::ApacheServer* apache = next_apache();
@@ -108,6 +130,7 @@ void ClientFarm::issue_page(std::size_t u) {
           req->completed_at < measure_end()) {
         rts_.add(req->completed_at - req->sent_at);
         completion_times_.push_back(req->completed_at);
+        rt_hist_.observe(req->completed_at - req->sent_at);
       }
       issue_static(u, RubbosWorkload::kStaticsPerPage);
     });
@@ -123,12 +146,21 @@ void ClientFarm::issue_static(std::size_t u, int remaining) {
   req->id = next_request_id_++;
   workload_.sample_static(*req, user_rngs_[u]);
   req->sent_at = sim_.now();
+  static_requests_.inc();
   tier::ApacheServer* apache = next_apache();
   to_server_.send(req->request_bytes, [this, u, remaining, apache, req] {
     apache->handle(req, [this, u, remaining](/*responded*/) {
       issue_static(u, remaining - 1);
     });
   });
+}
+
+bool ClientFarm::should_trace(std::uint64_t request_id) const {
+  // Hash-based 1-in-N sampling: deterministic per (seed, request id), and —
+  // unlike drawing from a user's RNG stream — consumes no random numbers, so
+  // a traced trial replays the exact event sequence of an untraced one.
+  const std::uint64_t h = sim::Rng::hash_mix(config_.seed, request_id);
+  return static_cast<double>(h >> 11) * 0x1.0p-53 < config_.trace_sample_rate;
 }
 
 tier::ApacheServer* ClientFarm::next_apache() {

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "hw/link.h"
+#include "obs/registry.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
@@ -26,8 +27,12 @@ struct ClientConfig {
   /// FIN-reply latency model kicks in (see net::TcpConfig).
   double users_capacity = 8000.0;
   std::uint64_t seed = 42;
-  /// Fraction of dynamic requests traced tier-by-tier (Request::trace). The
-  /// farm retains at most kMaxTracedRequests of them.
+  /// Fraction of dynamic requests traced tier-by-tier (Request::trace),
+  /// default off. Sampling is a deterministic hash of (seed, request id), so
+  /// the traced subset is reproducible and tracing perturbs neither the RNG
+  /// streams nor the event sequence. The farm retains at most
+  /// kMaxTracedRequests traced requests. Benches and examples share this one
+  /// switch via exp::ExperimentOptions::trace_sample_rate.
   double trace_sample_rate = 0.0;
 };
 
@@ -96,6 +101,11 @@ class ClientFarm {
   }
   static constexpr std::size_t kMaxTracedRequests = 200;
 
+  /// Register the farm's client-side metrics (request counters, the Fig 3c
+  /// response-time histogram, active users / client load gauges) on the
+  /// unified registry. Call before start().
+  void bind_registry(obs::Registry& registry);
+
  private:
   void start_user(std::size_t u);
   void apply_target(std::size_t target);
@@ -103,6 +113,7 @@ class ClientFarm {
   void issue_page(std::size_t u);
   void issue_static(std::size_t u, int remaining);
   bool stopped() const;
+  bool should_trace(std::uint64_t request_id) const;
   tier::ApacheServer* next_apache();
 
   sim::Simulator& sim_;
@@ -123,6 +134,12 @@ class ClientFarm {
   sim::SampleSet rts_;
   std::vector<sim::SimTime> completion_times_;
   std::vector<tier::RequestPtr> traced_;
+
+  // Observability handles; default-constructed handles are no-op sinks, so
+  // an unbound farm pays one null check per event.
+  obs::Counter dynamic_requests_;
+  obs::Counter static_requests_;
+  obs::Histogram rt_hist_;
 };
 
 }  // namespace softres::workload

@@ -3,7 +3,14 @@
 #   SOFTRES_CSV_DIR=out ./build/bench/bench_fig2   (and fig5, fig6, ...)
 #   gnuplot -e "dir='out'" tools/plot_figures.gp
 #
-# Produces PNGs next to the CSVs. Column layout: workload,<series...>.
+# Produces PNGs next to the CSVs. Column layout: workload,<series...>
+#
+# The benches also drop end-of-run registry snapshots next to these sweeps
+# (*.prom Prometheus text, *.metrics.csv flat metric,labels,kind,value
+# rows — see bench_fig7_8). Those are per-instant tables, not series; plot
+# them ad hoc, e.g.:
+#   plot "< grep '^pool_util' out/fig8_wl7400_pool400.metrics.csv" \
+#        using 0:4:xtic(2) with boxes.
 
 if (!exists("dir")) dir = "."
 

@@ -1,0 +1,51 @@
+# Validate an emitted Chrome trace_event file: it must parse as JSON, carry a
+# non-empty traceEvents array, and its events must look like complete ("X")
+# spans with the standard fields. Runs as the quickstart_trace_json_valid
+# CTest (FIXTURES_REQUIRED on the quickstart smoke run).
+#
+# Usage: cmake -DTRACE_JSON=<file> -P tools/validate_trace_json.cmake
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED TRACE_JSON)
+  message(FATAL_ERROR "pass -DTRACE_JSON=<file>")
+endif()
+if(NOT EXISTS "${TRACE_JSON}")
+  message(FATAL_ERROR "trace file not found: ${TRACE_JSON}")
+endif()
+
+file(READ "${TRACE_JSON}" content)
+
+string(JSON n ERROR_VARIABLE err LENGTH "${content}" traceEvents)
+if(NOT err STREQUAL "NOTFOUND")
+  message(FATAL_ERROR "not a valid trace JSON: ${err}")
+endif()
+if(n EQUAL 0)
+  message(FATAL_ERROR "traceEvents is empty — tracing produced no spans")
+endif()
+
+string(JSON unit ERROR_VARIABLE err GET "${content}" displayTimeUnit)
+if(NOT err STREQUAL "NOTFOUND" OR NOT unit STREQUAL "ms")
+  message(FATAL_ERROR "displayTimeUnit missing or not 'ms'")
+endif()
+
+# The first event is a span: complete phase, named, with timestamps.
+string(JSON ph GET "${content}" traceEvents 0 ph)
+if(NOT ph STREQUAL "X")
+  message(FATAL_ERROR "first traceEvent is not a complete ('X') event")
+endif()
+foreach(field name ts dur pid tid)
+  string(JSON value ERROR_VARIABLE err GET "${content}" traceEvents 0 ${field})
+  if(NOT err STREQUAL "NOTFOUND")
+    message(FATAL_ERROR "first traceEvent lacks '${field}': ${err}")
+  endif()
+endforeach()
+
+# The tier "process" naming metadata must be present for Perfetto grouping.
+math(EXPR last "${n} - 1")
+string(JSON meta_name GET "${content}" traceEvents ${last} name)
+string(JSON meta_ph GET "${content}" traceEvents ${last} ph)
+if(NOT meta_name STREQUAL "process_name" OR NOT meta_ph STREQUAL "M")
+  message(FATAL_ERROR "trailing process_name ('M') metadata missing")
+endif()
+
+message(STATUS "ok: ${n} trace events in ${TRACE_JSON}")
