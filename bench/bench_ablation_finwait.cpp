@@ -23,12 +23,16 @@ int main() {
 
   metrics::Table t({"fin model", "workload", "goodput@2s", "throughput",
                     "cjdbc CPU %", "apache busy ms"});
+  const std::vector<std::size_t> workloads = {6600, 7800};
   for (bool dep : {true, false}) {
     exp::Experiment e = experiment_with_finwait(dep);
-    for (std::size_t wl : {std::size_t{6600}, std::size_t{7800}}) {
-      const exp::RunResult r = e.run(exp::SoftConfig{30, 6, 20}, wl);
+    const auto runs = exp::sweep_workload(e, exp::SoftConfig{30, 6, 20},
+                                          workloads);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      const exp::RunResult& r = runs[i];
       const exp::ServerOps* apache = r.find_server("apache0");
-      t.add_row({dep ? "load-dependent" : "constant", std::to_string(wl),
+      t.add_row({dep ? "load-dependent" : "constant",
+                 std::to_string(workloads[i]),
                  metrics::Table::fmt(r.goodput(2.0), 1),
                  metrics::Table::fmt(r.throughput, 1),
                  metrics::Table::fmt(r.find_cpu("cjdbc0.cpu")->util_pct, 1),

@@ -27,11 +27,16 @@ int main() {
 
   metrics::Table t({"config", "GC", "goodput@2s", "throughput", "cjdbc GC s",
                     "cjdbc CPU %"});
+  const std::vector<exp::SoftConfig> softs = {exp::SoftConfig{400, 200, 10},
+                                              exp::SoftConfig{400, 200, 200}};
   for (bool gc : {true, false}) {
     exp::Experiment e = experiment_with_gc(gc);
-    for (std::size_t conns : {std::size_t{10}, std::size_t{200}}) {
-      const exp::RunResult r = e.run(exp::SoftConfig{400, 200, conns}, 7200);
-      t.add_row({"400-200-" + std::to_string(conns), gc ? "on" : "off",
+    // Both connection-pool settings run as one parallel batch per GC mode.
+    const auto grid = exp::sweep_grid(e, softs, {7200});
+    for (std::size_t c = 0; c < softs.size(); ++c) {
+      const exp::RunResult& r = grid[c][0];
+      t.add_row({"400-200-" + std::to_string(softs[c].db_connections),
+                 gc ? "on" : "off",
                  metrics::Table::fmt(r.goodput(2.0), 1),
                  metrics::Table::fmt(r.throughput, 1),
                  metrics::Table::fmt(r.cjdbc_gc_seconds, 1),

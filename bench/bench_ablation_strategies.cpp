@@ -38,12 +38,17 @@ void compare_on(const std::string& hw,
             << core::to_string(report.status) << ") --\n";
   metrics::Table t({"strategy", "alloc", "workload", "goodput@1s",
                     "badput@1s", "revenue/s"});
+  std::vector<exp::SoftConfig> softs;
   for (const auto& entry : entries) {
-    for (std::size_t wl : workloads) {
-      const exp::RunResult r =
-          e.run(exp::RunnerAdapter::to_soft_config(entry.alloc), wl);
-      const metrics::SlaSplit split = r.sla(1.0);
-      t.add_row({entry.name, entry.alloc.to_string(), std::to_string(wl),
+    softs.push_back(exp::RunnerAdapter::to_soft_config(entry.alloc));
+  }
+  // strategies x workloads in one parallel batch.
+  const auto grid = exp::sweep_grid(e, softs, workloads);
+  for (std::size_t s = 0; s < entries.size(); ++s) {
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      const metrics::SlaSplit split = grid[s][i].sla(1.0);
+      t.add_row({entries[s].name, entries[s].alloc.to_string(),
+                 std::to_string(workloads[i]),
                  metrics::Table::fmt(split.goodput, 1),
                  metrics::Table::fmt(split.badput, 1),
                  metrics::Table::fmt(revenue.revenue(split, 1.0), 1)});

@@ -8,19 +8,6 @@
 
 using namespace softres;
 
-namespace {
-
-double max_tp_over_workloads(exp::Experiment& e, const exp::SoftConfig& soft,
-                             const std::vector<std::size_t>& workloads) {
-  double best = 0.0;
-  for (std::size_t u : workloads) {
-    best = std::max(best, e.run(soft, u).throughput);
-  }
-  return best;
-}
-
-}  // namespace
-
 int main() {
   bench::header("Figure 10: validation sweeps",
                 "(a) max TP vs Tomcat threads on 1/2/1/2; (b) max TP vs DB "
@@ -31,16 +18,18 @@ int main() {
     exp::Experiment e = bench::make_experiment("1/2/1/2");
     const std::vector<std::size_t> sweeps = {6, 10, 13, 16, 20, 30, 60, 200};
     const std::vector<std::size_t> workloads = {5800, 6400};
+    std::vector<exp::SoftConfig> softs;
+    for (std::size_t p : sweeps) softs.push_back(exp::SoftConfig{400, p, 200});
+    const auto grid = exp::sweep_grid(e, softs, workloads);
     metrics::Table t({"tomcat threads", "max throughput"});
     std::size_t best_pool = 0;
     double best_tp = 0.0;
-    for (std::size_t p : sweeps) {
-      const double tp =
-          max_tp_over_workloads(e, exp::SoftConfig{400, p, 200}, workloads);
-      t.add_row({std::to_string(p), metrics::Table::fmt(tp, 1)});
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      const double tp = exp::max_throughput(grid[i]);
+      t.add_row({std::to_string(sweeps[i]), metrics::Table::fmt(tp, 1)});
       if (tp > best_tp) {
         best_tp = tp;
-        best_pool = p;
+        best_pool = sweeps[i];
       }
     }
     t.print(std::cout);
@@ -53,16 +42,18 @@ int main() {
     exp::Experiment e = bench::make_experiment("1/4/1/4");
     const std::vector<std::size_t> sweeps = {1, 2, 4, 6, 8, 10, 13, 16, 20};
     const std::vector<std::size_t> workloads = {7000, 7600};
+    std::vector<exp::SoftConfig> softs;
+    for (std::size_t c : sweeps) softs.push_back(exp::SoftConfig{400, 200, c});
+    const auto grid = exp::sweep_grid(e, softs, workloads);
     metrics::Table t({"db conns/tomcat", "max throughput"});
     std::size_t best_pool = 0;
     double best_tp = 0.0;
-    for (std::size_t c : sweeps) {
-      const double tp =
-          max_tp_over_workloads(e, exp::SoftConfig{400, 200, c}, workloads);
-      t.add_row({std::to_string(c), metrics::Table::fmt(tp, 1)});
+    for (std::size_t i = 0; i < sweeps.size(); ++i) {
+      const double tp = exp::max_throughput(grid[i]);
+      t.add_row({std::to_string(sweeps[i]), metrics::Table::fmt(tp, 1)});
       if (tp > best_tp) {
         best_tp = tp;
-        best_pool = c;
+        best_pool = sweeps[i];
       }
     }
     t.print(std::cout);

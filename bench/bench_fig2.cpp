@@ -16,8 +16,11 @@ int main() {
   const exp::SoftConfig good = exp::SoftConfig::parse("400-15-6");
   const auto workloads = exp::workload_range(5000, 6800, 300);
 
-  const auto low_runs = exp::sweep_workload(e, low, workloads);
-  const auto good_runs = exp::sweep_workload(e, good, workloads);
+  // One flat batch over both allocations; trials fan out across all cores
+  // (SOFTRES_JOBS to override) with results identical to a serial sweep.
+  const auto grid = exp::sweep_grid(e, {low, good}, workloads);
+  const auto& low_runs = grid[0];
+  const auto& good_runs = grid[1];
 
   for (double thr : {0.5, 1.0, 2.0}) {
     std::cout << "\n-- Fig 2 (" << thr << " s threshold) --\n";

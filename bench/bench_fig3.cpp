@@ -17,8 +17,9 @@ int main() {
   const exp::SoftConfig big = exp::SoftConfig::parse("400-15-6");
   const auto workloads = exp::workload_range(5800, 7800, 400);
 
-  const auto small_runs = exp::sweep_workload(e, small, workloads);
-  const auto big_runs = exp::sweep_workload(e, big, workloads);
+  const auto grid = exp::sweep_grid(e, {small, big}, workloads);
+  const auto& small_runs = grid[0];
+  const auto& big_runs = grid[1];
 
   for (double thr : {0.5, 1.0}) {
     std::cout << "\n-- Fig 3 (" << thr << " s threshold) --\n";

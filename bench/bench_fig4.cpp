@@ -16,11 +16,10 @@ int main() {
   const std::vector<std::size_t> pools = {6, 10, 20, 200};
   const auto workloads = exp::workload_range(4600, 6600, 400);
 
-  std::vector<std::vector<exp::RunResult>> runs;
-  for (std::size_t p : pools) {
-    runs.push_back(exp::sweep_workload(
-        e, exp::SoftConfig{400, p, 200}, workloads));
-  }
+  std::vector<exp::SoftConfig> softs;
+  for (std::size_t p : pools) softs.push_back(exp::SoftConfig{400, p, 200});
+  // 4 pools x 6 workloads = one 24-trial parallel batch.
+  const auto runs = exp::sweep_grid(e, softs, workloads);
 
   std::cout << "\n-- Fig 4a: goodput (2 s threshold) --\n";
   {

@@ -15,11 +15,9 @@ int main() {
   const std::vector<std::size_t> conns = {10, 50, 100, 200};
   const auto workloads = exp::workload_range(6000, 7800, 600);
 
-  std::vector<std::vector<exp::RunResult>> runs;
-  for (std::size_t c : conns) {
-    runs.push_back(
-        exp::sweep_workload(e, exp::SoftConfig{400, 200, c}, workloads));
-  }
+  std::vector<exp::SoftConfig> softs;
+  for (std::size_t c : conns) softs.push_back(exp::SoftConfig{400, 200, c});
+  const auto runs = exp::sweep_grid(e, softs, workloads);
 
   std::cout << "\n-- Fig 5a: goodput (2 s threshold) --\n";
   {

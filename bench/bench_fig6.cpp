@@ -15,11 +15,9 @@ int main() {
   const std::vector<std::size_t> pools = {30, 50, 100, 400};
   const auto workloads = exp::workload_range(6000, 7800, 300);
 
-  std::vector<std::vector<exp::RunResult>> runs;
-  for (std::size_t p : pools) {
-    runs.push_back(
-        exp::sweep_workload(e, exp::SoftConfig{p, 6, 20}, workloads));
-  }
+  std::vector<exp::SoftConfig> softs;
+  for (std::size_t p : pools) softs.push_back(exp::SoftConfig{p, 6, 20});
+  const auto runs = exp::sweep_grid(e, softs, workloads);
 
   std::cout << "\n-- Fig 6a: goodput (2 s threshold) --\n";
   {

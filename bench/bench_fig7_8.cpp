@@ -6,8 +6,10 @@
 // throughput.
 
 #include <algorithm>
+#include <functional>
 
 #include "bench_util.h"
+#include "exp/parallel.h"
 #include "obs/registry.h"
 
 using namespace softres;
@@ -82,26 +84,27 @@ int main() {
   const double to = std::min(from + 60.0,
                              from + opts.client.runtime_s);
 
+  // The three panels are independent trials: run them concurrently, print
+  // in figure order.
+  exp::ParallelExecutor pool;
+  std::vector<std::function<exp::RunResult()>> trials = {
+      [&e] { return e.run(exp::SoftConfig{30, 6, 20}, 6000); },
+      [&e] { return e.run(exp::SoftConfig{30, 6, 20}, 7400); },
+      [&e] { return e.run(exp::SoftConfig{400, 6, 20}, 7400); },
+  };
+  const std::vector<exp::RunResult> runs = pool.run_all(std::move(trials));
+
   std::cout << "\n-- Fig 7(a-c): Apache 30-6-20, workload 6000 --\n";
-  {
-    const exp::RunResult r = e.run(exp::SoftConfig{30, 6, 20}, 6000);
-    print_timeline(r, from, to);
-    maybe_export_snapshot(r, "fig7_wl6000_pool30");
-  }
+  print_timeline(runs[0], from, to);
+  maybe_export_snapshot(runs[0], "fig7_wl6000_pool30");
 
   std::cout << "\n-- Fig 7(d-f): Apache 30-6-20, workload 7400 --\n";
-  {
-    const exp::RunResult r = e.run(exp::SoftConfig{30, 6, 20}, 7400);
-    print_timeline(r, from, to);
-    maybe_export_snapshot(r, "fig7_wl7400_pool30");
-  }
+  print_timeline(runs[1], from, to);
+  maybe_export_snapshot(runs[1], "fig7_wl7400_pool30");
 
   std::cout << "\n-- Fig 8: Apache 400-6-20, workload 7400 --\n";
-  {
-    const exp::RunResult r = e.run(exp::SoftConfig{400, 6, 20}, 7400);
-    print_timeline(r, from, to);
-    maybe_export_snapshot(r, "fig8_wl7400_pool400");
-  }
+  print_timeline(runs[2], from, to);
+  maybe_export_snapshot(runs[2], "fig8_wl7400_pool400");
 
   std::cout << "\npaper's reading: at WL 7400 with 30 threads, PT_total "
                "spikes (FIN waits) while threads interacting with Tomcat "

@@ -5,6 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include "exp/config.h"
+#include "exp/experiment.h"
+#include "exp/parallel.h"
+#include "exp/sweep.h"
 #include "exp/testbed.h"
 #include "hw/cpu.h"
 #include "sim/rng.h"
@@ -115,6 +118,46 @@ BENCHMARK(BM_TestbedTrial)
     ->Args({2000, 10})   // 1% traced
     ->Args({2000, 1000}) // every dynamic request traced
     ->Unit(benchmark::kMillisecond);
+
+// Sweep throughput in trials/s: the quantity the ParallelExecutor exists to
+// raise. range(0) is the pool size (1 = the strictly serial baseline,
+// 0 = SOFTRES_JOBS / all cores); items processed = trials, so the reported
+// items/s is directly comparable across pool sizes. Expect >= 2x on a
+// 4-core machine.
+void BM_SweepThroughput(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+  // 10x demands keep individual trials short without changing the event mix.
+  cfg.demands.tomcat_base_s *= 10.0;
+  cfg.demands.cjdbc_per_query_s *= 10.0;
+  cfg.demands.mysql_per_query_s *= 10.0;
+  exp::ExperimentOptions opts;
+  opts.client.ramp_up_s = 5.0;
+  opts.client.runtime_s = 20.0;
+  opts.client.ramp_down_s = 2.0;
+  opts.keep_series = false;
+  const exp::Experiment e(cfg, opts);
+  const auto workloads = exp::workload_range(100, 800, 100);  // 8 trials
+
+  std::uint64_t trials = 0;
+  double tp_checksum = 0.0;
+  for (auto _ : state) {
+    const auto results =
+        exp::sweep_workload(e, exp::SoftConfig{50, 10, 10}, workloads, jobs);
+    trials += results.size();
+    for (const auto& r : results) tp_checksum += r.throughput;
+  }
+  benchmark::DoNotOptimize(tp_checksum);
+  state.SetItemsProcessed(static_cast<int64_t>(trials));
+  state.SetLabel("jobs=" + std::to_string(
+                     jobs ? jobs : exp::ParallelExecutor::default_jobs()));
+}
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)   // serial baseline
+    ->Arg(0)   // SOFTRES_JOBS / hardware_concurrency
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 

@@ -36,12 +36,16 @@ int main() {
   const exp::SoftConfig soft{400, 15, 20};
   const auto workloads = exp::workload_range(5000, 7400, 600);
 
+  const auto browse_runs = exp::sweep_workload(browse_exp, soft, workloads);
+  const auto rw_runs = exp::sweep_workload(rw_exp, soft, workloads);
+
   metrics::Table t({"workload", "browse tp", "browse cjdbc%", "rw tp",
                     "rw cjdbc%"});
-  for (std::size_t u : workloads) {
-    const exp::RunResult b = browse_exp.run(soft, u);
-    const exp::RunResult w = rw_exp.run(soft, u);
-    t.add_row({std::to_string(u), metrics::Table::fmt(b.throughput, 1),
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const exp::RunResult& b = browse_runs[i];
+    const exp::RunResult& w = rw_runs[i];
+    t.add_row({std::to_string(workloads[i]),
+               metrics::Table::fmt(b.throughput, 1),
                metrics::Table::fmt(b.find_cpu("cjdbc0.cpu")->util_pct, 1),
                metrics::Table::fmt(w.throughput, 1),
                metrics::Table::fmt(w.find_cpu("cjdbc0.cpu")->util_pct, 1)});

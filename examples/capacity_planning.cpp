@@ -34,21 +34,24 @@ int main(int argc, char** argv) {
 
   metrics::Table t({"users", "throughput", "goodput", "satisfaction",
                     "mean RT ms", "saturated"});
+  // The whole plan sweeps in parallel (SOFTRES_JOBS to override), then the
+  // knee analysis below reads the results in workload order.
+  std::vector<exp::RunResult> results =
+      exp::sweep_workload(experiment, soft, workloads);
   std::vector<double> satisfaction;
-  std::vector<exp::RunResult> results;
-  for (std::size_t u : workloads) {
-    exp::RunResult r = experiment.run(soft, u);
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    const exp::RunResult& r = results[i];
     const auto split = r.sla(threshold);
     satisfaction.push_back(split.satisfaction());
     std::string sat;
     for (const auto& name : r.saturated_hardware()) sat += name + " ";
     for (const auto& name : r.saturated_soft()) sat += name + " ";
-    t.add_row({std::to_string(u), metrics::Table::fmt(r.throughput, 1),
+    t.add_row({std::to_string(workloads[i]),
+               metrics::Table::fmt(r.throughput, 1),
                metrics::Table::fmt(split.goodput, 1),
                metrics::Table::fmt(split.satisfaction(), 3),
                metrics::Table::fmt(r.response_times.mean() * 1000.0, 1),
                sat.empty() ? "-" : sat});
-    results.push_back(std::move(r));
   }
   t.print(std::cout);
 

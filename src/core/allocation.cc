@@ -28,9 +28,41 @@ AllocationAlgorithm::AllocationAlgorithm(ExperimentRunner& runner,
     : runner_(runner), cfg_(config) {}
 
 Observation AllocationAlgorithm::run_once(const Allocation& alloc,
-                                          std::size_t workload) {
+                                          std::size_t workload,
+                                          std::size_t step) {
   ++runs_;
-  return runner_.run(alloc, workload);
+  // Ramp look-ahead: if a previous batch already speculated this point,
+  // serve it; the runner's contract (run_batch order-independence) makes
+  // this indistinguishable from having run it now.
+  for (std::size_t i = 0; i < prefetch_.size(); ++i) {
+    if (prefetch_[i].alloc == alloc && prefetch_[i].workload == workload) {
+      Observation obs = std::move(prefetch_[i].obs);
+      prefetch_.erase(prefetch_.begin() +
+                      static_cast<std::ptrdiff_t>(i));
+      return obs;
+    }
+  }
+  // Miss: the ramp restarted or doubled its allocation — stale speculation
+  // can never match again, so drop it and fetch a fresh batch along the
+  // predicted continuation (workload, workload+step, ...).
+  prefetch_.clear();
+  std::size_t k = cfg_.lookahead != 0 ? cfg_.lookahead
+                                      : runner_.preferred_batch();
+  if (k < 1) k = 1;
+  // Never speculate past what the run budget could still consume.
+  const std::size_t remaining =
+      cfg_.max_runs > runs_ ? cfg_.max_runs - runs_ : 0;
+  k = std::min(k, remaining + 1);
+  std::vector<std::size_t> workloads;
+  workloads.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    workloads.push_back(workload + i * step);
+  }
+  std::vector<Observation> batch = runner_.run_batch(alloc, workloads);
+  for (std::size_t i = 1; i < batch.size(); ++i) {
+    prefetch_.push_back({alloc, workloads[i], std::move(batch[i])});
+  }
+  return std::move(batch.front());
 }
 
 namespace {
@@ -86,7 +118,7 @@ CriticalResourceResult AllocationAlgorithm::find_critical_resource() {
   double tp_max = -1.0;
 
   while (runs_ < cfg_.max_runs) {
-    const Observation obs = run_once(s, workload);
+    const Observation obs = run_once(s, workload, cfg_.workload_step);
     const BottleneckReport rep = detect_bottleneck(obs);
     result.trace.push_back(make_trace(obs, s, rep));
 
@@ -148,7 +180,7 @@ MinJobsResult AllocationAlgorithm::infer_min_concurrent_jobs(
                                            // resource at full utilization
 
   while (runs_ < cfg_.max_runs) {
-    Observation obs = run_once(crit.reserve, workload);
+    Observation obs = run_once(crit.reserve, workload, cfg_.small_step);
     if (first_saturated == SIZE_MAX) {
       for (const auto& h : obs.hardware) {
         if (h.name == crit.critical_resource && h.saturated) {

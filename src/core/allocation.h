@@ -24,6 +24,15 @@ struct AlgorithmConfig {
   std::size_t start_workload = 1000;
   /// Safety valve across all RunExperiment invocations.
   std::size_t max_runs = 60;
+  /// Speculative ramp look-ahead: both ramp procedures fetch up to this many
+  /// upcoming workload points as one ExperimentRunner::run_batch so a
+  /// parallel runner can overlap them. 0 = ask the runner
+  /// (preferred_batch()); 1 = strictly serial. The algorithm consumes
+  /// observations in ramp order and discards unused speculation, so the
+  /// report (trace, status, recommendation) is identical for every value;
+  /// only `max_runs` accounting differs — it counts consumed observations,
+  /// and up to lookahead-1 speculative trials may run beyond it.
+  std::size_t lookahead = 0;
   InterventionConfig intervention;
   /// Headroom multiplier applied to the front-tier (web) allocation: the
   /// formula yields a *minimum*, and Section III-C shows the web tier wants
@@ -119,11 +128,22 @@ class AllocationAlgorithm {
   std::size_t experiments_run() const { return runs_; }
 
  private:
-  Observation run_once(const Allocation& alloc, std::size_t workload);
+  /// One ramp observation. `step` is the ramp increment, used to predict the
+  /// upcoming workloads for speculative batching; cache hits are served from
+  /// `prefetch_`, anything else flushes it and fetches a fresh batch.
+  Observation run_once(const Allocation& alloc, std::size_t workload,
+                       std::size_t step);
+
+  struct Prefetched {
+    Allocation alloc;
+    std::size_t workload = 0;
+    Observation obs;
+  };
 
   ExperimentRunner& runner_;
   AlgorithmConfig cfg_;
   std::size_t runs_ = 0;
+  std::vector<Prefetched> prefetch_;
 };
 
 }  // namespace softres::core

@@ -43,4 +43,12 @@ const ServerObservation* Observation::find_server(
   return nullptr;
 }
 
+std::vector<Observation> ExperimentRunner::run_batch(
+    const Allocation& alloc, const std::vector<std::size_t>& workloads) {
+  std::vector<Observation> out;
+  out.reserve(workloads.size());
+  for (std::size_t w : workloads) out.push_back(run(alloc, w));
+  return out;
+}
+
 }  // namespace softres::core

@@ -74,6 +74,20 @@ class ExperimentRunner {
  public:
   virtual ~ExperimentRunner() = default;
   virtual Observation run(const Allocation& alloc, std::size_t workload) = 0;
+
+  /// Run one allocation at several workloads, results in input order. The
+  /// default is a serial loop; runners backed by independent trials (the
+  /// simulator, a farm of rigs) override it to run the batch concurrently.
+  /// Implementations must return results identical to the serial loop —
+  /// AllocationAlgorithm uses this for speculative ramp look-ahead and
+  /// discards nothing-observed suffixes, so any order dependence would leak
+  /// into the report.
+  virtual std::vector<Observation> run_batch(
+      const Allocation& alloc, const std::vector<std::size_t>& workloads);
+
+  /// How many workload points a batch can usefully exploit (1 = serial
+  /// runner). Callers use it to size speculative look-ahead.
+  virtual std::size_t preferred_batch() const { return 1; }
 };
 
 }  // namespace softres::core

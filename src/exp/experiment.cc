@@ -1,7 +1,9 @@
 #include "exp/experiment.h"
 
 #include <cstdlib>
+#include <utility>
 
+#include "exp/run_context.h"
 #include "soft/pool_monitor.h"
 
 namespace softres::exp {
@@ -117,13 +119,26 @@ ServerOps condense_server(const tier::Server& server) {
 
 }  // namespace
 
+std::uint64_t Experiment::trial_seed(const SoftConfig& soft,
+                                     std::size_t users) const {
+  TestbedConfig cfg = base_;
+  cfg.soft = soft;
+  return RunContext::derive_seed(opts_.client.seed, cfg.hw, cfg.soft, users);
+}
+
 RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
   TestbedConfig cfg = base_;
   cfg.soft = soft;
   workload::ClientConfig client = opts_.client;
   client.users = users;
 
-  Testbed bed(cfg, client);
+  // One trial = one context. The trial seed is a pure function of the
+  // trial's identity, so sweeps can run these in any order — or in
+  // parallel — and reproduce the serial results bit for bit. The client
+  // farm's user streams and trace sampling hash off the same trial seed.
+  RunContext ctx(opts_.client.seed, cfg, users);
+  client.seed = ctx.trial_seed();
+  Testbed bed(ctx, cfg, client);
   bed.run();
 
   RunResult r;
@@ -131,6 +146,7 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
   r.soft = soft;
   r.users = users;
   r.window_s = client.runtime_s;
+  r.trial_seed = ctx.trial_seed();
   r.response_times = bed.farm().response_times();
   r.throughput = bed.farm().window_throughput();
   r.req_ratio = bed.workload().req_ratio();
@@ -171,8 +187,9 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
       r.series.push_back(bed.sampler().series(i));
     }
   }
-  r.metrics = bed.registry().snapshot(bed.simulator().now());
-  r.traces.collect(bed.farm().traced_requests());
+  r.metrics = ctx.registry().snapshot(ctx.simulator().now());
+  ctx.traces().collect(bed.farm().traced_requests());
+  r.traces = std::move(ctx.traces());
   return r;
 }
 

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -61,6 +62,9 @@ struct RunResult {
   SoftConfig soft;
   std::size_t users = 0;
   double window_s = 0.0;
+  /// Seed the trial's RNG streams were derived from: a pure function of
+  /// (base seed, topology, soft config, users) — see RunContext::derive_seed.
+  std::uint64_t trial_seed = 0;
 
   sim::SampleSet response_times;  // dynamic requests completed in-window
   double throughput = 0.0;        // interactions/s
@@ -96,11 +100,22 @@ inline constexpr double kCpuSaturationPct = 95.0;
 /// Runs trials of one hardware configuration: builds a fresh Testbed per
 /// (soft allocation, workload) point and condenses its monitoring output.
 /// This is the RunExperiment(H, S, workload) primitive of Algorithm 1.
+///
+/// Thread-safety contract: `run` is const and re-entrant. Each call builds a
+/// private RunContext (simulator, RNG, registry, trace collector) and a
+/// fresh Testbed on top of it, touching no mutable Experiment state and no
+/// globals, so any number of `run` calls may execute concurrently on one
+/// Experiment — this is what ParallelExecutor-based sweeps rely on. Results
+/// are independent of interleaving because each trial's RNG streams are
+/// seeded from the trial's identity, never from run order.
 class Experiment {
  public:
   Experiment(TestbedConfig base, ExperimentOptions opts);
 
   RunResult run(const SoftConfig& soft, std::size_t users) const;
+
+  /// The seed `run(soft, users)` will derive its trial streams from.
+  std::uint64_t trial_seed(const SoftConfig& soft, std::size_t users) const;
 
   const TestbedConfig& base_config() const { return base_; }
   const ExperimentOptions& options() const { return opts_; }

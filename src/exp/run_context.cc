@@ -1,0 +1,32 @@
+#include "exp/run_context.h"
+
+namespace softres::exp {
+
+std::uint64_t RunContext::derive_seed(std::uint64_t base_seed,
+                                      const HardwareConfig& hw,
+                                      const SoftConfig& soft,
+                                      std::size_t users) {
+  // Chain the stateless SplitMix64 finalizer over every identity component.
+  // hash_mix(seed, value) is order-sensitive in its accumulator, so the
+  // chain is injective enough for experiment-scale key spaces while staying
+  // independent of any RNG stream's draw order.
+  std::uint64_t h = sim::Rng::hash_mix(base_seed, 0x536F6674526573ull);  // tag
+  h = sim::Rng::hash_mix(h, static_cast<std::uint64_t>(hw.web));
+  h = sim::Rng::hash_mix(h, static_cast<std::uint64_t>(hw.app));
+  h = sim::Rng::hash_mix(h, static_cast<std::uint64_t>(hw.middleware));
+  h = sim::Rng::hash_mix(h, static_cast<std::uint64_t>(hw.db));
+  h = sim::Rng::hash_mix(h, soft.apache_threads);
+  h = sim::Rng::hash_mix(h, soft.tomcat_threads);
+  h = sim::Rng::hash_mix(h, soft.db_connections);
+  h = sim::Rng::hash_mix(h, users);
+  return h;
+}
+
+RunContext::RunContext(std::uint64_t base_seed, const TestbedConfig& cfg,
+                       std::size_t users)
+    : base_seed_(base_seed),
+      trial_seed_(derive_seed(base_seed, cfg.hw, cfg.soft, users)),
+      users_(users),
+      rng_(trial_seed_) {}
+
+}  // namespace softres::exp

@@ -12,8 +12,11 @@ core::Tier tier_of_server(const std::string& name) {
 
 }  // namespace
 
-RunnerAdapter::RunnerAdapter(Experiment experiment, double slo_threshold_s)
-    : experiment_(std::move(experiment)), slo_threshold_s_(slo_threshold_s) {}
+RunnerAdapter::RunnerAdapter(Experiment experiment, double slo_threshold_s,
+                             std::size_t jobs)
+    : experiment_(std::move(experiment)),
+      slo_threshold_s_(slo_threshold_s),
+      jobs_(jobs != 0 ? jobs : ParallelExecutor::default_jobs()) {}
 
 SoftConfig RunnerAdapter::to_soft_config(const core::Allocation& alloc) {
   SoftConfig soft;
@@ -56,5 +59,18 @@ core::Observation RunnerAdapter::run(const core::Allocation& alloc,
   const RunResult result = experiment_.run(to_soft_config(alloc), workload);
   return to_observation(result, slo_threshold_s_);
 }
+
+std::vector<core::Observation> RunnerAdapter::run_batch(
+    const core::Allocation& alloc, const std::vector<std::size_t>& workloads) {
+  runs_ += workloads.size();
+  const SoftConfig soft = to_soft_config(alloc);
+  ParallelExecutor pool(jobs_);
+  return pool.run_indexed(workloads.size(), [&](std::size_t i) {
+    return to_observation(experiment_.run(soft, workloads[i]),
+                          slo_threshold_s_);
+  });
+}
+
+std::size_t RunnerAdapter::preferred_batch() const { return jobs_; }
 
 }  // namespace softres::exp

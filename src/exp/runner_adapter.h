@@ -2,6 +2,7 @@
 
 #include "core/runner.h"
 #include "exp/experiment.h"
+#include "exp/parallel.h"
 
 namespace softres::exp {
 
@@ -11,22 +12,39 @@ namespace softres::exp {
 class RunnerAdapter final : public core::ExperimentRunner {
  public:
   /// `slo_threshold_s` defines the satisfaction metric the intervention
-  /// analysis watches (the paper uses 1-2 s).
-  RunnerAdapter(Experiment experiment, double slo_threshold_s);
+  /// analysis watches (the paper uses 1-2 s). `jobs` sizes the trial
+  /// executor batches run on (0 = SOFTRES_JOBS / hardware_concurrency,
+  /// 1 = serial).
+  RunnerAdapter(Experiment experiment, double slo_threshold_s,
+                std::size_t jobs = 0);
 
   core::Observation run(const core::Allocation& alloc,
                         std::size_t workload) override;
+
+  /// Independent simulated trials fan out across the executor; results are
+  /// identical to the serial loop because trial seeds derive from trial
+  /// identity (see Experiment::run), which is exactly the contract
+  /// core::ExperimentRunner::run_batch demands.
+  std::vector<core::Observation> run_batch(
+      const core::Allocation& alloc,
+      const std::vector<std::size_t>& workloads) override;
+
+  /// Ramp look-ahead worth one executor round.
+  std::size_t preferred_batch() const override;
 
   /// Translate between the two config vocabularies.
   static SoftConfig to_soft_config(const core::Allocation& alloc);
   static core::Observation to_observation(const RunResult& result,
                                           double slo_threshold_s);
 
+  /// Simulated trials actually executed, speculative look-ahead included
+  /// (AllocationAlgorithm::experiments_run counts consumed observations).
   std::size_t runs() const { return runs_; }
 
  private:
   Experiment experiment_;
   double slo_threshold_s_;
+  std::size_t jobs_;
   std::size_t runs_ = 0;
 };
 

@@ -1,6 +1,10 @@
 #include "exp/sweep.h"
 
 #include <algorithm>
+#include <functional>
+#include <utility>
+
+#include "exp/parallel.h"
 
 namespace softres::exp {
 
@@ -13,10 +17,32 @@ std::vector<std::size_t> workload_range(std::size_t lo, std::size_t hi,
 
 std::vector<RunResult> sweep_workload(const Experiment& exp,
                                       const SoftConfig& soft,
-                                      const std::vector<std::size_t>& users) {
-  std::vector<RunResult> out;
-  out.reserve(users.size());
-  for (std::size_t u : users) out.push_back(exp.run(soft, u));
+                                      const std::vector<std::size_t>& users,
+                                      std::size_t jobs) {
+  // A fresh executor per sweep keeps the function free of global state (and
+  // lets SOFTRES_JOBS changes take effect per call); thread start-up is
+  // noise next to even the cheapest trial.
+  ParallelExecutor pool(jobs);
+  return pool.run_indexed(users.size(), [&](std::size_t i) {
+    return exp.run(soft, users[i]);
+  });
+}
+
+std::vector<std::vector<RunResult>> sweep_grid(
+    const Experiment& exp, const std::vector<SoftConfig>& softs,
+    const std::vector<std::size_t>& users, std::size_t jobs) {
+  const std::size_t cols = users.size();
+  ParallelExecutor pool(jobs);
+  std::vector<RunResult> flat =
+      pool.run_indexed(softs.size() * cols, [&](std::size_t i) {
+        return exp.run(softs[i / cols], users[i % cols]);
+      });
+  std::vector<std::vector<RunResult>> out;
+  out.reserve(softs.size());
+  for (std::size_t s = 0; s < softs.size(); ++s) {
+    out.emplace_back(std::make_move_iterator(flat.begin() + s * cols),
+                     std::make_move_iterator(flat.begin() + (s + 1) * cols));
+  }
   return out;
 }
 

@@ -12,9 +12,24 @@ std::vector<std::size_t> workload_range(std::size_t lo, std::size_t hi,
                                         std::size_t step);
 
 /// Run one soft allocation across a workload range.
+///
+/// Trials fan out over a ParallelExecutor sized by `jobs` (0 = SOFTRES_JOBS
+/// env / hardware_concurrency; 1 = strictly serial on the caller). Results
+/// keep the input order and are bit-identical for every pool size: each
+/// trial's RNG streams are derived from (base seed, topology, soft, users),
+/// never from execution order.
 std::vector<RunResult> sweep_workload(const Experiment& exp,
                                       const SoftConfig& soft,
-                                      const std::vector<std::size_t>& users);
+                                      const std::vector<std::size_t>& users,
+                                      std::size_t jobs = 0);
+
+/// Run a grid of soft allocations across a workload range: result[s][u] is
+/// softs[s] at users[u]. The whole grid is one flat batch on the executor,
+/// so parallelism spans both axes (a 4-config x 6-workload grid keeps 24
+/// cores busy, not 6).
+std::vector<std::vector<RunResult>> sweep_grid(
+    const Experiment& exp, const std::vector<SoftConfig>& softs,
+    const std::vector<std::size_t>& users, std::size_t jobs = 0);
 
 /// Highest throughput across a sweep (the y-value of Fig 10).
 double max_throughput(const std::vector<RunResult>& results);

@@ -6,13 +6,27 @@
 
 namespace softres::exp {
 
+Testbed::Testbed(RunContext& ctx, const TestbedConfig& cfg,
+                 const workload::ClientConfig& client_cfg)
+    : ctx_(&ctx), cfg_(cfg), workload_(cfg.mix, cfg.demands) {
+  build(client_cfg);
+}
+
 Testbed::Testbed(const TestbedConfig& cfg,
                  const workload::ClientConfig& client_cfg)
-    : cfg_(cfg), rng_(client_cfg.seed ^ 0xC0FFEEULL),
-      workload_(cfg.mix, cfg.demands) {
+    : owned_ctx_(std::make_unique<RunContext>(client_cfg.seed, cfg,
+                                              client_cfg.users)),
+      ctx_(owned_ctx_.get()), cfg_(cfg), workload_(cfg.mix, cfg.demands) {
+  build(client_cfg);
+}
+
+void Testbed::build(const workload::ClientConfig& client_cfg) {
+  sim::Simulator& sim = ctx_->simulator();
+  sim::Rng& rng = ctx_->rng();
+  obs::Registry& registry = ctx_->registry();
   auto add_link = [&](const std::string& name) -> hw::Link& {
     links_.push_back(std::make_unique<hw::Link>(
-        sim_, name, cfg_.link_latency_s, cfg_.link_bandwidth_Bps));
+        sim, name, cfg_.link_latency_s, cfg_.link_bandwidth_Bps));
     return *links_.back();
   };
   hw::Link& client_up = add_link("client->web");
@@ -28,7 +42,7 @@ Testbed::Testbed(const TestbedConfig& cfg,
   for (int i = 0; i < cfg_.hw.db; ++i) {
     hw::Node& node = add_node("mysql" + std::to_string(i));
     mysqls_.push_back(std::make_unique<tier::MySqlServer>(
-        sim_, node.name(), node, rng_.split()));
+        sim, node.name(), node, rng.split()));
   }
 
   // Clustering middleware tier; MySQL servers are partitioned round-robin
@@ -36,7 +50,7 @@ Testbed::Testbed(const TestbedConfig& cfg,
   for (int i = 0; i < cfg_.hw.middleware; ++i) {
     hw::Node& node = add_node("cjdbc" + std::to_string(i));
     cjdbcs_.push_back(std::make_unique<tier::CJdbcServer>(
-        sim_, node.name(), node, cfg_.cjdbc_jvm, cm_db_up, cm_db_down,
+        sim, node.name(), node, cfg_.cjdbc_jvm, cm_db_up, cm_db_down,
         cfg_.cjdbc_alloc_per_query_mb));
   }
   for (std::size_t i = 0; i < mysqls_.size(); ++i) {
@@ -49,7 +63,7 @@ Testbed::Testbed(const TestbedConfig& cfg,
     tier::CJdbcServer& cm = *cjdbcs_[static_cast<std::size_t>(i) %
                                      cjdbcs_.size()];
     tomcats_.push_back(std::make_unique<tier::TomcatServer>(
-        sim_, node.name(), node, cfg_.tomcat_jvm, cfg_.soft.tomcat_threads,
+        sim, node.name(), node, cfg_.tomcat_jvm, cfg_.soft.tomcat_threads,
         cfg_.soft.db_connections, cm, app_cm_up, app_cm_down,
         cfg_.tomcat_alloc_per_request_mb));
   }
@@ -63,16 +77,16 @@ Testbed::Testbed(const TestbedConfig& cfg,
   }
 
   // Client farm precedes the web tier so Apache can observe client load.
-  farm_ = std::make_unique<workload::ClientFarm>(sim_, workload_, client_cfg,
+  farm_ = std::make_unique<workload::ClientFarm>(sim, workload_, client_cfg,
                                                  client_up);
 
   // Web tier.
   for (int i = 0; i < cfg_.hw.web; ++i) {
     hw::Node& node = add_node("apache" + std::to_string(i));
-    net::TcpModel tcp(cfg_.tcp, rng_.split());
+    net::TcpModel tcp(cfg_.tcp, rng.split());
     workload::ClientFarm* farm = farm_.get();
     apaches_.push_back(std::make_unique<tier::ApacheServer>(
-        sim_, node.name(), node, cfg_.soft.apache_threads, web_app_up,
+        sim, node.name(), node, cfg_.soft.apache_threads, web_app_up,
         web_app_down, client_down, std::move(tcp),
         [farm] { return farm->client_load(); }));
     for (auto& t : tomcats_) apaches_.back()->add_tomcat(*t);
@@ -83,47 +97,47 @@ Testbed::Testbed(const TestbedConfig& cfg,
   // the SysStat-equivalent sampler polls it at 1 s granularity. Registry
   // aliases keep the historical dotted series names ("tomcat0.threads.util",
   // "apache0.processed", ...) resolvable through Sampler::find_series.
-  sampler_ = std::make_unique<sim::Sampler>(sim_, 1.0);
+  sampler_ = std::make_unique<sim::Sampler>(sim, 1.0);
   for (auto& node : nodes_) {
-    obs::register_cpu_util(registry_, *node);
+    obs::register_cpu_util(registry, *node);
   }
   for (auto& t : tomcats_) {
-    obs::register_gc_util(registry_, t->name(), t->node().cpu());
-    obs::register_pool(registry_, t->thread_pool());
-    obs::register_pool(registry_, t->connection_pool());
-    obs::register_server_ops(registry_, *t);
+    obs::register_gc_util(registry, t->name(), t->node().cpu());
+    obs::register_pool(registry, t->thread_pool());
+    obs::register_pool(registry, t->connection_pool());
+    obs::register_server_ops(registry, *t);
   }
   for (auto& c : cjdbcs_) {
-    obs::register_gc_util(registry_, c->name(), c->node().cpu());
-    obs::register_server_ops(registry_, *c);
+    obs::register_gc_util(registry, c->name(), c->node().cpu());
+    obs::register_server_ops(registry, *c);
   }
   for (auto& m : mysqls_) {
-    obs::register_server_ops(registry_, *m);
+    obs::register_server_ops(registry, *m);
   }
   for (auto& a : apaches_) {
-    obs::register_pool(registry_, a->worker_pool());
-    obs::register_apache_timeline(registry_, *a);
-    obs::register_server_ops(registry_, *a);
+    obs::register_pool(registry, a->worker_pool());
+    obs::register_apache_timeline(registry, *a);
+    obs::register_server_ops(registry, *a);
   }
-  farm_->bind_registry(registry_);
-  registry_.attach(*sampler_);
+  farm_->bind_registry(registry);
+  registry.attach(*sampler_);
 }
 
 hw::Node& Testbed::add_node(const std::string& name) {
-  nodes_.push_back(std::make_unique<hw::Node>(sim_, name, cfg_.node,
-                                              rng_.split()));
+  nodes_.push_back(std::make_unique<hw::Node>(ctx_->simulator(), name,
+                                              cfg_.node, ctx_->rng().split()));
   return *nodes_.back();
 }
 
 void Testbed::on_measure_start() {
   for (auto& a : apaches_) {
     a->reset_window_stats();
-    a->worker_pool().reset_stats(sim_.now());
+    a->worker_pool().reset_stats(simulator().now());
   }
   for (auto& t : tomcats_) {
     t->reset_window_stats();
-    t->thread_pool().reset_stats(sim_.now());
-    t->connection_pool().reset_stats(sim_.now());
+    t->thread_pool().reset_stats(simulator().now());
+    t->connection_pool().reset_stats(simulator().now());
     gc_baseline_[&t->jvm()] = t->jvm().total_gc_seconds();
   }
   for (auto& c : cjdbcs_) {
@@ -154,9 +168,9 @@ double Testbed::window_gc_seconds(const jvm::Jvm& j) const {
 void Testbed::run() {
   sampler_->start();
   farm_->start();
-  sim_.schedule_at(farm_->measure_start(), [this] { on_measure_start(); });
-  sim_.schedule_at(farm_->measure_end(), [this] { on_measure_end(); });
-  sim_.run_until(farm_->total_duration());
+  simulator().schedule_at(farm_->measure_start(), [this] { on_measure_start(); });
+  simulator().schedule_at(farm_->measure_end(), [this] { on_measure_end(); });
+  simulator().run_until(farm_->total_duration());
 }
 
 }  // namespace softres::exp

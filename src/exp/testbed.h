@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "exp/config.h"
+#include "exp/run_context.h"
 #include "hw/link.h"
 #include "hw/node.h"
 #include "obs/registry.h"
@@ -26,6 +27,17 @@ namespace softres::exp {
 /// experiment trial builds a fresh one, exactly like redeploying the rig.
 class Testbed {
  public:
+  /// Wire the rig onto an externally owned trial context: the testbed draws
+  /// all randomness from ctx.rng(), schedules on ctx.simulator() and
+  /// registers every probe on ctx.registry(). `ctx` must outlive the
+  /// testbed. This is the constructor Experiment::run uses — one RunContext
+  /// per trial is what makes trials safe to run on concurrent threads.
+  Testbed(RunContext& ctx, const TestbedConfig& cfg,
+          const workload::ClientConfig& client_cfg);
+
+  /// Convenience for standalone use (examples, microbenchmarks): builds and
+  /// owns a RunContext whose trial seed is derived from
+  /// (client_cfg.seed, cfg.hw, cfg.soft, client_cfg.users).
   Testbed(const TestbedConfig& cfg, const workload::ClientConfig& client_cfg);
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;
@@ -33,13 +45,17 @@ class Testbed {
   /// Execute the whole trial (ramp-up, runtime, ramp-down).
   void run();
 
-  sim::Simulator& simulator() { return sim_; }
+  /// The trial context this testbed is wired onto.
+  RunContext& context() { return *ctx_; }
+  const RunContext& context() const { return *ctx_; }
+
+  sim::Simulator& simulator() { return ctx_->simulator(); }
   sim::Sampler& sampler() { return *sampler_; }
   const sim::Sampler& sampler() const { return *sampler_; }
   /// Unified metrics registry: every probe of every tier, the client farm and
   /// any runtime tuner registers here; the sampler polls it at 1 Hz.
-  obs::Registry& registry() { return registry_; }
-  const obs::Registry& registry() const { return registry_; }
+  obs::Registry& registry() { return ctx_->registry(); }
+  const obs::Registry& registry() const { return ctx_->registry(); }
   workload::ClientFarm& farm() { return *farm_; }
   const workload::ClientFarm& farm() const { return *farm_; }
   const workload::RubbosWorkload& workload() const { return workload_; }
@@ -82,13 +98,14 @@ class Testbed {
   sim::SimTime measure_end() const { return farm_->measure_end(); }
 
  private:
+  void build(const workload::ClientConfig& client_cfg);
   hw::Node& add_node(const std::string& name);
   void on_measure_start();
   void on_measure_end();
 
+  std::unique_ptr<RunContext> owned_ctx_;  // only for the standalone ctor
+  RunContext* ctx_ = nullptr;
   TestbedConfig cfg_;
-  sim::Simulator sim_;
-  sim::Rng rng_;
   workload::RubbosWorkload workload_;
 
   std::vector<std::unique_ptr<hw::Node>> nodes_;
@@ -98,7 +115,6 @@ class Testbed {
   std::vector<std::unique_ptr<tier::TomcatServer>> tomcats_;
   std::vector<std::unique_ptr<tier::ApacheServer>> apaches_;
   std::unique_ptr<workload::ClientFarm> farm_;
-  obs::Registry registry_;
   std::unique_ptr<sim::Sampler> sampler_;
 
   std::map<const jvm::Jvm*, double> gc_baseline_;

@@ -1,0 +1,153 @@
+// The PR-2 regression suite: parallel sweeps must be bit-identical to serial
+// ones. Trial seeds are a pure function of trial identity (base seed,
+// topology, soft allocation, users), so the same trial draws the same random
+// stream no matter which thread runs it or in what order.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+
+#include "exp/experiment.h"
+#include "exp/run_context.h"
+#include "exp/sweep.h"
+
+namespace softres::exp {
+namespace {
+
+TestbedConfig cheap_config() {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  // 10x demands so trials are cheap.
+  cfg.demands.tomcat_base_s *= 10.0;
+  cfg.demands.cjdbc_per_query_s *= 10.0;
+  cfg.demands.mysql_per_query_s *= 10.0;
+  return cfg;
+}
+
+ExperimentOptions cheap_options() {
+  ExperimentOptions opts;
+  opts.client.ramp_up_s = 5.0;
+  opts.client.runtime_s = 15.0;
+  opts.client.ramp_down_s = 2.0;
+  return opts;
+}
+
+// Every observable a figure script reads must match exactly — not "close".
+void expect_bit_identical(const RunResult& a, const RunResult& b) {
+  EXPECT_EQ(a.users, b.users);
+  EXPECT_EQ(a.trial_seed, b.trial_seed);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.goodput(2.0), b.goodput(2.0));
+  EXPECT_EQ(a.goodput(1.0), b.goodput(1.0));
+  ASSERT_EQ(a.response_times.count(), b.response_times.count());
+  EXPECT_EQ(a.response_times.mean(), b.response_times.mean());
+  for (double q : {0.5, 0.9, 0.95, 0.99}) {
+    EXPECT_EQ(a.response_times.quantile(q), b.response_times.quantile(q));
+  }
+  ASSERT_EQ(a.cpus.size(), b.cpus.size());
+  for (std::size_t i = 0; i < a.cpus.size(); ++i) {
+    EXPECT_EQ(a.cpus[i].util_pct, b.cpus[i].util_pct);
+  }
+  ASSERT_EQ(a.pools.size(), b.pools.size());
+  for (std::size_t i = 0; i < a.pools.size(); ++i) {
+    EXPECT_EQ(a.pools[i].util_pct, b.pools[i].util_pct);
+    EXPECT_EQ(a.pools[i].mean_wait_ms, b.pools[i].mean_wait_ms);
+  }
+}
+
+TEST(DeriveSeedTest, PureFunctionOfTrialIdentity) {
+  const HardwareConfig hw{1, 2, 1, 2};
+  const SoftConfig soft{100, 10, 20};
+  const std::uint64_t s = RunContext::derive_seed(42, hw, soft, 3000);
+  EXPECT_EQ(s, RunContext::derive_seed(42, hw, soft, 3000));
+}
+
+TEST(DeriveSeedTest, EveryComponentChangesTheSeed) {
+  const HardwareConfig hw{1, 2, 1, 2};
+  const SoftConfig soft{100, 10, 20};
+  const std::uint64_t s = RunContext::derive_seed(42, hw, soft, 3000);
+
+  EXPECT_NE(s, RunContext::derive_seed(43, hw, soft, 3000));
+  EXPECT_NE(s, RunContext::derive_seed(42, hw, soft, 3001));
+
+  HardwareConfig hw2 = hw;
+  hw2.app = 4;
+  EXPECT_NE(s, RunContext::derive_seed(42, hw2, soft, 3000));
+
+  SoftConfig apache = soft;
+  apache.apache_threads = 101;
+  EXPECT_NE(s, RunContext::derive_seed(42, hw, apache, 3000));
+  SoftConfig tomcat = soft;
+  tomcat.tomcat_threads = 11;
+  EXPECT_NE(s, RunContext::derive_seed(42, hw, tomcat, 3000));
+  SoftConfig conns = soft;
+  conns.db_connections = 21;
+  EXPECT_NE(s, RunContext::derive_seed(42, hw, conns, 3000));
+}
+
+TEST(DeriveSeedTest, SweepPointsGetDistinctSeeds) {
+  const HardwareConfig hw{1, 4, 1, 4};
+  std::set<std::uint64_t> seeds;
+  for (std::size_t users = 1000; users <= 8000; users += 500) {
+    for (std::size_t threads : {30, 100, 400}) {
+      seeds.insert(RunContext::derive_seed(
+          7, hw, SoftConfig{threads, 6, 20}, users));
+    }
+  }
+  EXPECT_EQ(seeds.size(), 15u * 3u);  // no collisions across the grid
+}
+
+TEST(DeterminismTest, ExperimentExposesTheTrialSeed) {
+  Experiment e(cheap_config(), cheap_options());
+  const SoftConfig soft{50, 10, 10};
+  const RunResult r = e.run(soft, 200);
+  EXPECT_EQ(r.trial_seed, e.trial_seed(soft, 200));
+  EXPECT_NE(r.trial_seed, 0u);
+}
+
+// The acceptance criterion of this PR: a 6-point sweep with a 4-worker pool
+// is bit-identical to the same sweep run strictly serially.
+TEST(DeterminismTest, ParallelSweepMatchesSerialSweep) {
+  Experiment e(cheap_config(), cheap_options());
+  const SoftConfig soft{50, 10, 10};
+  const auto workloads = workload_range(100, 600, 100);
+  ASSERT_EQ(workloads.size(), 6u);
+
+  const auto serial = sweep_workload(e, soft, workloads, /*jobs=*/1);
+  const auto parallel = sweep_workload(e, soft, workloads, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("workload " + std::to_string(workloads[i]));
+    expect_bit_identical(serial[i], parallel[i]);
+  }
+}
+
+// A trial run alone equals the same trial run inside a sweep: results do not
+// depend on which other trials share the Experiment or the pool.
+TEST(DeterminismTest, SingleRunMatchesSweepMember) {
+  Experiment e(cheap_config(), cheap_options());
+  const SoftConfig soft{50, 10, 10};
+  const auto sweep = sweep_workload(e, soft, {100, 200, 300}, /*jobs=*/3);
+  const RunResult alone = e.run(soft, 200);
+  expect_bit_identical(alone, sweep[1]);
+}
+
+TEST(DeterminismTest, GridSweepMatchesPointwiseRuns) {
+  Experiment e(cheap_config(), cheap_options());
+  const std::vector<SoftConfig> softs = {SoftConfig{50, 10, 10},
+                                         SoftConfig{20, 5, 5}};
+  const std::vector<std::size_t> workloads = {150, 250};
+  const auto grid = sweep_grid(e, softs, workloads, /*jobs=*/4);
+  ASSERT_EQ(grid.size(), 2u);
+  for (std::size_t s = 0; s < softs.size(); ++s) {
+    ASSERT_EQ(grid[s].size(), 2u);
+    for (std::size_t i = 0; i < workloads.size(); ++i) {
+      SCOPED_TRACE("soft " + std::to_string(s) + " workload " +
+                   std::to_string(workloads[i]));
+      expect_bit_identical(e.run(softs[s], workloads[i]), grid[s][i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace softres::exp
