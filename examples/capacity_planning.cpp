@@ -3,7 +3,12 @@
 // workflow an operator runs before committing to an SLA.
 //
 // Usage: capacity_planning [hw e.g. 1/2/1/2] [soft e.g. 400-15-60]
-//                          [max_workload] [sla_threshold_s]
+//                          [max_workload] [sla_threshold_s] [base_seed]
+//
+// base_seed (also SOFTRES_SEED) feeds RunContext::derive_seed — the only
+// sanctioned way to re-seed a run. Per-trial streams are hashed from
+// (base_seed, topology, soft config, users), so the same plan is
+// bit-reproducible at any SOFTRES_JOBS level.
 
 #include <cstdlib>
 #include <iostream>
@@ -26,11 +31,15 @@ int main(int argc, char** argv) {
       argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 7000;
   const double threshold = argc > 4 ? std::atof(argv[4]) : 1.0;
 
-  exp::Experiment experiment(cfg, exp::ExperimentOptions::from_env());
+  exp::ExperimentOptions opts = exp::ExperimentOptions::from_env();
+  if (argc > 5) opts.client.seed = std::strtoull(argv[5], nullptr, 10);
+  exp::Experiment experiment(cfg, opts);
   const auto workloads = exp::workload_range(1000, max_wl, 500);
 
   std::cout << "Capacity plan for " << cfg.hw.to_string() << " with "
-            << soft.to_string() << " (SLO " << threshold << " s)\n\n";
+            << soft.to_string() << " (SLO " << threshold << " s)\n"
+            << "base seed " << opts.client.seed << "; trial streams derive "
+            << "from it per (topology, allocation, users)\n\n";
 
   metrics::Table t({"users", "throughput", "goodput", "satisfaction",
                     "mean RT ms", "saturated"});

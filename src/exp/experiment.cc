@@ -19,6 +19,12 @@ ExperimentOptions ExperimentOptions::from_env() {
   if (const char* rate = std::getenv("SOFTRES_TRACE_RATE")) {
     opts.client.trace_sample_rate = std::atof(rate);
   }
+  // Base seed of the seed-derivation chain: every trial stream hashes off
+  // this via RunContext::derive_seed, so one env switch re-seeds every bench
+  // and example without touching the per-trial identity hashing.
+  if (const char* seed = std::getenv("SOFTRES_SEED")) {
+    opts.client.seed = std::strtoull(seed, nullptr, 10);
+  }
   return opts;
 }
 

@@ -63,10 +63,12 @@ Labels with_le(const Labels& labels, const std::string& le) {
   return out;
 }
 
-}  // namespace
-
-void write_prometheus(std::ostream& os, const Snapshot& snap) {
-  // One HELP/TYPE block per family, families in first-appearance order.
+/// Families in first-appearance order, each family's series sorted by label
+/// key/value. Registration order of a family's series must not leak into the
+/// exported text: two topologies that register tomcat0/tomcat1 probes in a
+/// different order still produce byte-identical exports (the determinism
+/// contract's unordered-iteration rule applied to our own output).
+std::vector<const MetricSample*> export_order(const Snapshot& snap) {
   std::vector<std::string> family_order;
   for (const auto& m : snap.metrics) {
     if (std::find(family_order.begin(), family_order.end(), m.name) ==
@@ -74,35 +76,54 @@ void write_prometheus(std::ostream& os, const Snapshot& snap) {
       family_order.push_back(m.name);
     }
   }
+  std::vector<const MetricSample*> out;
+  out.reserve(snap.metrics.size());
   for (const auto& family : family_order) {
-    bool header_done = false;
+    const std::size_t family_begin = out.size();
     for (const auto& m : snap.metrics) {
-      if (m.name != family) continue;
-      if (!header_done) {
-        if (!m.help.empty()) os << "# HELP " << m.name << " " << m.help << "\n";
-        os << "# TYPE " << m.name << " " << kind_name(m.kind) << "\n";
-        header_done = true;
-      }
-      if (m.kind != MetricKind::kHistogram) {
-        os << render_series(m.name, m.labels) << " " << fmt_value(m.value)
-           << "\n";
-        continue;
-      }
-      std::uint64_t cumulative = 0;
-      for (std::size_t i = 0; i < m.bounds.size(); ++i) {
-        cumulative += m.bucket_counts[i];
-        os << render_series(m.name + "_bucket",
-                            with_le(m.labels, fmt_value(m.bounds[i])))
-           << " " << cumulative << "\n";
-      }
-      cumulative += m.bucket_counts.back();
-      os << render_series(m.name + "_bucket", with_le(m.labels, "+Inf")) << " "
-         << cumulative << "\n";
-      os << render_series(m.name + "_sum", m.labels) << " " << fmt_value(m.sum)
-         << "\n";
-      os << render_series(m.name + "_count", m.labels) << " " << m.count
-         << "\n";
+      if (m.name == family) out.push_back(&m);
     }
+    std::stable_sort(out.begin() + static_cast<std::ptrdiff_t>(family_begin),
+                     out.end(),
+                     [](const MetricSample* a, const MetricSample* b) {
+                       return a->labels < b->labels;
+                     });
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_prometheus(std::ostream& os, const Snapshot& snap) {
+  // One HELP/TYPE block per family, families in first-appearance order,
+  // series label-sorted within the family.
+  std::string current_family;
+  for (const MetricSample* mp : export_order(snap)) {
+    const MetricSample& m = *mp;
+    if (m.name != current_family) {
+      current_family = m.name;
+      if (!m.help.empty()) os << "# HELP " << m.name << " " << m.help << "\n";
+      os << "# TYPE " << m.name << " " << kind_name(m.kind) << "\n";
+    }
+    if (m.kind != MetricKind::kHistogram) {
+      os << render_series(m.name, m.labels) << " " << fmt_value(m.value)
+         << "\n";
+      continue;
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < m.bounds.size(); ++i) {
+      cumulative += m.bucket_counts[i];
+      os << render_series(m.name + "_bucket",
+                          with_le(m.labels, fmt_value(m.bounds[i])))
+         << " " << cumulative << "\n";
+    }
+    cumulative += m.bucket_counts.back();
+    os << render_series(m.name + "_bucket", with_le(m.labels, "+Inf")) << " "
+       << cumulative << "\n";
+    os << render_series(m.name + "_sum", m.labels) << " " << fmt_value(m.sum)
+       << "\n";
+    os << render_series(m.name + "_count", m.labels) << " " << m.count
+       << "\n";
   }
 }
 
@@ -116,7 +137,10 @@ void write_csv(std::ostream& os, const Snapshot& snap) {
     }
     return out;
   };
-  for (const auto& m : snap.metrics) {
+  // Same family-then-label ordering as the Prometheus export, for the same
+  // reason: CSV rows must not depend on probe registration order.
+  for (const MetricSample* mp : export_order(snap)) {
+    const MetricSample& m = *mp;
     if (m.kind != MetricKind::kHistogram) {
       os << m.name << "," << labels_cell(m.labels) << "," << kind_name(m.kind)
          << "," << fmt_value(m.value) << "\n";

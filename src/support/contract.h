@@ -1,0 +1,105 @@
+#pragma once
+
+// Determinism-contract enforcement, compile-time layer.
+//
+// Force-included (CMake `-include`) into every sim-domain library target —
+// see softres_apply_contract() in src/CMakeLists.txt. Two mechanisms:
+//
+//  1. `#pragma GCC poison` makes any later mention of a banned identifier a
+//     hard compile error. Poison cannot be scoped or revoked, so the system
+//     headers that legitimately define these identifiers are included FIRST
+//     below; their include guards make later inclusions no-ops, and only
+//     *new* uses in softres code trip the poison.
+//  2. `[[deprecated]]` re-declarations attach a warning to C library calls
+//     that cannot be poisoned without breaking libc headers (time, clock).
+//
+// What is banned, and why (see also `softres-lint --list-rules`):
+//  - std:: random machinery (rand, random_device, mt19937, ...): every
+//    stochastic draw must come from a sim::Rng stream derived via
+//    exp::RunContext::derive_seed, or jobs=N sweeps stop being bit-identical
+//    to jobs=1.
+//  - wall clocks (system_clock, steady_clock, gettimeofday, ...): trial
+//    results must be a pure function of the trial's identity, never of when
+//    or where it ran. src/obs is exempt (compiled with
+//    SOFTRES_CONTRACT_ALLOW_CLOCKS) so exporters may timestamp output.
+//
+// The poison layer has no escape hatch by design. If a use is legitimate,
+// it belongs in a non-sim-domain target (tools/, tests/, src/obs for
+// clocks); the textual checker's SOFTRES_LINT_ALLOW(SRnnn: reason) escape
+// hatch covers the rare annotated exception in scanned code.
+//
+// NOTE for future maintainers: if a newly added system header fails with
+// "attempt to use poisoned ..." it was included after this header first
+// mentioned the identifier. Add that system header to the pre-include block
+// below — do not remove the poison.
+
+// Pre-include every system header the sim domain uses (directly or
+// transitively) that may mention a poisoned identifier. Order-insensitive;
+// kept alphabetical.
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <charconv>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <ctime>
+#include <deque>
+#include <fstream>
+#include <functional>
+#include <future>
+#include <iomanip>
+#include <iosfwd>
+#include <iostream>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <numeric>
+#include <ostream>
+#include <queue>
+#include <random>
+#include <set>
+#include <shared_mutex>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+/// Textual-checker escape hatch; expands to nothing so annotated lines stay
+/// valid code whether or not this header is force-included.
+#define SOFTRES_LINT_ALLOW(...)
+
+// ---- Banned entropy sources (lint rule SR001) -----------------------------
+#pragma GCC poison rand srand rand_r drand48 lrand48 mrand48 srand48
+#pragma GCC poison random_device mt19937 mt19937_64 minstd_rand minstd_rand0
+#pragma GCC poison default_random_engine ranlux24 ranlux48 knuth_b
+
+// ---- Banned wall clocks (lint rule SR002) ---------------------------------
+// src/obs is compiled with SOFTRES_CONTRACT_ALLOW_CLOCKS: exporters may
+// stamp real timestamps on files they write, nothing else may.
+#if !defined(SOFTRES_CONTRACT_ALLOW_CLOCKS)
+#pragma GCC poison system_clock steady_clock high_resolution_clock
+#pragma GCC poison gettimeofday clock_gettime timespec_get
+#pragma GCC poison localtime localtime_r gmtime gmtime_r strftime ctime
+
+// time() and clock() cannot be poisoned (libc headers re-mention them), so
+// attach [[deprecated]] to their declarations instead; with -Werror (CI's
+// SOFTRES_WERROR=ON) a call is a hard error, locally it is a loud warning.
+extern "C" {
+[[deprecated(
+    "softres determinism contract: wall-clock time is banned in sim-domain "
+    "code; use sim::SimTime")]] std::time_t
+time(std::time_t*) noexcept;
+[[deprecated(
+    "softres determinism contract: process CPU time is banned in sim-domain "
+    "code; use sim::SimTime")]] std::clock_t
+clock() noexcept;
+}
+#endif  // SOFTRES_CONTRACT_ALLOW_CLOCKS

@@ -8,6 +8,9 @@ namespace softres::workload {
 ClientFarm::ClientFarm(sim::Simulator& sim, const RubbosWorkload& workload,
                        ClientConfig config, hw::Link& to_server)
     : sim_(sim), workload_(workload), config_(config), to_server_(to_server) {
+  // config_.seed is the trial seed the harness already derived via
+  // RunContext::derive_seed; this is the sanctioned root of the per-user
+  // streams. SOFTRES_LINT_ALLOW(SR004: seed is the derived trial seed)
   sim::Rng master(config_.seed);
   user_rngs_.reserve(config_.users);
   for (std::size_t u = 0; u < config_.users; ++u) {

@@ -1,0 +1,19 @@
+// Fixture: SR005 — concurrency primitives in a single-threaded-per-trial
+// domain (src/core). Expected findings: SR005 on both includes, the member
+// declaration, and the lock_guard line (four findings).
+#include <mutex>   // SR005 expected here
+#include <atomic>  // SR005 expected here
+
+namespace softres_fixture {
+
+struct Shared {
+  std::mutex mu;                             // (same token as the include)
+  int counter = 0;
+};
+
+void bump(Shared& s) {
+  std::lock_guard<std::mutex> lock(s.mu);    // SR005 expected here
+  ++s.counter;
+}
+
+}  // namespace softres_fixture

@@ -1,0 +1,24 @@
+// Fixture: SR003 — hash-order-dependent iteration feeding a result.
+// Expected findings: SR003 at the two marked lines. The declarations and the
+// find() lookup are NOT violations (lookups are order-independent).
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace softres_fixture {
+
+std::vector<std::string> report() {
+  std::unordered_map<std::string, double> totals;
+  totals["a"] = 1.0;
+  std::vector<std::string> out;
+  for (const auto& kv : totals) {            // SR003 expected here
+    out.push_back(kv.first);
+  }
+  auto it = totals.begin();                  // SR003 expected here
+  (void)it;
+  auto hit = totals.find("a");               // ok: point lookup
+  (void)hit;
+  return out;
+}
+
+}  // namespace softres_fixture

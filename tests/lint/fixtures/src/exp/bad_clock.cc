@@ -1,0 +1,17 @@
+// Fixture: SR002 — wall-clock reads in src/ outside src/obs.
+// Expected findings: SR002 at the three marked lines.
+#include <chrono>
+#include <ctime>
+
+namespace softres_fixture {
+
+long stamp() {
+  auto now = std::chrono::system_clock::now();        // SR002 expected here
+  auto tick = std::chrono::steady_clock::now();       // SR002 expected here
+  std::time_t t = std::time(nullptr);                 // SR002 expected here
+  (void)now;
+  (void)tick;
+  return static_cast<long>(t);
+}
+
+}  // namespace softres_fixture

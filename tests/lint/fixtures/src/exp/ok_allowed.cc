@@ -1,0 +1,20 @@
+// Fixture: clean — SOFTRES_LINT_ALLOW suppresses on the same line and from
+// the line directly above. Expected findings: none.
+namespace sim {
+class Rng;
+}
+
+namespace softres_fixture {
+
+void build() {
+  sim::Rng local(7);  // SOFTRES_LINT_ALLOW(SR004: fixture, seed is derived)
+  (void)&local;
+}
+
+void build_above() {
+  // SOFTRES_LINT_ALLOW(SR004: fixture, annotation on the preceding line)
+  sim::Rng local(9);
+  (void)&local;
+}
+
+}  // namespace softres_fixture

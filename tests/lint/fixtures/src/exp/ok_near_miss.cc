@@ -1,0 +1,29 @@
+// Fixture: clean — identifiers that merely contain banned tokens, banned
+// tokens inside comments or string literals, and Rng usage patterns that are
+// not constructions. Pins the zero-false-positive requirement.
+// Expected findings: none.
+#include <string>
+
+namespace sim {
+class Rng;
+}
+
+namespace softres_fixture {
+
+// std::random_device and system_clock in a comment are fine.
+struct Pools {
+  int threads_active = 0;     // 'thread' inside a longer identifier
+  double thread_exponent = 0; // ditto
+  double mean_wait_time() const { return 0.0; }  // ...time( is a member call
+};
+
+void consume(sim::Rng& rng);          // reference parameter, no construction
+void pass_through(sim::Rng rng);      // by-value parameter, no construction
+
+std::string describe() {
+  return "uses std::rand and steady_clock";  // inside a string literal
+}
+
+double operand(double x) { return x; }  // 'rand' inside a longer identifier
+
+}  // namespace softres_fixture

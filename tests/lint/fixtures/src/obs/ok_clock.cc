@@ -1,0 +1,11 @@
+// Fixture: clean — wall clocks are permitted in src/obs (exporters may
+// timestamp the files they write). Expected findings: none.
+#include <chrono>
+
+namespace softres_fixture {
+
+long export_stamp() {
+  return std::chrono::system_clock::now().time_since_epoch().count();
+}
+
+}  // namespace softres_fixture

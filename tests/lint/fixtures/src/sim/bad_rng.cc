@@ -1,0 +1,13 @@
+// Fixture: SR001 — std:: random machinery in the sim domain.
+// Expected findings: SR001 at the three marked lines.
+#include <random>  // SR001 expected here
+
+namespace softres_fixture {
+
+double draw() {
+  std::random_device rd;              // SR001 expected here
+  std::mt19937 gen(rd());             // SR001 expected here (both tokens)
+  return static_cast<double>(gen());
+}
+
+}  // namespace softres_fixture

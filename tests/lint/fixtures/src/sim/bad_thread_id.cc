@@ -1,0 +1,19 @@
+// Fixture: SR006 — scheduler- and address-space-dependent values.
+// Expected: SR006 at the two marked lines; the <thread> include and the
+// thread-id line also trip SR005 (concurrency tokens banned in src/sim).
+#include <cstdint>
+#include <thread>
+
+namespace softres_fixture {
+
+unsigned long key_of(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) * 31u;  // SR006 expected here
+}
+
+unsigned long run_key() {
+  return std::this_thread::get_id() == std::thread::id()  // SR006 + SR005
+             ? 0u
+             : 1u;
+}
+
+}  // namespace softres_fixture

@@ -1,0 +1,21 @@
+// Fixture: SR004 — sim::Rng constructed outside src/sim with an ad-hoc
+// seed instead of one derived via RunContext::derive_seed.
+// Expected findings: SR004 at the two marked lines. The reference binding
+// and the by-value parameter are NOT constructions.
+namespace sim {
+class Rng;
+}
+
+namespace softres_fixture {
+
+void consume(sim::Rng& rng);
+void take_by_value_ok(int x);
+
+void build() {
+  sim::Rng local(123);                       // SR004 expected here
+  consume(local);
+}
+
+int temporary() { return sizeof(sim::Rng(42)); }  // SR004 expected here
+
+}  // namespace softres_fixture

@@ -1,0 +1,216 @@
+// Tests for tools/lint (softres-lint), the determinism & soft-resource
+// contract checker. Two layers:
+//  * scan_file unit tests on inline snippets — rule mechanics, comment and
+//    string stripping, the SOFTRES_LINT_ALLOW escape hatch;
+//  * scan_tree over tests/lint/fixtures (a miniature repository layout,
+//    SOFTRES_LINT_FIXTURE_DIR) — exact rule IDs and line numbers per seeded
+//    violation, and zero findings on the clean fixtures.
+// The real tree's cleanliness is enforced separately by the
+// softres_lint_clean ctest (tools/lint/CMakeLists.txt).
+
+#include "lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lint = softres::lint;
+
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<lint::Finding>& fs) {
+  std::vector<std::string> out;
+  for (const auto& f : fs) out.push_back(f.rule);
+  return out;
+}
+
+}  // namespace
+
+TEST(LintClassifyTest, DomainFromPath) {
+  EXPECT_EQ(lint::classify_path("src/sim/rng.cc"), lint::Domain::kSim);
+  EXPECT_EQ(lint::classify_path("src/exp/parallel.cc"), lint::Domain::kSim);
+  EXPECT_EQ(lint::classify_path("src/obs/registry.cc"), lint::Domain::kObs);
+  EXPECT_EQ(lint::classify_path("src/support/contract.h"),
+            lint::Domain::kExempt);
+  EXPECT_EQ(lint::classify_path("bench/bench_fig4.cpp"),
+            lint::Domain::kDriver);
+  EXPECT_EQ(lint::classify_path("examples/quickstart.cpp"),
+            lint::Domain::kDriver);
+  EXPECT_EQ(lint::classify_path("tests/rng_test.cc"), lint::Domain::kExempt);
+  EXPECT_EQ(lint::classify_path("tools/lint/lint.cc"), lint::Domain::kExempt);
+}
+
+TEST(LintScanTest, BannedRngTokens) {
+  const auto fs = lint::scan_file(
+      "src/tier/x.cc", "#include <random>\nstd::mt19937 gen(1);\n");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].rule, "SR001");
+  EXPECT_EQ(fs[0].line, 1);
+  EXPECT_EQ(fs[1].rule, "SR001");
+  EXPECT_EQ(fs[1].line, 2);
+}
+
+TEST(LintScanTest, WallClockOnlyOutsideObs) {
+  const std::string code = "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(rules_of(lint::scan_file("src/exp/x.cc", code)),
+            (std::vector<std::string>{"SR002"}));
+  EXPECT_TRUE(lint::scan_file("src/obs/x.cc", code).empty());
+}
+
+TEST(LintScanTest, CommentsAndStringsAreStripped) {
+  EXPECT_TRUE(lint::scan_file("src/sim/x.cc",
+                              "// std::random_device in a comment\n"
+                              "/* system_clock in a block\n"
+                              "   spanning lines */\n"
+                              "const char* s = \"std::rand()\";\n")
+                  .empty());
+}
+
+TEST(LintScanTest, NearMissIdentifiersDoNotFire) {
+  EXPECT_TRUE(lint::scan_file("src/sim/x.cc",
+                              "int threads_active = 0;\n"
+                              "double mean_wait_time() { return 0.0; }\n"
+                              "double operand(double x) { return x; }\n")
+                  .empty());
+}
+
+TEST(LintScanTest, UnorderedIterationNotDeclarationOrLookup) {
+  const std::string code =
+      "std::unordered_map<std::string, int> seen;\n"  // declaration: ok
+      "auto it = seen.find(\"k\");\n"                 // lookup: ok
+      "for (const auto& kv : seen) use(kv);\n";       // iteration: SR003
+  const auto fs = lint::scan_file("src/obs/x.cc", code);
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].rule, "SR003");
+  EXPECT_EQ(fs[0].line, 3);
+}
+
+TEST(LintScanTest, RngConstructionSanctionedSites) {
+  const std::string ctor = "sim::Rng local(123);\n";
+  EXPECT_EQ(rules_of(lint::scan_file("src/tier/x.cc", ctor)),
+            (std::vector<std::string>{"SR004"}));
+  EXPECT_EQ(rules_of(lint::scan_file("bench/x.cpp", ctor)),
+            (std::vector<std::string>{"SR004"}));
+  // Sanctioned: the Rng implementation itself and RunContext.
+  EXPECT_TRUE(lint::scan_file("src/sim/rng.cc", ctor).empty());
+  EXPECT_TRUE(lint::scan_file("src/exp/run_context.cc", ctor).empty());
+  // References and by-value parameters are not constructions.
+  EXPECT_TRUE(lint::scan_file("src/tier/x.cc",
+                              "void f(sim::Rng& rng);\n"
+                              "void g(sim::Rng rng);\n")
+                  .empty());
+}
+
+TEST(LintScanTest, ThreadingOnlyInSimAndCore) {
+  const std::string code = "#include <mutex>\n";
+  EXPECT_EQ(rules_of(lint::scan_file("src/sim/x.cc", code)),
+            (std::vector<std::string>{"SR005"}));
+  EXPECT_EQ(rules_of(lint::scan_file("src/core/x.cc", code)),
+            (std::vector<std::string>{"SR005"}));
+  // exp hosts the ParallelExecutor: concurrency is legitimate there.
+  EXPECT_TRUE(lint::scan_file("src/exp/parallel.cc", code).empty());
+}
+
+TEST(LintScanTest, AllowEscapeHatchSameLineAndAbove) {
+  EXPECT_TRUE(
+      lint::scan_file("src/tier/x.cc",
+                      "sim::Rng r(1);  // SOFTRES_LINT_ALLOW(SR004: derived)\n")
+          .empty());
+  EXPECT_TRUE(
+      lint::scan_file("src/tier/x.cc",
+                      "// SOFTRES_LINT_ALLOW(SR004: derived)\n"
+                      "sim::Rng r(1);\n")
+          .empty());
+  // The annotation only covers its own rule...
+  EXPECT_EQ(rules_of(lint::scan_file(
+                "src/tier/x.cc",
+                "std::mt19937 g;  // SOFTRES_LINT_ALLOW(SR004: wrong rule)\n")),
+            (std::vector<std::string>{"SR001"}));
+  // ...and only one line of distance.
+  EXPECT_EQ(rules_of(lint::scan_file("src/tier/x.cc",
+                                     "// SOFTRES_LINT_ALLOW(SR004: too far)\n"
+                                     "\n"
+                                     "sim::Rng r(1);\n")),
+            (std::vector<std::string>{"SR004"}));
+}
+
+TEST(LintScanTest, RuleTableCoversAllEmittedRules) {
+  std::set<std::string> ids;
+  for (const auto& r : lint::rule_table()) ids.insert(r.id);
+  EXPECT_EQ(ids, (std::set<std::string>{"SR001", "SR002", "SR003", "SR004",
+                                        "SR005", "SR006"}));
+}
+
+// ---- Fixture-tree scan: exact rule IDs and lines per seeded violation ----
+
+TEST(LintFixtureTest, DetectsEverySeededViolationExactly) {
+  std::vector<std::string> errors;
+  const auto fs = lint::scan_tree(SOFTRES_LINT_FIXTURE_DIR, {"src"}, &errors);
+  EXPECT_TRUE(errors.empty());
+
+  // (file, line, rule) triples, sorted by (file, line, rule) — the scanner's
+  // output contract. One entry per expected finding.
+  struct Expected {
+    const char* file;
+    int line;
+    const char* rule;
+  };
+  const std::vector<Expected> expected = {
+      {"src/core/bad_mutex.cc", 4, "SR005"},
+      {"src/core/bad_mutex.cc", 5, "SR005"},
+      {"src/core/bad_mutex.cc", 10, "SR005"},
+      {"src/core/bad_mutex.cc", 15, "SR005"},
+      {"src/core/bad_unordered.cc", 14, "SR003"},
+      {"src/core/bad_unordered.cc", 17, "SR003"},
+      {"src/exp/bad_clock.cc", 9, "SR002"},
+      {"src/exp/bad_clock.cc", 10, "SR002"},
+      {"src/exp/bad_clock.cc", 11, "SR002"},
+      {"src/sim/bad_rng.cc", 3, "SR001"},
+      {"src/sim/bad_rng.cc", 8, "SR001"},
+      {"src/sim/bad_rng.cc", 9, "SR001"},
+      {"src/sim/bad_thread_id.cc", 5, "SR005"},
+      {"src/sim/bad_thread_id.cc", 10, "SR006"},
+      {"src/sim/bad_thread_id.cc", 14, "SR005"},
+      {"src/sim/bad_thread_id.cc", 14, "SR006"},
+      {"src/tier/bad_rng_ctor.cc", 15, "SR004"},
+      {"src/tier/bad_rng_ctor.cc", 19, "SR004"},
+  };
+  ASSERT_EQ(fs.size(), expected.size())
+      << [&] {
+           std::string got;
+           for (const auto& f : fs) got += lint::format_finding(f) + "\n";
+           return got;
+         }();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(fs[i].file, expected[i].file) << "finding " << i;
+    EXPECT_EQ(fs[i].line, expected[i].line) << "finding " << i;
+    EXPECT_EQ(fs[i].rule, expected[i].rule) << "finding " << i;
+  }
+}
+
+TEST(LintFixtureTest, CleanFixturesProduceNoFindings) {
+  for (const char* clean : {"src/obs/ok_clock.cc", "src/exp/ok_allowed.cc",
+                            "src/exp/ok_near_miss.cc"}) {
+    std::vector<std::string> errors;
+    const auto fs = lint::scan_tree(SOFTRES_LINT_FIXTURE_DIR, {clean}, &errors);
+    EXPECT_TRUE(errors.empty()) << clean;
+    std::string got;
+    for (const auto& f : fs) got += lint::format_finding(f) + "\n";
+    EXPECT_TRUE(fs.empty()) << clean << " produced:\n" << got;
+  }
+}
+
+TEST(LintFixtureTest, FormatFindingIsClickable) {
+  lint::Finding f;
+  f.file = "src/sim/bad_rng.cc";
+  f.line = 8;
+  f.rule = "SR001";
+  f.message = "std::random_device is banned";
+  f.excerpt = "std::random_device rd;";
+  const std::string text = lint::format_finding(f);
+  EXPECT_NE(text.find("src/sim/bad_rng.cc:8: [SR001]"), std::string::npos);
+  EXPECT_NE(text.find("std::random_device rd;"), std::string::npos);
+}

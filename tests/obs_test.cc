@@ -144,6 +144,39 @@ TEST(RegistryTest, PrometheusExpositionGolden) {
   EXPECT_EQ(os.str(), expected);
 }
 
+TEST(RegistryTest, ExportSortsSeriesWithinFamilyByLabelKey) {
+  // Series registration order must not leak into the exported text (the
+  // determinism contract's unordered-iteration rule applied to our own
+  // exporters): register deliberately out of label order, expect sorted
+  // emission. Family blocks keep first-appearance order.
+  Registry r;
+  r.counter("done_total", {{"srv", "tomcat1"}}).inc(2.0);
+  r.counter("done_total", {{"srv", "apache0"}}).inc(1.0);
+  r.gauge("queue_depth", {{"srv", "cjdbc0"}}).set(7.0);
+  r.counter("done_total", {{"srv", "mysql0"}}).inc(3.0);
+
+  std::ostringstream os;
+  r.write_prometheus(os, 0.0);
+  const std::string expected =
+      "# TYPE done_total counter\n"
+      "done_total{srv=\"apache0\"} 1\n"
+      "done_total{srv=\"mysql0\"} 3\n"
+      "done_total{srv=\"tomcat1\"} 2\n"
+      "# TYPE queue_depth gauge\n"
+      "queue_depth{srv=\"cjdbc0\"} 7\n";
+  EXPECT_EQ(os.str(), expected);
+
+  std::ostringstream csv;
+  r.write_csv(csv, 0.0);
+  const std::string expected_csv =
+      "metric,labels,kind,value\n"
+      "done_total,srv=apache0,counter,1\n"
+      "done_total,srv=mysql0,counter,3\n"
+      "done_total,srv=tomcat1,counter,2\n"
+      "queue_depth,srv=cjdbc0,gauge,7\n";
+  EXPECT_EQ(csv.str(), expected_csv);
+}
+
 TEST(RegistryTest, CsvExportGolden) {
   Registry r;
   Counter c = r.counter("done_total", {{"srv", "a0"}});

@@ -1,0 +1,440 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace softres::lint {
+
+namespace fs = std::filesystem;
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kRules = {
+      {"SR001", "banned-rng",
+       "std:: random machinery (rand, random_device, mt19937, ...) in "
+       "sim-reachable code; draw from sim::Rng streams instead"},
+      {"SR002", "wall-clock",
+       "wall-clock APIs (system_clock, steady_clock, gettimeofday, ...) in "
+       "src/ outside src/obs; simulation time is sim::SimTime"},
+      {"SR003", "unordered-iteration",
+       "iteration over std::unordered_{map,set}: hash-order-dependent and "
+       "must never feed a result or report"},
+      {"SR004", "rng-construction",
+       "sim::Rng constructed outside src/sim; seed every stream through "
+       "RunContext::derive_seed (or annotate why the seed is already "
+       "derived)"},
+      {"SR005", "threading-in-sim",
+       "mutex/atomic/thread primitives in src/sim or src/core, which are "
+       "single-threaded per trial by contract"},
+      {"SR006", "address-dependent",
+       "thread-id or pointer-to-integer hashing: differs across runs and "
+       "address-space layouts"},
+  };
+  return kRules;
+}
+
+Domain classify_path(const std::string& rel_path) {
+  auto has_prefix = [&rel_path](const char* p) {
+    return rel_path.rfind(p, 0) == 0;
+  };
+  if (has_prefix("src/obs/")) return Domain::kObs;
+  // src/support holds the contract enforcement itself (poison pragmas and
+  // [[deprecated]] shims name the banned identifiers on purpose).
+  if (has_prefix("src/support/")) return Domain::kExempt;
+  if (has_prefix("src/")) return Domain::kSim;
+  if (has_prefix("bench/") || has_prefix("examples/")) return Domain::kDriver;
+  return Domain::kExempt;
+}
+
+namespace {
+
+/// Strips // and /* */ comments and the contents of string/char literals
+/// (keeping quotes) from source lines, preserving line structure so finding
+/// line numbers stay exact. `in_block` carries block-comment state between
+/// lines of one file.
+std::string strip_code_line(const std::string& line, bool& in_block) {
+  std::string out;
+  out.reserve(line.size());
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    if (in_block) {
+      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
+        in_block = false;
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size()) {
+      if (line[i + 1] == '/') break;  // rest of line is a comment
+      if (line[i + 1] == '*') {
+        in_block = true;
+        ++i;
+        continue;
+      }
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\') {
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        ++i;
+      }
+      out.push_back(quote);
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Word-boundary token search ("thread" matches `std::thread` and
+/// `<thread>`, not `threads_` or `thread_exponent`).
+bool contains_token(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+/// Rules suppressed by SOFTRES_LINT_ALLOW(SRnnn[,SRnnn...]: reason) on this
+/// line. The annotation also covers the next line so it can sit on its own
+/// comment line above the allowed use.
+std::set<std::string> parse_allow(const std::string& raw_line) {
+  std::set<std::string> out;
+  static const std::regex kAllow(R"(SOFTRES_LINT_ALLOW\s*\(\s*([^)]*)\))");
+  auto begin =
+      std::sregex_iterator(raw_line.begin(), raw_line.end(), kAllow);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string body = (*it)[1].str();
+    static const std::regex kId(R"(SR\d{3})");
+    auto ids = std::sregex_iterator(body.begin(), body.end(), kId);
+    for (auto id = ids; id != std::sregex_iterator(); ++id) {
+      out.insert(id->str());
+    }
+  }
+  return out;
+}
+
+struct TokenRule {
+  const char* rule;
+  const char* token;
+  const char* what;
+};
+
+// SR001 — entropy sources other than sim::Rng. Fires in every scanned
+// domain: a bench that seeds mt19937 breaks reproducibility exactly like a
+// tier model would.
+constexpr TokenRule kBannedRng[] = {
+    {"SR001", "rand", "std::rand"},
+    {"SR001", "srand", "srand"},
+    {"SR001", "random_device", "std::random_device"},
+    {"SR001", "mt19937", "std::mt19937"},
+    {"SR001", "mt19937_64", "std::mt19937_64"},
+    {"SR001", "minstd_rand", "std::minstd_rand"},
+    {"SR001", "minstd_rand0", "std::minstd_rand0"},
+    {"SR001", "default_random_engine", "std::default_random_engine"},
+    {"SR001", "ranlux24", "std::ranlux24"},
+    {"SR001", "ranlux48", "std::ranlux48"},
+    {"SR001", "knuth_b", "std::knuth_b"},
+};
+
+// SR002 — wall clocks in src/ outside src/obs. Simulation time is
+// sim::SimTime; real time in a trial makes jobs=N diverge from jobs=1.
+constexpr TokenRule kWallClock[] = {
+    {"SR002", "system_clock", "std::chrono::system_clock"},
+    {"SR002", "steady_clock", "std::chrono::steady_clock"},
+    {"SR002", "high_resolution_clock", "std::chrono::high_resolution_clock"},
+    {"SR002", "gettimeofday", "gettimeofday"},
+    {"SR002", "clock_gettime", "clock_gettime"},
+    {"SR002", "timespec_get", "timespec_get"},
+    {"SR002", "localtime", "localtime"},
+    {"SR002", "gmtime", "gmtime"},
+    {"SR002", "strftime", "strftime"},
+};
+
+// SR005 — concurrency primitives in the single-threaded-per-trial domains.
+// Parallelism lives in exp::ParallelExecutor, above the trial boundary.
+constexpr TokenRule kThreading[] = {
+    {"SR005", "mutex", "std::mutex"},
+    {"SR005", "shared_mutex", "std::shared_mutex"},
+    {"SR005", "atomic", "std::atomic"},
+    {"SR005", "thread", "std::thread"},
+    {"SR005", "jthread", "std::jthread"},
+    {"SR005", "condition_variable", "std::condition_variable"},
+    {"SR005", "lock_guard", "std::lock_guard"},
+    {"SR005", "unique_lock", "std::unique_lock"},
+    {"SR005", "scoped_lock", "std::scoped_lock"},
+    {"SR005", "future", "std::future"},
+    {"SR005", "promise", "std::promise"},
+    {"SR005", "async", "std::async"},
+    {"SR005", "counting_semaphore", "std::counting_semaphore"},
+    {"SR005", "binary_semaphore", "std::binary_semaphore"},
+    {"SR005", "latch", "std::latch"},
+    {"SR005", "barrier", "std::barrier"},
+};
+
+// SR006 — values that depend on the address space or the scheduler.
+constexpr TokenRule kAddressDependent[] = {
+    {"SR006", "this_thread", "std::this_thread"},
+    {"SR006", "get_id", "thread-id query"},
+};
+
+bool under(const std::string& rel_path, const char* prefix) {
+  return rel_path.rfind(prefix, 0) == 0;
+}
+
+}  // namespace
+
+std::vector<Finding> scan_file(const std::string& rel_path,
+                               const std::string& contents) {
+  const Domain domain = classify_path(rel_path);
+  std::vector<Finding> findings;
+  if (domain == Domain::kExempt) return findings;
+
+  const bool in_sim_core =
+      under(rel_path, "src/sim/") || under(rel_path, "src/core/");
+  const bool rng_ctor_exempt = under(rel_path, "src/sim/") ||
+                               rel_path == "src/exp/run_context.cc" ||
+                               rel_path == "src/exp/run_context.h";
+
+  // Pass 1: split lines, strip comments/strings, harvest allow annotations
+  // and names of unordered-container variables declared in this file.
+  std::vector<std::string> raw_lines;
+  {
+    std::istringstream is(contents);
+    std::string line;
+    while (std::getline(is, line)) raw_lines.push_back(line);
+  }
+  std::vector<std::string> code_lines;
+  code_lines.reserve(raw_lines.size());
+  std::map<int, std::set<std::string>> allowed;  // line (1-based) -> rules
+  bool in_block = false;
+  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
+    code_lines.push_back(strip_code_line(raw_lines[i], in_block));
+    const std::set<std::string> rules = parse_allow(raw_lines[i]);
+    if (!rules.empty()) {
+      const int n = static_cast<int>(i) + 1;
+      allowed[n].insert(rules.begin(), rules.end());
+      allowed[n + 1].insert(rules.begin(), rules.end());
+    }
+  }
+
+  static const std::regex kUnorderedDecl(
+      R"(\bunordered_(?:multi)?(?:map|set)\s*<[^;{]*>\s+(\w+)\s*[;={(])");
+  std::set<std::string> unordered_vars;
+  for (const auto& code : code_lines) {
+    auto begin = std::sregex_iterator(code.begin(), code.end(), kUnorderedDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      unordered_vars.insert((*it)[1].str());
+    }
+  }
+
+  auto is_allowed = [&allowed](int line, const char* rule) {
+    auto it = allowed.find(line);
+    return it != allowed.end() && it->second.count(rule) > 0;
+  };
+  auto add = [&](int line, const char* rule, std::string message) {
+    if (is_allowed(line, rule)) return;
+    Finding f;
+    f.file = rel_path;
+    f.line = line;
+    f.rule = rule;
+    f.message = std::move(message);
+    f.excerpt = trim(raw_lines[static_cast<std::size_t>(line) - 1]);
+    findings.push_back(std::move(f));
+  };
+
+  static const std::regex kRngCtor(R"(\bRng\s*\(|\bRng\s+\w+\s*[({])");
+  static const std::regex kTimeCall(R"((?:^|[^\w.:>])(?:std::)?time\s*\()");
+  static const std::regex kClockCall(R"((?:^|[^\w.:>])(?:std::)?clock\s*\()");
+  static const std::regex kPtrHash(
+      R"(reinterpret_cast\s*<\s*(?:std::)?u?intptr_t|std::hash\s*<[^>]*\*)");
+  static const std::regex kRandomInclude(R"(#\s*include\s*<random>)");
+
+  for (std::size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& code = code_lines[i];
+    if (code.empty()) continue;
+    const int n = static_cast<int>(i) + 1;
+
+    // SR001 — all scanned domains.
+    for (const auto& r : kBannedRng) {
+      if (contains_token(code, r.token)) {
+        add(n, r.rule, std::string(r.what) +
+                           " is banned: draw from a sim::Rng stream derived "
+                           "via RunContext::derive_seed");
+        break;
+      }
+    }
+    if (std::regex_search(code, kRandomInclude)) {
+      add(n, "SR001",
+          "<random> must not be included in sim-reachable code; sim::Rng "
+          "provides every needed distribution");
+    }
+
+    // SR002 — src/ outside src/obs.
+    if (domain == Domain::kSim) {
+      for (const auto& r : kWallClock) {
+        if (contains_token(code, r.token)) {
+          add(n, r.rule,
+              std::string(r.what) +
+                  " reads the wall clock: use sim::SimTime (simulated "
+                  "seconds) or move the export to src/obs");
+          break;
+        }
+      }
+      if (std::regex_search(code, kTimeCall)) {
+        add(n, "SR002",
+            "time() reads the wall clock: use sim::SimTime or move the "
+            "export to src/obs");
+      } else if (std::regex_search(code, kClockCall)) {
+        add(n, "SR002",
+            "clock() reads the process clock: use sim::SimTime or move the "
+            "export to src/obs");
+      }
+    }
+
+    // SR003 — iteration over unordered containers declared in this file.
+    for (const auto& var : unordered_vars) {
+      const std::regex range_for(R"(for\s*\([^;)]*:\s*)" + var + R"(\b)");
+      const std::regex begin_call("\\b" + var + R"(\s*\.\s*c?begin\s*\()");
+      if (std::regex_search(code, range_for) ||
+          std::regex_search(code, begin_call)) {
+        add(n, "SR003",
+            "iteration over unordered container '" + var +
+                "' is hash-order-dependent: sort keys first or use an "
+                "ordered/indexed container");
+        break;
+      }
+    }
+
+    // SR004 — sim::Rng construction outside the sanctioned sites.
+    if (!rng_ctor_exempt && std::regex_search(code, kRngCtor)) {
+      add(n, "SR004",
+          "sim::Rng constructed here: every stream must be seeded through "
+          "RunContext::derive_seed (annotate with SOFTRES_LINT_ALLOW(SR004: "
+          "...) if this seed is already derived)");
+    }
+
+    // SR005 — src/sim and src/core only.
+    if (in_sim_core) {
+      for (const auto& r : kThreading) {
+        if (contains_token(code, r.token)) {
+          add(n, r.rule,
+              std::string(r.what) +
+                  " in a single-threaded-per-trial domain: concurrency "
+                  "belongs in exp::ParallelExecutor, above the trial");
+          break;
+        }
+      }
+    }
+
+    // SR006 — sim-reachable src/ domains.
+    if (domain == Domain::kSim || domain == Domain::kObs) {
+      for (const auto& r : kAddressDependent) {
+        if (contains_token(code, r.token)) {
+          add(n, r.rule,
+              std::string(r.what) +
+                  " is scheduler-dependent and must not reach a result");
+          break;
+        }
+      }
+      if (std::regex_search(code, kPtrHash)) {
+        add(n, "SR006",
+            "pointer-to-integer hashing is address-space-dependent: key on "
+            "a stable name or index instead");
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> scan_tree(const std::string& root,
+                               const std::vector<std::string>& paths,
+                               std::vector<std::string>* errors) {
+  std::vector<Finding> findings;
+  auto note_error = [errors](const std::string& msg) {
+    if (errors != nullptr) errors->push_back(msg);
+  };
+  auto scan_one = [&](const fs::path& abs, const std::string& rel) {
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      note_error("cannot read " + abs.string());
+      return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<Finding> file_findings = scan_file(rel, buf.str());
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  };
+  auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+           ext == ".cxx";
+  };
+
+  const fs::path root_path(root);
+  for (const auto& p : paths) {
+    const fs::path abs = root_path / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file() || !is_source(it->path())) continue;
+        const std::string rel =
+            fs::relative(it->path(), root_path, ec).generic_string();
+        scan_one(it->path(), rel);
+      }
+      if (ec) note_error("walking " + abs.string() + ": " + ec.message());
+    } else if (fs::is_regular_file(abs, ec)) {
+      scan_one(abs, fs::path(p).generic_string());
+    } else {
+      note_error("no such file or directory: " + abs.string());
+    }
+  }
+  // Directory iteration order is filesystem-dependent; the report must not
+  // be (the checker holds itself to its own contract).
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+std::string format_finding(const Finding& f) {
+  std::ostringstream os;
+  os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  if (!f.excerpt.empty()) os << "\n    > " << f.excerpt;
+  return os.str();
+}
+
+}  // namespace softres::lint

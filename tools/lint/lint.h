@@ -1,0 +1,85 @@
+#pragma once
+
+// softres-lint: static checker for the determinism & soft-resource contract.
+//
+// The simulator's headline guarantee is that a sweep with SOFTRES_JOBS=N is
+// bit-identical to the serial run. That holds only while simulation-reachable
+// code draws entropy exclusively from sim::Rng streams derived via
+// exp::RunContext::derive_seed, never reads wall clocks, and never lets
+// address- or hash-order-dependent iteration feed a report. This checker
+// enforces those rules textually (line-level token scan with comment/string
+// stripping) so a violation fails the build long before it produces a subtly
+// wrong Fig-4/Fig-5 curve. Compile-time poisoning in src/support/contract.h
+// backstops the same rules for the worst offenders.
+//
+// Rules (see rule_table()):
+//   SR001 banned-rng         std::rand/random_device/mt19937/... anywhere in
+//                            sim-reachable code (src/, bench/, examples/)
+//   SR002 wall-clock         system_clock/steady_clock/gettimeofday/... in
+//                            src/ outside src/obs (obs may timestamp exports)
+//   SR003 unordered-iter     iteration over std::unordered_{map,set} —
+//                            hash-order-dependent, must not feed results
+//   SR004 rng-construction   sim::Rng constructed outside src/sim and
+//                            RunContext::derive_seed call sites
+//   SR005 threading-in-sim   mutex/atomic/thread in src/sim + src/core,
+//                            which are single-threaded per trial by contract
+//   SR006 address-dependent  thread-id / pointer-to-integer hashing whose
+//                            value differs across runs
+//
+// Escape hatch: a line (or the line immediately above it) containing
+// `SOFTRES_LINT_ALLOW(SRnnn: reason)` suppresses rule SRnnn there. Legitimate
+// uses are rare and must say why — e.g. the ClientFarm master RNG, whose seed
+// *is* the derived trial seed.
+
+#include <string>
+#include <vector>
+
+namespace softres::lint {
+
+/// Where a file sits in the determinism contract. Derived from its path
+/// relative to the scan root, mirroring the repository layout.
+enum class Domain {
+  kSim,     // src/** except src/obs — fully simulation-reachable
+  kObs,     // src/obs — sim-reachable but may export wall-clock timestamps
+  kDriver,  // bench/, examples/ — entry points; seed contract still applies
+  kExempt,  // tests/, tools/, third-party — not scanned by default
+};
+
+struct Finding {
+  std::string file;  // path as given to the scanner
+  int line = 0;      // 1-based
+  std::string rule;  // "SR001" ... "SR006"
+  std::string message;
+  std::string excerpt;  // offending source line, trimmed
+};
+
+struct RuleInfo {
+  std::string id;
+  std::string name;
+  std::string summary;
+};
+
+/// Static description of every rule, for --list-rules and docs.
+const std::vector<RuleInfo>& rule_table();
+
+/// Classify a repository-relative path ("src/sim/rng.cc"). Paths outside the
+/// known layout are exempt.
+Domain classify_path(const std::string& rel_path);
+
+/// Scan one file's contents. `rel_path` decides the applicable rules; the
+/// file is not read from disk (pass the contents), which keeps the core
+/// testable on fixtures and independent of the filesystem.
+std::vector<Finding> scan_file(const std::string& rel_path,
+                               const std::string& contents);
+
+/// Recursively scan `paths` (files or directories, relative to `root`) for
+/// .h/.cc/.cpp files and collect findings. Exempt domains are skipped.
+/// Returns findings sorted by (file, line, rule).
+std::vector<Finding> scan_tree(const std::string& root,
+                               const std::vector<std::string>& paths,
+                               std::vector<std::string>* errors = nullptr);
+
+/// "file:line: [SRnnn] message" rendering used by the CLI and tests.
+std::string format_finding(const Finding& f);
+
+}  // namespace softres::lint

@@ -1,0 +1,73 @@
+// softres-lint CLI: scan the tree for determinism-contract violations.
+//
+//   softres-lint [--root DIR] [--list-rules] [paths...]
+//
+// Paths are relative to --root (default: current directory) and default to
+// the sim-reachable set `src bench examples`. Exit status: 0 clean, 1 when
+// findings exist, 2 on usage or I/O errors. CI and the `lint` CMake target
+// run exactly this invocation; see DESIGN.md "Determinism contract".
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: softres-lint [--root DIR] [--list-rules] [paths...]\n"
+     << "  Scans .h/.cc/.cpp files under the given paths (default: src bench\n"
+     << "  examples, relative to --root) for determinism-contract\n"
+     << "  violations. Suppress a finding with\n"
+     << "  SOFTRES_LINT_ALLOW(SRnnn: reason) on or above the line.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::cerr << "softres-lint: --root needs a directory\n";
+        print_usage(std::cerr);
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      for (const auto& r : softres::lint::rule_table()) {
+        std::cout << r.id << "  " << r.name << "\n      " << r.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "softres-lint: unknown option " << arg << "\n";
+      print_usage(std::cerr);
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) paths = {"src", "bench", "examples"};
+
+  std::vector<std::string> errors;
+  const std::vector<softres::lint::Finding> findings =
+      softres::lint::scan_tree(root, paths, &errors);
+  for (const auto& e : errors) std::cerr << "softres-lint: " << e << "\n";
+  for (const auto& f : findings) {
+    std::cout << softres::lint::format_finding(f) << "\n";
+  }
+  if (!errors.empty()) return 2;
+  if (!findings.empty()) {
+    std::cout << findings.size()
+              << " determinism-contract violation(s); see "
+                 "`softres-lint --list-rules` and DESIGN.md\n";
+    return 1;
+  }
+  return 0;
+}
