@@ -1,0 +1,162 @@
+// The CI performance suite (google-benchmark): a small, stable set of
+// whole-system benchmarks whose JSON output is the repo's checked-in
+// performance baseline (bench/baseline/<platform>.json) and the
+// BENCH_softres.json snapshot at the repo root. The CI bench job runs
+//
+//   bench_suite --benchmark_format=json --benchmark_out=BENCH_softres.json
+//
+// and tools/bench_diff compares the result against the baseline, failing
+// the build on a >20% geomean regression (see DESIGN.md §9).
+//
+// Reported per benchmark, beyond wall time:
+//   items_per_second  trials/s (sweep benches) or events/s (trial benches)
+//   events_per_s      simulator dispatch rate
+//   ns_per_event      wall nanoseconds per dispatched event
+//   allocs_per_trial  global operator-new calls per trial (counting
+//                     allocator hook below) — the arena/freelist work is
+//                     only proven by this staying flat as load grows
+//
+// Keep this suite SMALL and its arguments FIXED: every entry is a contract
+// with the baseline file, and renaming or re-parameterizing a benchmark
+// silently drops it from the regression comparison (bench_diff warns on
+// unmatched names).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "exp/config.h"
+#include "exp/experiment.h"
+#include "exp/parallel.h"
+#include "exp/sweep.h"
+#include "exp/testbed.h"
+
+using namespace softres;
+
+// ---------------------------------------------------------------------------
+// Counting allocator hook: every global operator new bumps a relaxed atomic.
+// This counts *all* allocations on the process (gtest-free, benchmark's own
+// bookkeeping included), so benches measure deltas across the timed region
+// and report per-trial rates; the absolute level is meaningless.
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace {
+
+exp::TestbedConfig suite_config() {
+  exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+  // 10x demands keep individual trials short without changing the event mix
+  // (same scaling as bench_kernel's BM_SweepThroughput).
+  cfg.demands.tomcat_base_s *= 10.0;
+  cfg.demands.cjdbc_per_query_s *= 10.0;
+  cfg.demands.mysql_per_query_s *= 10.0;
+  return cfg;
+}
+
+exp::ExperimentOptions suite_options() {
+  exp::ExperimentOptions opts;
+  opts.client.ramp_up_s = 5.0;
+  opts.client.runtime_s = 20.0;
+  opts.client.ramp_down_s = 2.0;
+  opts.keep_series = false;
+  return opts;
+}
+
+// Sweep throughput in trials/s — the headline number. range(0) is the
+// parallel-executor pool size (1 = strictly serial, 0 = all cores).
+void BM_SweepThroughput(benchmark::State& state) {
+  const auto jobs = static_cast<std::size_t>(state.range(0));
+  const exp::Experiment e(suite_config(), suite_options());
+  const auto workloads = exp::workload_range(100, 800, 100);  // 8 trials
+
+  std::uint64_t trials = 0;
+  double tp_checksum = 0.0;
+  const std::uint64_t allocs0 =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    const auto results =
+        exp::sweep_workload(e, exp::SoftConfig{50, 10, 10}, workloads, jobs);
+    trials += results.size();
+    for (const auto& r : results) tp_checksum += r.throughput;
+  }
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  benchmark::DoNotOptimize(tp_checksum);
+  state.SetItemsProcessed(static_cast<int64_t>(trials));
+  if (trials > 0) {
+    state.counters["allocs_per_trial"] =
+        static_cast<double>(allocs) / static_cast<double>(trials);
+  }
+  state.SetLabel("jobs=" + std::to_string(
+                     jobs ? jobs : exp::ParallelExecutor::default_jobs()));
+}
+BENCHMARK(BM_SweepThroughput)
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// One full testbed trial at a fixed population: event rate and per-event
+// cost of the end-to-end engine (queue, callbacks, tiers, client farm).
+void BM_TrialEventRate(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  std::uint64_t events = 0;
+  std::uint64_t trials = 0;
+  const std::uint64_t allocs0 =
+      g_alloc_count.load(std::memory_order_relaxed);
+  for (auto _ : state) {
+    exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+    workload::ClientConfig client;
+    client.users = users;
+    client.ramp_up_s = 5.0;
+    client.runtime_s = 15.0;
+    client.ramp_down_s = 2.0;
+    exp::Testbed bed(cfg, client);
+    bed.run();
+    events += bed.simulator().events_executed();
+    ++trials;
+  }
+  const std::uint64_t allocs =
+      g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  state.SetItemsProcessed(static_cast<int64_t>(events));
+  state.counters["events_per_s"] = benchmark::Counter(
+      static_cast<double>(events), benchmark::Counter::kIsRate);
+  // (events * 1e-9 / elapsed)^-1 = elapsed_ns / events.
+  state.counters["ns_per_event"] = benchmark::Counter(
+      static_cast<double>(events) * 1e-9,
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+  if (trials > 0) {
+    state.counters["allocs_per_trial"] =
+        static_cast<double>(allocs) / static_cast<double>(trials);
+  }
+}
+BENCHMARK(BM_TrialEventRate)
+    ->Arg(500)
+    ->Arg(2000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -8,6 +8,7 @@
 #include "obs/trace.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "tier/request.h"
 
 namespace softres::exp {
 
@@ -54,10 +55,18 @@ class RunContext {
   obs::TraceCollector& traces() { return traces_; }
   const obs::TraceCollector& traces() const { return traces_; }
 
+  /// Per-trial Request pool; the client farm allocates every request from
+  /// here. Owned by the trial context for the same reason as the simulator:
+  /// no allocator state shared across trials.
+  tier::RequestArena& requests() { return arena_; }
+
  private:
   std::uint64_t base_seed_ = 0;
   std::uint64_t trial_seed_ = 0;
   std::size_t users_ = 0;
+  // Declared before sim_ (so destroyed after it): pending events hold
+  // RequestPtr captures whose destructors hand requests back to the arena.
+  tier::RequestArena arena_;
   sim::Simulator sim_;
   sim::Rng rng_;
   obs::Registry registry_;

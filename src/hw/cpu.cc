@@ -9,52 +9,16 @@ namespace softres::hw {
 Cpu::Cpu(sim::Simulator& sim, std::string name, unsigned cores,
          double context_switch_coeff)
     : sim_(sim), name_(std::move(name)), cores_(cores),
+      inv_cores_(1.0 / static_cast<double>(cores)),
       cs_coeff_(context_switch_coeff) {
   assert(cores > 0);
   last_update_ = sim.now();
 }
 
-bool Cpu::frozen() const { return sim_.now() < freeze_until_ - sim::kTimeEpsilon; }
-
 double Cpu::current_rate() const {
   if (frozen() || jobs_.empty()) return 0.0;
   const double n = static_cast<double>(jobs_.size());
   return std::min(1.0, static_cast<double>(cores_) / n);
-}
-
-void Cpu::advance_to_now() {
-  const sim::SimTime now = sim_.now();
-  const double dt = now - last_update_;
-  if (dt <= 0.0) return;
-  // Freeze transitions only happen at events that call advance_to_now first,
-  // so the frozen/running state is constant over (last_update_, now).
-  const bool was_frozen = last_update_ < freeze_until_ - sim::kTimeEpsilon;
-  if (was_frozen) {
-    busy_core_seconds_ += static_cast<double>(cores_) * dt;
-    freeze_core_seconds_ += static_cast<double>(cores_) * dt;
-  } else if (!jobs_.empty()) {
-    const double n = static_cast<double>(jobs_.size());
-    const double served_cores = std::min(n, static_cast<double>(cores_));
-    busy_core_seconds_ += served_cores * dt;
-    work_done_ += served_cores * dt;
-    attained_ += std::min(1.0, static_cast<double>(cores_) / n) * dt;
-  }
-  last_update_ = now;
-}
-
-void Cpu::submit(double demand, Callback done) {
-  assert(done);
-  if (demand <= 0.0) {
-    sim_.schedule(0.0, std::move(done));
-    return;
-  }
-  advance_to_now();
-  if (cs_coeff_ > 0.0) {
-    const double n = static_cast<double>(jobs_.size() + 1);
-    demand *= 1.0 + cs_coeff_ * std::sqrt(n);
-  }
-  jobs_.push(Job{attained_ + demand, next_seq_++, std::move(done)});
-  reschedule_completion();
 }
 
 void Cpu::freeze(double duration) {
@@ -63,11 +27,13 @@ void Cpu::freeze(double duration) {
   const sim::SimTime until = sim_.now() + duration;
   if (until <= freeze_until_) return;  // already frozen longer
   freeze_until_ = until;
-  sim_.cancel(unfreeze_event_);
-  unfreeze_event_ = sim_.schedule_at(until, [this] { on_unfreeze(); });
+  if (!sim_.reschedule_at(unfreeze_event_, until)) {
+    unfreeze_event_ = sim_.schedule_at(until, [this] { on_unfreeze(); });
+  }
   // Application progress halts; drop any pending completion.
   sim_.cancel(completion_event_);
   completion_event_ = sim::EventHandle();
+  completion_due_ = std::numeric_limits<double>::infinity();
 }
 
 void Cpu::on_unfreeze() {
@@ -75,26 +41,19 @@ void Cpu::on_unfreeze() {
   reschedule_completion();
 }
 
-void Cpu::reschedule_completion() {
-  sim_.cancel(completion_event_);
+void Cpu::on_completion_timer() {
   completion_event_ = sim::EventHandle();
-  if (jobs_.empty() || frozen()) return;
-  const double rate = current_rate();
-  assert(rate > 0.0);
-  const double remaining = jobs_.top().finish_attained - attained_;
-  const double dt = std::max(0.0, remaining) / rate;
-  completion_event_ = sim_.schedule(dt, [this] {
-    advance_to_now();
-    complete_ready_jobs();
-  });
+  completion_due_ = std::numeric_limits<double>::infinity();
+  advance_to_now();
+  complete_ready_jobs();
 }
 
 void Cpu::complete_ready_jobs() {
-  while (!jobs_.empty() &&
-         jobs_.top().finish_attained <= attained_ + sim::kTimeEpsilon) {
-    // const_cast is safe: the job is removed before its callback runs.
-    Callback done = std::move(const_cast<Job&>(jobs_.top()).done);
-    jobs_.pop();
+  while (!jobs_.empty() && jobs_.top().time <= attained_ + sim::kTimeEpsilon) {
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(jobs_.pop().key & kSlotMask);
+    Callback done = std::move(job_slots_[slot]);
+    job_free_.push_back(slot);
     ++completed_;
     done();  // may submit new jobs; state is consistent here
   }

@@ -2,10 +2,10 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "sim/distributions.h"
+#include "sim/inline_callback.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
 
@@ -16,7 +16,7 @@ namespace softres::hw {
 /// the 10k-rpm drives of the paper's PC3000 nodes).
 class Disk {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::InlineCallback;
 
   Disk(sim::Simulator& sim, std::string name, sim::DistributionPtr service,
        sim::Rng rng);

@@ -1,8 +1,5 @@
 #include "hw/link.h"
 
-#include <algorithm>
-#include <cassert>
-
 namespace softres::hw {
 
 Link::Link(sim::Simulator& sim, std::string name, double latency_s,
@@ -10,18 +7,6 @@ Link::Link(sim::Simulator& sim, std::string name, double latency_s,
     : sim_(sim), name_(std::move(name)), latency_(latency_s),
       bytes_per_second_(bytes_per_second) {
   assert(latency_s >= 0.0 && bytes_per_second > 0.0);
-}
-
-void Link::send(double bytes, Callback delivered) {
-  assert(delivered);
-  const sim::SimTime now = sim_.now();
-  const double tx_time = std::max(0.0, bytes) / bytes_per_second_;
-  const sim::SimTime tx_start = std::max(now, tx_free_at_);
-  tx_free_at_ = tx_start + tx_time;
-  busy_seconds_ += tx_time;
-  bytes_sent_ += bytes;
-  ++messages_;
-  sim_.schedule_at(tx_free_at_ + latency_, std::move(delivered));
 }
 
 }  // namespace softres::hw

@@ -1,9 +1,12 @@
 #pragma once
 
+#include <algorithm>
+#include <cassert>
 #include <cstdint>
-#include <functional>
 #include <string>
+#include <utility>
 
+#include "sim/inline_callback.h"
 #include "sim/simulator.h"
 
 namespace softres::hw {
@@ -14,7 +17,7 @@ namespace softres::hw {
 /// honest under response-heavy workloads.
 class Link {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::InlineCallback;
 
   Link(sim::Simulator& sim, std::string name, double latency_s,
        double bytes_per_second);
@@ -41,5 +44,21 @@ class Link {
   double busy_seconds_ = 0.0;
   std::uint64_t messages_ = 0;
 };
+
+// Every tier hop is a send — it runs a couple of million times per trial,
+// and the body is a handful of arithmetic ops in front of schedule_at, so
+// keeping it in the header lets callers fold the whole hop into one
+// inlined schedule.
+inline void Link::send(double bytes, Callback delivered) {
+  assert(delivered);
+  const sim::SimTime now = sim_.now();
+  const double tx_time = std::max(0.0, bytes) / bytes_per_second_;
+  const sim::SimTime tx_start = std::max(now, tx_free_at_);
+  tx_free_at_ = tx_start + tx_time;
+  busy_seconds_ += tx_time;
+  bytes_sent_ += bytes;
+  ++messages_;
+  sim_.schedule_at(tx_free_at_ + latency_, std::move(delivered));
+}
 
 }  // namespace softres::hw

@@ -16,13 +16,6 @@ double Jvm::pause_duration(bool full) const {
   return pause;
 }
 
-void Jvm::allocate(double mb) {
-  allocated_since_gc_mb_ += mb;
-  if (allocated_since_gc_mb_ >= config_.young_gen_mb && !cpu_.frozen()) {
-    collect();
-  }
-}
-
 void Jvm::collect() {
   allocated_since_gc_mb_ = 0.0;
   ++collections_;

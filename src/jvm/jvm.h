@@ -44,8 +44,15 @@ class Jvm {
   Jvm(const Jvm&) = delete;
   Jvm& operator=(const Jvm&) = delete;
 
-  /// Record `mb` of allocation; may trigger a collection.
-  void allocate(double mb);
+  /// Record `mb` of allocation; may trigger a collection. The common
+  /// no-collection path is an add and a compare, inlined into each tier's
+  /// request entry; the collection itself stays out of line.
+  void allocate(double mb) {
+    allocated_since_gc_mb_ += mb;
+    if (allocated_since_gc_mb_ >= config_.young_gen_mb && !cpu_.frozen()) {
+      collect();
+    }
+  }
 
   /// Total threads alive in this process (pool capacities, not occupancy).
   void set_live_threads(std::size_t n) { live_threads_ = n; }

@@ -1,11 +1,24 @@
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
 #include "sim/rng.h"
 
 namespace softres::sim {
+
+/// O(1) exponential variate with the given mean via a precomputed 256-layer
+/// ziggurat table (Marsaglia & Tsang). Exact — the accept/reject wedge and
+/// tail paths reproduce the true density — but the common case is one
+/// next_u64(), a table compare and a multiply, where Rng::exponential pays a
+/// next_double() plus std::log on every draw. This is the hot-path sampler:
+/// think times in the client farm and the per-tier demand tails both sit on
+/// it, at several draws per page. Deterministic given the Rng state (the
+/// draw *count* per call varies on the rare reject path, which is fine: the
+/// determinism contract fixes the stream per seed, not the draws per call).
+/// mean <= 0 returns 0, matching Rng::exponential.
+double fast_exponential(Rng& rng, double mean);
 
 /// A sampleable non-negative random variable. Service demands, think times,
 /// FIN delays etc. are all expressed as Distributions so workloads can be
@@ -34,7 +47,9 @@ class Deterministic final : public Distribution {
 class Exponential final : public Distribution {
  public:
   explicit Exponential(double mean) : mean_(mean) {}
-  double sample(Rng& rng) const override { return rng.exponential(mean_); }
+  double sample(Rng& rng) const override {
+    return fast_exponential(rng, mean_);
+  }
   double mean() const override { return mean_; }
 
  private:
@@ -87,7 +102,7 @@ class ShiftedExponential final : public Distribution {
   ShiftedExponential(double offset, double mean_extra)
       : offset_(offset), mean_extra_(mean_extra) {}
   double sample(Rng& rng) const override {
-    return offset_ + rng.exponential(mean_extra_);
+    return offset_ + fast_exponential(rng, mean_extra_);
   }
   double mean() const override { return offset_ + mean_extra_; }
 
@@ -108,17 +123,46 @@ class Empirical final : public Distribution {
   double mean_ = 0.0;
 };
 
-/// Weighted discrete choice over indices 0..n-1 (linear scan; the interaction
-/// tables this backs have ~24 entries, so an alias table is not warranted).
+/// Weighted discrete choice over indices 0..n-1. Sampling uses a
+/// Walker/Vose alias table built at construction: one uniform draw, one
+/// table row, no search — the interaction choice runs once per page, so this
+/// keeps the workload generator off the binary-search path entirely.
 class DiscreteChoice {
  public:
   explicit DiscreteChoice(std::vector<double> weights);
   std::size_t sample(Rng& rng) const;
-  std::size_t size() const { return cumulative_.size(); }
+  std::size_t size() const { return prob_.size(); }
   double probability(std::size_t i) const;
 
  private:
-  std::vector<double> cumulative_;  // normalised cumulative weights
+  void build_alias();
+
+  std::vector<double> probability_;     // normalised weights (exact masses)
+  std::vector<double> prob_;            // alias acceptance thresholds
+  std::vector<std::uint32_t> alias_;    // alias targets
+};
+
+/// Zipf(n, s) over ranks 1..n: P(k) proportional to k^-s. Backed by the same
+/// alias-table construction as DiscreteChoice, so sampling is O(1) however
+/// large the catalogue — the power-law popularity model for content
+/// selection (RUBBoS stories, static objects) at web scale. sample() returns
+/// the rank as a double (Distribution interface); sample_rank() returns it
+/// typed.
+class Zipf final : public Distribution {
+ public:
+  Zipf(std::size_t n, double s);
+  double sample(Rng& rng) const override;
+  std::size_t sample_rank(Rng& rng) const;
+  double mean() const override { return mean_; }
+  std::size_t size() const { return choice_.size(); }
+  /// P(rank); rank in [1, n].
+  double probability(std::size_t rank) const {
+    return choice_.probability(rank - 1);
+  }
+
+ private:
+  DiscreteChoice choice_;
+  double mean_ = 0.0;
 };
 
 // Convenience factories.
@@ -128,5 +172,6 @@ DistributionPtr lognormal(double median, double sigma);
 DistributionPtr shifted_exp(double offset, double mean_extra);
 DistributionPtr uniform(double lo, double hi);
 DistributionPtr bounded_pareto(double lo, double hi, double alpha);
+DistributionPtr zipf(std::size_t n, double s);
 
 }  // namespace softres::sim

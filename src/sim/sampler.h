@@ -1,9 +1,9 @@
 #pragma once
 
-#include <functional>
 #include <string>
 #include <vector>
 
+#include "sim/inline_callback.h"
 #include "sim/sim_time.h"
 #include "sim/simulator.h"
 
@@ -33,7 +33,7 @@ struct TimeSeries {
 /// each probe's return value is appended to its TimeSeries.
 class Sampler {
  public:
-  using Probe = std::function<double(SimTime now)>;
+  using Probe = InlineFunction<double(SimTime)>;
 
   Sampler(Simulator& sim, SimTime interval = 1.0);
 

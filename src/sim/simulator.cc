@@ -4,74 +4,45 @@
 
 namespace softres::sim {
 
-Simulator::~Simulator() {
-  for (Record* r : all_) delete r;
-}
-
-Simulator::Record* Simulator::allocate() {
-  if (!freelist_.empty()) {
-    Record* r = freelist_.back();
-    freelist_.pop_back();
-    return r;
-  }
-  Record* r = new Record();
-  all_.push_back(r);
-  return r;
-}
-
-void Simulator::release(Record* r) {
-  r->seq = 0;
-  r->fn = nullptr;
-  freelist_.push_back(r);
-}
-
-EventHandle Simulator::schedule(SimTime delay, Callback fn) {
-  return schedule_at(now_ + (delay > 0.0 ? delay : 0.0), std::move(fn));
-}
-
-EventHandle Simulator::schedule_at(SimTime t, Callback fn) {
-  assert(fn);
-  Record* r = allocate();
-  r->time = t < now_ ? now_ : t;
-  r->seq = next_seq_++;
-  r->fn = std::move(fn);
-  heap_.push(r);
-  ++live_;
-  return EventHandle(r, r->seq);
-}
-
 bool Simulator::cancel(EventHandle h) {
   if (!h.valid()) return false;
   auto* r = static_cast<Record*>(h.record_);
-  if (r->seq != h.seq_ || r->seq == 0) return false;  // stale handle
-  // Mark cancelled; the record is reclaimed lazily when popped.
-  r->seq = 0;
-  r->fn = nullptr;
-  --live_;
+  // Generation mismatch = the record was recycled since this handle was
+  // issued (possibly several times); the handle is stale regardless of what
+  // currently occupies the slot. live_seq == 0 = this scheduling already
+  // fired or was cancelled. Cancellation is eager: the queue entry is
+  // erased via the index->position map and the record recycles immediately
+  // (the generation bump retires every outstanding handle to it).
+  if (r->gen != h.gen_ || r->live_seq == 0) return false;
+  queue_.erase(r->idx);
+  r->live_seq = 0;
+  release(r);
   return true;
 }
 
-void Simulator::dispatch(Record* r) {
-  now_ = r->time;
-  Callback fn = std::move(r->fn);
-  release(r);
-  --live_;
-  ++executed_;
-  fn();
+bool Simulator::reschedule(EventHandle h, SimTime delay) {
+  return reschedule_at(h, now_ + (delay > 0.0 ? delay : 0.0));
+}
+
+bool Simulator::reschedule_at(EventHandle h, SimTime t) {
+  if (!h.valid()) return false;
+  auto* r = static_cast<Record*>(h.record_);
+  if (r->gen != h.gen_ || r->live_seq == 0) return false;
+  // Re-key the record's one pending entry in place — no callback move, no
+  // record churn, no superseded entry left behind; the heap sift is a level
+  // or two since due times only drift. Fresh seq: the moved event fires in
+  // FIFO order as if scheduled now.
+  const std::uint64_t seq = next_seq_++;
+  assert(seq < (std::uint64_t{1} << (64 - kIdxBits)));
+  r->live_seq = seq;
+  queue_.update(r->idx, {t < now_ ? now_ : t, (seq << kIdxBits) | r->idx});
+  return true;
 }
 
 bool Simulator::step() {
-  while (!heap_.empty()) {
-    Record* r = heap_.top();
-    heap_.pop();
-    if (r->seq == 0) {  // cancelled
-      freelist_.push_back(r);
-      continue;
-    }
-    dispatch(r);
-    return true;
-  }
-  return false;
+  if (queue_.empty()) return false;
+  dispatch(queue_.pop());
+  return true;
 }
 
 void Simulator::run(std::uint64_t limit) {
@@ -81,15 +52,10 @@ void Simulator::run(std::uint64_t limit) {
 }
 
 void Simulator::run_until(SimTime t) {
-  while (!heap_.empty()) {
-    Record* r = heap_.top();
-    if (r->seq != 0 && r->time > t) break;
-    heap_.pop();
-    if (r->seq == 0) {
-      freelist_.push_back(r);
-      continue;
-    }
-    dispatch(r);
+  // The cached top bounds every pending entry (heap minimum), so stopping
+  // at the first top with time > t is exact.
+  while (!queue_.empty() && queue_.top().time <= t) {
+    dispatch(queue_.pop());
   }
   if (t > now_) now_ = t;
 }

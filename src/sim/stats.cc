@@ -7,15 +7,6 @@
 
 namespace softres::sim {
 
-void Welford::add(double x) {
-  ++n_;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(n_);
-  m2_ += delta * (x - mean_);
-  min_ = std::min(min_, x);
-  max_ = std::max(max_, x);
-}
-
 void Welford::merge(const Welford& other) {
   if (other.n_ == 0) return;
   if (n_ == 0) {
@@ -95,14 +86,6 @@ double BucketedHistogram::fraction(std::size_t i) const {
   return total_ ? static_cast<double>(counts_[i]) /
                       static_cast<double>(total_)
                 : 0.0;
-}
-
-void TimeWeighted::set(SimTime t, double value) {
-  assert(t + kTimeEpsilon >= last_);
-  const SimTime dt = t - last_;
-  if (dt > 0.0) weighted_sum_ += value_ * dt;
-  last_ = t;
-  value_ = value;
 }
 
 double TimeWeighted::average(SimTime until) const {

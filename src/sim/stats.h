@@ -11,7 +11,16 @@ namespace softres::sim {
 /// Streaming mean/variance/min/max (Welford's algorithm).
 class Welford {
  public:
-  void add(double x);
+  // Inline: servers and pools feed a sample into a Welford on nearly every
+  // completion, so this sits on the simulation hot path.
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    min_ = x < min_ ? x : min_;
+    max_ = x > max_ ? x : max_;
+  }
   void merge(const Welford& other);
   void reset();
 
@@ -84,7 +93,13 @@ class BucketedHistogram {
 /// value v from time t until the next call.
 class TimeWeighted {
  public:
-  void set(SimTime t, double value);
+  // Inline: tracks pool occupancy / server job counts, updated per event.
+  void set(SimTime t, double value) {
+    const SimTime dt = t - last_;
+    if (dt > 0.0) weighted_sum_ += value_ * dt;
+    last_ = t;
+    value_ = value;
+  }
   /// Close the window at time t and return stats; the signal keeps running.
   double average(SimTime until) const;
   double current() const { return value_; }

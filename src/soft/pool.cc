@@ -1,29 +1,10 @@
 #include "soft/pool.h"
 
-#include <cassert>
-
 namespace softres::soft {
 
 Pool::Pool(sim::Simulator& sim, std::string name, std::size_t capacity)
     : sim_(sim), name_(std::move(name)), capacity_(capacity) {
   occupancy_.reset(sim.now());
-}
-
-void Pool::grant(Callback granted, sim::SimTime waited_since) {
-  ++in_use_;
-  ++total_acquired_;
-  wait_stats_.add(sim_.now() - waited_since);
-  occupancy_.set(sim_.now(), static_cast<double>(in_use_));
-  granted();
-}
-
-void Pool::acquire(Callback granted) {
-  assert(granted);
-  if (in_use_ < capacity_) {
-    grant(std::move(granted), sim_.now());
-  } else {
-    waiters_.push_back(Waiter{std::move(granted), sim_.now()});
-  }
 }
 
 bool Pool::try_acquire() {
@@ -33,17 +14,6 @@ bool Pool::try_acquire() {
   wait_stats_.add(0.0);
   occupancy_.set(sim_.now(), static_cast<double>(in_use_));
   return true;
-}
-
-void Pool::release() {
-  assert(in_use_ > 0);
-  --in_use_;
-  occupancy_.set(sim_.now(), static_cast<double>(in_use_));
-  if (!waiters_.empty() && in_use_ < capacity_) {
-    Waiter w = std::move(waiters_.front());
-    waiters_.pop_front();
-    grant(std::move(w.granted), w.enqueued_at);
-  }
 }
 
 void Pool::set_capacity(std::size_t capacity) {

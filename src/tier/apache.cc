@@ -18,77 +18,81 @@ ApacheServer::ApacheServer(sim::Simulator& sim, std::string name,
 }
 
 void ApacheServer::handle(const RequestPtr& req, Callback responded) {
-  const sim::SimTime arrived = sim().now();
-  workers_.acquire([this, req, arrived,
-                    responded = std::move(responded)]() mutable {
-    const sim::SimTime worker_started = sim().now();
-    const sim::SimTime entered = worker_started;
-    const double queue_s = worker_started - arrived;
-    job_entered();
+  // Residence state lives in the request (see Request::ApacheVisitState) so
+  // the stage callbacks capture a bare Request* and stay inline.
+  auto& v = req->apache_visit;
+  v.self = req;
+  v.server = this;
+  v.arrived = sim().now();
+  v.responded = std::move(responded);
+  Request* r = req.get();
+  workers_.acquire([r] { on_worker(r); });
+}
 
-    // Parse the request.
-    node_.cpu().submit(req->apache_demand_s * 0.5, [this, req, entered,
-                                                    worker_started, queue_s,
-                                                    responded = std::move(
-                                                        responded)]() mutable {
-      if (req->kind == RequestKind::kStatic) {
-        // Static files are cached in memory; no Tomcat round trip.
-        respond(req, entered, worker_started, queue_s, std::move(responded));
-        return;
-      }
-      // Proxy to a Tomcat instance (mod_jk-style balancing). The worker now
-      // occupies or waits for a Tomcat connection until the response returns.
-      assert(!tomcats_.empty());
-      ++connecting_tomcat_;
-      const sim::SimTime conn_started = sim().now();
-      TomcatServer* tomcat = tomcats_[next_tomcat_];
-      next_tomcat_ = (next_tomcat_ + 1) % tomcats_.size();
-      to_tomcat_.send(req->request_bytes, [this, req, tomcat, entered,
-                                           worker_started, conn_started,
-                                           queue_s,
-                                           responded = std::move(
-                                               responded)]() mutable {
-        tomcat->submit(req, [this, req, entered, worker_started, conn_started,
-                             queue_s,
-                             responded = std::move(responded)]() mutable {
-          from_tomcat_.send(
-              req->response_bytes,
-              [this, req, entered, worker_started, conn_started, queue_s,
-               responded = std::move(responded)]() mutable {
-                --connecting_tomcat_;
-                win_tomcat_sum_s_ += sim().now() - conn_started;
-                ++win_tomcat_n_;
-                respond(req, entered, worker_started, queue_s,
-                        std::move(responded));
-              });
+void ApacheServer::on_worker(Request* r) {
+  auto& v = r->apache_visit;
+  ApacheServer* self = v.server;
+  v.worker_started = self->sim().now();
+  self->job_entered();
+
+  // Parse the request.
+  self->node_.cpu().submit(r->apache_demand_s * 0.5, [r] {
+    auto& pv = r->apache_visit;
+    ApacheServer* s = pv.server;
+    if (r->kind == RequestKind::kStatic) {
+      // Static files are cached in memory; no Tomcat round trip.
+      respond(r);
+      return;
+    }
+    // Proxy to a Tomcat instance (mod_jk-style balancing). The worker now
+    // occupies or waits for a Tomcat connection until the response returns.
+    assert(!s->tomcats_.empty());
+    ++s->connecting_tomcat_;
+    pv.conn_started = s->sim().now();
+    TomcatServer* tomcat = s->tomcats_[s->next_tomcat_];
+    s->next_tomcat_ = (s->next_tomcat_ + 1) % s->tomcats_.size();
+    s->to_tomcat_.send(r->request_bytes, [tomcat, r] {
+      tomcat->submit(RequestPtr(r), [r] {
+        auto& tv = r->apache_visit;
+        ApacheServer* ts = tv.server;
+        ts->from_tomcat_.send(r->response_bytes, [r] {
+          auto& fv = r->apache_visit;
+          ApacheServer* fs = fv.server;
+          --fs->connecting_tomcat_;
+          fs->win_tomcat_sum_s_ += fs->sim().now() - fv.conn_started;
+          ++fs->win_tomcat_n_;
+          respond(r);
         });
       });
     });
   });
 }
 
-void ApacheServer::respond(const RequestPtr& req, sim::SimTime entered,
-                           sim::SimTime worker_started, double queue_s,
-                           Callback responded) {
+void ApacheServer::respond(Request* r) {
   // Assemble and write the response.
-  node_.cpu().submit(req->apache_demand_s * 0.5, [this, req, entered,
-                                                  worker_started, queue_s,
-                                                  responded = std::move(
-                                                      responded)]() mutable {
-    to_client_.send(req->response_bytes, std::move(responded));
-    job_left(entered);
-    ++win_processed_;
+  ApacheServer* self = r->apache_visit.server;
+  self->node_.cpu().submit(r->apache_demand_s * 0.5, [r] {
+    auto& v = r->apache_visit;
+    ApacheServer* s = v.server;
+    const sim::SimTime entered = v.worker_started;
+    const sim::SimTime worker_started = v.worker_started;
+    const double queue_s = v.worker_started - v.arrived;
+    Callback responded = std::move(v.responded);
+    RequestPtr keep = std::move(v.self);  // alive until the span is recorded
+    s->to_client_.send(r->response_bytes, std::move(responded));
+    s->job_left(entered);
+    ++s->win_processed_;
     // Lingering close: the worker stays bound to the connection until the
     // client FINs; under loaded clients this dominates worker busy time.
-    const double fin_delay = tcp_.sample_fin_delay(client_load_());
-    req->record_span(name(), entered, sim().now(), queue_s,
-                     /*conn_queue_s=*/0.0, /*gc_s=*/0.0, fin_delay);
-    sim().schedule(fin_delay, [this, worker_started] {
-      const double busy = sim().now() - worker_started;
-      win_busy_sum_s_ += busy;
-      ++win_busy_n_;
-      window_busy_stats_.add(busy);
-      workers_.release();
+    const double fin_delay = s->tcp_.sample_fin_delay(s->client_load_());
+    r->record_span(s->name(), entered, s->sim().now(), queue_s,
+                   /*conn_queue_s=*/0.0, /*gc_s=*/0.0, fin_delay);
+    s->sim().schedule(fin_delay, [s, worker_started] {
+      const double busy = s->sim().now() - worker_started;
+      s->win_busy_sum_s_ += busy;
+      ++s->win_busy_n_;
+      s->window_busy_stats_.add(busy);
+      s->workers_.release();
     });
   });
 }

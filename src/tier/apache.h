@@ -1,6 +1,5 @@
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "hw/link.h"
@@ -25,8 +24,8 @@ namespace softres::tier {
 /// CPU utilization falls as workload rises.
 class ApacheServer : public Server {
  public:
-  using Callback = std::function<void()>;
-  using LoadFn = std::function<double()>;
+  using Callback = sim::InlineCallback;
+  using LoadFn = sim::InlineFunction<double()>;
 
   ApacheServer(sim::Simulator& sim, std::string name, hw::Node& node,
                std::size_t threads, hw::Link& to_tomcat,
@@ -68,9 +67,10 @@ class ApacheServer : public Server {
   TimelineSample sample_window(sim::SimTime now);
 
  private:
-  void respond(const RequestPtr& req, sim::SimTime entered,
-               sim::SimTime worker_started, double queue_s,
-               Callback responded);
+  // Stages of a request's residence (state in req->apache_visit); static so
+  // the hot-path callbacks capture nothing but the Request*.
+  static void on_worker(Request* r);
+  static void respond(Request* r);
 
   hw::Node& node_;
   soft::Pool workers_;

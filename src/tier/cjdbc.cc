@@ -15,8 +15,14 @@ CJdbcServer::CJdbcServer(sim::Simulator& sim, std::string name, hw::Node& node,
 
 void CJdbcServer::query(const RequestPtr& req, Callback done) {
   assert(!backends_.empty());
-  const sim::SimTime entered = sim().now();
-  const double gc0 = req->trace ? jvm_.total_gc_seconds() : 0.0;
+  // Residence state lives in the request (see Request::CJdbcVisitState) so
+  // the stage callbacks below capture a bare Request* and stay inline.
+  auto& v = req->cjdbc_visit;
+  v.self = req;
+  v.server = this;
+  v.entered = sim().now();
+  v.gc0 = req->trace ? jvm_.total_gc_seconds() : 0.0;
+  v.done = std::move(done);
   job_entered();
 
   // Query parsing + routing consumes middleware CPU; the JVM charges each
@@ -24,27 +30,33 @@ void CJdbcServer::query(const RequestPtr& req, Callback done) {
   jvm_.allocate(alloc_per_query_mb_);
   const double demand = req->cjdbc_demand_s * jvm_.runtime_overhead_factor();
 
-  MySqlServer* backend = backends_[next_backend_];
+  v.backend = backends_[next_backend_];
   next_backend_ = (next_backend_ + 1) % backends_.size();
 
-  auto finish = [this, req, entered, gc0, done = std::move(done)]() {
-    job_left(entered);
-    if (req->trace) {
-      req->record_span(name(), entered, sim().now(), /*queue_s=*/0.0,
-                       /*conn_queue_s=*/0.0, jvm_.total_gc_seconds() - gc0);
-    }
-    done();
-  };
-
-  node_.cpu().submit(demand, [this, req, backend,
-                              finish = std::move(finish)]() mutable {
-    down_link_.send(req->request_bytes, [this, req, backend,
-                                         finish = std::move(finish)]() mutable {
-      backend->query(req, [this, req, finish = std::move(finish)]() mutable {
-        up_link_.send(req->response_bytes * 0.25, std::move(finish));
+  Request* r = req.get();
+  node_.cpu().submit(demand, [this, r] {
+    down_link_.send(r->request_bytes, [this, r] {
+      r->cjdbc_visit.backend->query(RequestPtr(r), [r] {
+        auto& cv = r->cjdbc_visit;
+        cv.server->up_link_.send(r->response_bytes * 0.25,
+                                 [r] { finish_query(r); });
       });
     });
   });
+}
+
+void CJdbcServer::finish_query(Request* r) {
+  auto& v = r->cjdbc_visit;
+  CJdbcServer* self = v.server;
+  self->job_left(v.entered);
+  if (r->trace) {
+    r->record_span(self->name(), v.entered, self->sim().now(),
+                   /*queue_s=*/0.0, /*conn_queue_s=*/0.0,
+                   self->jvm_.total_gc_seconds() - v.gc0);
+  }
+  Callback done = std::move(v.done);
+  RequestPtr keep = std::move(v.self);  // alive until done() returns
+  done();
 }
 
 }  // namespace softres::tier

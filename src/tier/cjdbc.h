@@ -1,6 +1,5 @@
 #pragma once
 
-#include <functional>
 #include <vector>
 
 #include "hw/link.h"
@@ -22,7 +21,7 @@ namespace softres::tier {
 /// Section III-B.
 class CJdbcServer : public Server {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::InlineCallback;
 
   CJdbcServer(sim::Simulator& sim, std::string name, hw::Node& node,
               jvm::JvmConfig jvm_config, hw::Link& down_link,
@@ -44,6 +43,10 @@ class CJdbcServer : public Server {
   const hw::Node& node() const { return node_; }
 
  private:
+  // Closes one query's residence (state in req->cjdbc_visit); static so the
+  // hot-loop callbacks capture nothing but the Request*.
+  static void finish_query(Request* r);
+
   hw::Node& node_;
   jvm::Jvm jvm_;
   hw::Link& down_link_;  // to MySQL tier

@@ -9,23 +9,34 @@ MySqlServer::MySqlServer(sim::Simulator& sim, std::string name, hw::Node& node,
     : Server(sim, std::move(name)), node_(node), rng_(rng) {}
 
 void MySqlServer::query(const RequestPtr& req, Callback done) {
-  const sim::SimTime entered = sim().now();
+  // Residence state lives in the request (see Request::MySqlVisitState) so
+  // the stage callbacks below capture a bare Request* and stay inline.
+  auto& v = req->mysql_visit;
+  v.self = req;
+  v.server = this;
+  v.entered = sim().now();
+  v.done = std::move(done);
   job_entered();
-  auto finish = [this, req, entered, done = std::move(done)]() {
-    job_left(entered);
-    req->record_span(name(), entered, sim().now());
-    done();
-  };
   const bool disk_hit = rng_.bernoulli(req->mysql_disk_prob);
-  node_.cpu().submit(
-      req->mysql_demand_s,
-      [this, disk_hit, finish = std::move(finish)]() mutable {
-        if (disk_hit) {
-          node_.disk().submit(std::move(finish));
-        } else {
-          finish();
-        }
-      });
+  Request* r = req.get();
+  if (disk_hit) {
+    node_.cpu().submit(r->mysql_demand_s, [r] {
+      auto& mv = r->mysql_visit;
+      mv.server->node_.disk().submit([r] { finish_query(r); });
+    });
+  } else {
+    node_.cpu().submit(r->mysql_demand_s, [r] { finish_query(r); });
+  }
+}
+
+void MySqlServer::finish_query(Request* r) {
+  auto& v = r->mysql_visit;
+  MySqlServer* self = v.server;
+  self->job_left(v.entered);
+  r->record_span(self->name(), v.entered, self->sim().now());
+  Callback done = std::move(v.done);
+  RequestPtr keep = std::move(v.self);  // alive until done() returns
+  done();
 }
 
 }  // namespace softres::tier

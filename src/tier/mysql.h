@@ -1,7 +1,5 @@
 #pragma once
 
-#include <functional>
-
 #include "hw/link.h"
 #include "hw/node.h"
 #include "sim/rng.h"
@@ -17,7 +15,7 @@ namespace softres::tier {
 /// connection = one MySQL thread observation.
 class MySqlServer : public Server {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::InlineCallback;
 
   MySqlServer(sim::Simulator& sim, std::string name, hw::Node& node,
               sim::Rng rng);
@@ -29,6 +27,10 @@ class MySqlServer : public Server {
   const hw::Node& node() const { return node_; }
 
  private:
+  // Closes one query's residence (state in req->mysql_visit); static so the
+  // hot-loop callbacks capture nothing but the Request*.
+  static void finish_query(Request* r);
+
   hw::Node& node_;
   sim::Rng rng_;
 };

@@ -22,16 +22,4 @@ double Server::window_throughput() const {
 
 double Server::window_avg_jobs() const { return jobs_tw_.average(sim_.now()); }
 
-void Server::job_entered() {
-  ++jobs_inside_;
-  jobs_tw_.set(sim_.now(), static_cast<double>(jobs_inside_));
-}
-
-void Server::job_left(sim::SimTime entered_at) {
-  --jobs_inside_;
-  jobs_tw_.set(sim_.now(), static_cast<double>(jobs_inside_));
-  ++completed_;
-  rt_stats_.add(sim_.now() - entered_at);
-}
-
 }  // namespace softres::tier

@@ -38,9 +38,20 @@ class Server {
   sim::Simulator& sim() { return sim_; }
   const sim::Simulator& sim() const { return sim_; }
 
-  /// Bracket a request's residence in this server.
-  void job_entered();
-  void job_left(sim::SimTime entered_at);
+  /// Bracket a request's residence in this server. Every request crosses
+  /// each tier once, so these run millions of times per trial; the bodies
+  /// are a counter bump plus an inlined TimeWeighted/Welford update, kept
+  /// here so the tier state machines fold them in.
+  void job_entered() {
+    ++jobs_inside_;
+    jobs_tw_.set(sim_.now(), static_cast<double>(jobs_inside_));
+  }
+  void job_left(sim::SimTime entered_at) {
+    --jobs_inside_;
+    jobs_tw_.set(sim_.now(), static_cast<double>(jobs_inside_));
+    ++completed_;
+    rt_stats_.add(sim_.now() - entered_at);
+  }
 
  private:
   sim::Simulator& sim_;

@@ -20,73 +20,101 @@ TomcatServer::TomcatServer(sim::Simulator& sim, std::string name,
 }
 
 void TomcatServer::submit(const RequestPtr& req, Callback done) {
-  const sim::SimTime arrived = sim().now();
-  threads_.acquire([this, req, arrived, done = std::move(done)]() mutable {
-    const sim::SimTime entered = sim().now();
-    const double queue_s = entered - arrived;
-    const double gc0 = req->trace ? jvm_.total_gc_seconds() : 0.0;
-    job_entered();
-    jvm_.allocate(alloc_per_request_mb_);
-    const double pre_demand = req->tomcat_demand_s * kPreDbCpuFraction *
-                              jvm_.runtime_overhead_factor();
+  // Residence state lives in the request (see Request::TomcatVisitState) so
+  // the stage callbacks capture a bare Request* and stay inline.
+  auto& v = req->tomcat_visit;
+  v.self = req;
+  v.server = this;
+  v.arrived = sim().now();
+  v.done = std::move(done);
+  Request* r = req.get();
+  threads_.acquire([r] { on_thread(r); });
+}
 
-    // `finish(conn_queue_s)` runs the post-DB CPU phase and closes the span.
-    auto finish = [this, req, entered, queue_s, gc0,
-                   done = std::move(done)](double conn_queue_s) mutable {
-      const double post_demand = req->tomcat_demand_s *
-                                 (1.0 - kPreDbCpuFraction) *
-                                 jvm_.runtime_overhead_factor();
-      node_.cpu().submit(post_demand,
-                         [this, req, entered, queue_s, conn_queue_s, gc0,
-                          done = std::move(done)]() mutable {
-                           job_left(entered);
-                           if (req->trace) {
-                             req->record_span(
-                                 name(), entered, sim().now(), queue_s,
-                                 conn_queue_s,
-                                 jvm_.total_gc_seconds() - gc0);
-                           }
-                           threads_.release();
-                           done();
-                         });
-    };
+void TomcatServer::on_thread(Request* r) {
+  auto& v = r->tomcat_visit;
+  TomcatServer* self = v.server;
+  v.entered = self->sim().now();
+  v.gc0 = r->trace ? self->jvm_.total_gc_seconds() : 0.0;
+  self->job_entered();
+  self->jvm_.allocate(self->alloc_per_request_mb_);
+  const double pre_demand = r->tomcat_demand_s * kPreDbCpuFraction *
+                            self->jvm_.runtime_overhead_factor();
 
-    node_.cpu().submit(pre_demand, [this, req,
-                                    finish = std::move(finish)]() mutable {
-      if (req->num_queries <= 0) {
-        finish(0.0);
-        return;
-      }
-      // Hold one DB connection for the entire query phase (Fig 9).
-      const sim::SimTime conn_wait_started = sim().now();
-      db_conns_.acquire([this, req, conn_wait_started,
-                         finish = std::move(finish)]() mutable {
-        const double conn_queue_s = sim().now() - conn_wait_started;
-        run_queries(req, req->num_queries,
-                    [this, conn_queue_s,
-                     finish = std::move(finish)]() mutable {
-                      db_conns_.release();
-                      finish(conn_queue_s);
-                    });
+  self->node_.cpu().submit(pre_demand, [r] {
+    auto& pv = r->tomcat_visit;
+    TomcatServer* s = pv.server;
+    if (r->num_queries <= 0) {
+      pv.conn_queue_s = 0.0;
+      finish_visit(r);
+      return;
+    }
+    // Hold one DB connection for the entire query phase (Fig 9).
+    pv.conn_wait_started = s->sim().now();
+    s->db_conns_.acquire([r] {
+      auto& cv = r->tomcat_visit;
+      TomcatServer* cs = cv.server;
+      cv.conn_queue_s = cs->sim().now() - cv.conn_wait_started;
+      cs->run_queries(RequestPtr(r), r->num_queries, [r] {
+        r->tomcat_visit.server->db_conns_.release();
+        finish_visit(r);
       });
     });
   });
 }
 
+// The post-DB CPU phase; closes the span and releases the servlet thread.
+void TomcatServer::finish_visit(Request* r) {
+  auto& v = r->tomcat_visit;
+  TomcatServer* self = v.server;
+  const double post_demand = r->tomcat_demand_s * (1.0 - kPreDbCpuFraction) *
+                             self->jvm_.runtime_overhead_factor();
+  self->node_.cpu().submit(post_demand, [r] {
+    auto& fv = r->tomcat_visit;
+    TomcatServer* s = fv.server;
+    s->job_left(fv.entered);
+    if (r->trace) {
+      r->record_span(s->name(), fv.entered, s->sim().now(),
+                     fv.entered - fv.arrived, fv.conn_queue_s,
+                     s->jvm_.total_gc_seconds() - fv.gc0);
+    }
+    s->threads_.release();
+    Callback done = std::move(fv.done);
+    RequestPtr keep = std::move(fv.self);  // alive until done() returns
+    done();
+  });
+}
+
 void TomcatServer::run_queries(const RequestPtr& req, int remaining,
                                Callback done) {
-  if (remaining <= 0) {
+  // Park the loop state in the request (see Request::QueryLoopState): the
+  // per-query continuations below then capture a bare Request* and stay
+  // inside InlineFunction's inline buffer instead of heap-boxing a
+  // RequestPtr + nested-callback capture three times per query.
+  auto& loop = req->query_loop;
+  loop.self = req;
+  loop.tomcat = this;
+  loop.remaining = remaining;
+  loop.done = std::move(done);
+  query_loop_step(req.get());
+}
+
+void TomcatServer::query_loop_step(Request* r) {
+  auto& loop = r->query_loop;
+  if (loop.remaining <= 0) {
+    Callback done = std::move(loop.done);
+    RequestPtr keep = std::move(loop.self);  // alive until done() returns
     done();
     return;
   }
-  down_link_.send(req->request_bytes, [this, req, remaining,
-                                       done = std::move(done)]() mutable {
-    cjdbc_.query(req, [this, req, remaining,
-                       done = std::move(done)]() mutable {
-      up_link_.send(req->response_bytes * 0.25,
-                    [this, req, remaining, done = std::move(done)]() mutable {
-                      run_queries(req, remaining - 1, std::move(done));
-                    });
+  TomcatServer* self = loop.tomcat;
+  self->down_link_.send(r->request_bytes, [self, r] {
+    self->cjdbc_.query(RequestPtr(r), [r] {
+      auto& ql = r->query_loop;
+      ql.tomcat->up_link_.send(r->response_bytes * 0.25, [r] {
+        --r->query_loop.remaining;
+        query_loop_step(r);
+      });
     });
   });
 }

@@ -1,7 +1,5 @@
 #pragma once
 
-#include <functional>
-
 #include "hw/link.h"
 #include "hw/node.h"
 #include "jvm/jvm.h"
@@ -21,7 +19,7 @@ namespace softres::tier {
 /// one connection for its whole DB phase, per Fig 9).
 class TomcatServer : public Server {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::InlineCallback;
 
   TomcatServer(sim::Simulator& sim, std::string name, hw::Node& node,
                jvm::JvmConfig jvm_config, std::size_t threads,
@@ -50,6 +48,12 @@ class TomcatServer : public Server {
 
  private:
   void run_queries(const RequestPtr& req, int remaining, Callback done);
+  // Stages of a request's residence and its query loop (state in
+  // req->tomcat_visit / req->query_loop); static so the hot-path callbacks
+  // capture nothing but the Request*.
+  static void on_thread(Request* r);
+  static void finish_visit(Request* r);
+  static void query_loop_step(Request* r);
 
   hw::Node& node_;
   jvm::Jvm jvm_;

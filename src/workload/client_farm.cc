@@ -1,13 +1,16 @@
 #include "workload/client_farm.h"
 
 #include <cassert>
-#include <memory>
+
+#include "sim/distributions.h"
 
 namespace softres::workload {
 
 ClientFarm::ClientFarm(sim::Simulator& sim, const RubbosWorkload& workload,
-                       ClientConfig config, hw::Link& to_server)
-    : sim_(sim), workload_(workload), config_(config), to_server_(to_server) {
+                       ClientConfig config, hw::Link& to_server,
+                       tier::RequestArena* arena)
+    : sim_(sim), workload_(workload), config_(config), to_server_(to_server),
+      arena_(arena) {
   // config_.seed is the trial seed the harness already derived via
   // RunContext::derive_seed; this is the sanctioned root of the per-user
   // streams. SOFTRES_LINT_ALLOW(SR004: seed is the derived trial seed)
@@ -107,13 +110,14 @@ void ClientFarm::think_then_browse(std::size_t u) {
     --started_users_;
     return;
   }
-  const double think = user_rngs_[u].exponential(config_.think_time_mean_s);
+  const double think =
+      sim::fast_exponential(user_rngs_[u], config_.think_time_mean_s);
   sim_.schedule(think, [this, u] { issue_page(u); });
 }
 
 void ClientFarm::issue_page(std::size_t u) {
   if (stopped()) return;
-  auto req = std::make_shared<tier::Request>();
+  tier::RequestPtr req = tier::make_request(arena_);
   req->id = next_request_id_++;
   workload_.sample_dynamic(*req, user_rngs_[u]);
   req->sent_at = sim_.now();
@@ -125,19 +129,29 @@ void ClientFarm::issue_page(std::size_t u) {
     req->enable_trace();
     traced_.push_back(req);
   }
-  tier::ApacheServer* apache = next_apache();
-  to_server_.send(req->request_bytes, [this, u, req, apache] {
-    apache->handle(req, [this, u, req] {
-      req->completed_at = sim_.now();
-      if (req->completed_at >= measure_start() &&
-          req->completed_at < measure_end()) {
-        rts_.add(req->completed_at - req->sent_at);
-        completion_times_.push_back(req->completed_at);
-        rt_hist_.observe(req->completed_at - req->sent_at);
-      }
-      issue_static(u, RubbosWorkload::kStaticsPerPage);
-    });
+  // In-flight state parks in the request so the send/response callbacks
+  // below capture {this, Request*} and stay inside InlineFunction's buffer.
+  auto& hold = req->client_hold;
+  hold.self = req;
+  hold.user = static_cast<std::uint32_t>(u);
+  hold.target = next_apache();
+  tier::Request* r = req.get();
+  to_server_.send(r->request_bytes, [this, r] {
+    r->client_hold.target->handle(tier::RequestPtr(r),
+                                  [this, r] { on_page_done(r); });
   });
+}
+
+void ClientFarm::on_page_done(tier::Request* r) {
+  r->completed_at = sim_.now();
+  if (r->completed_at >= measure_start() && r->completed_at < measure_end()) {
+    rts_.add(r->completed_at - r->sent_at);
+    completion_times_.push_back(r->completed_at);
+    rt_hist_.observe(r->completed_at - r->sent_at);
+  }
+  const std::size_t u = r->client_hold.user;
+  tier::RequestPtr keep = std::move(r->client_hold.self);
+  issue_static(u, RubbosWorkload::kStaticsPerPage);
 }
 
 void ClientFarm::issue_static(std::size_t u, int remaining) {
@@ -145,17 +159,28 @@ void ClientFarm::issue_static(std::size_t u, int remaining) {
     think_then_browse(u);
     return;
   }
-  auto req = std::make_shared<tier::Request>();
+  tier::RequestPtr req = tier::make_request(arena_);
   req->id = next_request_id_++;
   workload_.sample_static(*req, user_rngs_[u]);
   req->sent_at = sim_.now();
   static_requests_.inc();
-  tier::ApacheServer* apache = next_apache();
-  to_server_.send(req->request_bytes, [this, u, remaining, apache, req] {
-    apache->handle(req, [this, u, remaining](/*responded*/) {
-      issue_static(u, remaining - 1);
-    });
+  auto& hold = req->client_hold;
+  hold.self = req;
+  hold.user = static_cast<std::uint32_t>(u);
+  hold.statics_remaining = remaining;
+  hold.target = next_apache();
+  tier::Request* r = req.get();
+  to_server_.send(r->request_bytes, [this, r] {
+    r->client_hold.target->handle(tier::RequestPtr(r),
+                                  [this, r] { on_static_done(r); });
   });
+}
+
+void ClientFarm::on_static_done(tier::Request* r) {
+  const std::size_t u = r->client_hold.user;
+  const int remaining = r->client_hold.statics_remaining;
+  tier::RequestPtr keep = std::move(r->client_hold.self);
+  issue_static(u, remaining - 1);
 }
 
 bool ClientFarm::should_trace(std::uint64_t request_id) const {

@@ -51,8 +51,13 @@ struct LoadPhase {
 /// recorded for the SLA goodput analysis.
 class ClientFarm {
  public:
+  /// `arena`, when supplied, is the per-trial Request pool every issued
+  /// request is drawn from (it must outlive the farm and the simulator's
+  /// pending events — exp::RunContext guarantees both). Without an arena the
+  /// farm heap-allocates requests, which standalone tests use.
   ClientFarm(sim::Simulator& sim, const RubbosWorkload& workload,
-             ClientConfig config, hw::Link& to_server);
+             ClientConfig config, hw::Link& to_server,
+             tier::RequestArena* arena = nullptr);
 
   /// Register the web server(s) requests go to; at least one must be added
   /// before start(). Multiple servers are used round-robin (DNS balancing).
@@ -112,6 +117,10 @@ class ClientFarm {
   void think_then_browse(std::size_t u);
   void issue_page(std::size_t u);
   void issue_static(std::size_t u, int remaining);
+  // Completion stages (in-flight state in req->client_hold, so the
+  // send/response callbacks capture only {farm, Request*} and stay inline).
+  void on_page_done(tier::Request* r);
+  void on_static_done(tier::Request* r);
   bool stopped() const;
   bool should_trace(std::uint64_t request_id) const;
   tier::ApacheServer* next_apache();
@@ -120,6 +129,7 @@ class ClientFarm {
   const RubbosWorkload& workload_;
   ClientConfig config_;
   hw::Link& to_server_;
+  tier::RequestArena* arena_ = nullptr;
   std::vector<tier::ApacheServer*> apaches_;
   std::size_t next_apache_ = 0;
 

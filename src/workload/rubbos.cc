@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "sim/distributions.h"
+
 namespace softres::workload {
 
 std::vector<Interaction> RubbosWorkload::default_interactions() {
@@ -60,7 +62,7 @@ double RubbosWorkload::sample_demand(double mean, sim::Rng& rng) const {
   // realistic service-time variability.
   const double v = profile_.variability;
   if (v <= 0.0) return mean;
-  return mean * (1.0 - v) + rng.exponential(mean * v);
+  return mean * (1.0 - v) + sim::fast_exponential(rng, mean * v);
 }
 
 void RubbosWorkload::sample_dynamic(tier::Request& req, sim::Rng& rng) const {

@@ -1,0 +1,32 @@
+// Fixture: SR007 — std::function in a per-event hot path (src/tier).
+// Expected findings: SR007 at the three marked lines. The InlineCallback
+// member, the comment mention, and the SOFTRES_LINT_ALLOW'd cold path must
+// NOT fire.
+#include <functional>
+
+namespace sim {
+class InlineCallback;
+}
+
+namespace softres_fixture {
+
+// std::function<void()> in a comment must not fire.
+struct Server {
+  std::function<void()> on_complete;          // SR007 expected here
+  sim::InlineCallback* ok_member;
+};
+
+void dispatch(const std::function<int(int)>& fn);  // SR007 expected here
+
+void hot() {
+  auto cb = std::function<void()>([] {});     // SR007 expected here
+  (void)cb;
+}
+
+void cold_report() {
+  // SOFTRES_LINT_ALLOW(SR007: once-per-trial report sink, not per-event)
+  std::function<void()> sink;
+  (void)sink;
+}
+
+}  // namespace softres_fixture

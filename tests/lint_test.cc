@@ -137,11 +137,35 @@ TEST(LintScanTest, AllowEscapeHatchSameLineAndAbove) {
             (std::vector<std::string>{"SR004"}));
 }
 
+TEST(LintScanTest, StdFunctionOnlyInHotPathDomains) {
+  const std::string code = "std::function<void()> cb;\n";
+  EXPECT_EQ(rules_of(lint::scan_file("src/sim/x.cc", code)),
+            (std::vector<std::string>{"SR007"}));
+  EXPECT_EQ(rules_of(lint::scan_file("src/tier/x.cc", code)),
+            (std::vector<std::string>{"SR007"}));
+  // Cold domains keep std::function: the executor queue, metric sources.
+  EXPECT_TRUE(lint::scan_file("src/exp/parallel.h", code).empty());
+  EXPECT_TRUE(lint::scan_file("src/obs/registry.h", code).empty());
+  EXPECT_TRUE(lint::scan_file("bench/x.cpp", code).empty());
+  // The escape hatch works like every other rule's.
+  EXPECT_TRUE(
+      lint::scan_file("src/tier/x.cc",
+                      "// SOFTRES_LINT_ALLOW(SR007: cold reporting path)\n" +
+                          code)
+          .empty());
+  // Mentions in comments and near-miss identifiers do not fire.
+  EXPECT_TRUE(lint::scan_file("src/sim/x.cc",
+                              "// replaces std::function<void()> storage\n"
+                              "InlineCallback fn;\n"
+                              "int function_count = 0;\n")
+                  .empty());
+}
+
 TEST(LintScanTest, RuleTableCoversAllEmittedRules) {
   std::set<std::string> ids;
   for (const auto& r : lint::rule_table()) ids.insert(r.id);
   EXPECT_EQ(ids, (std::set<std::string>{"SR001", "SR002", "SR003", "SR004",
-                                        "SR005", "SR006"}));
+                                        "SR005", "SR006", "SR007"}));
 }
 
 // ---- Fixture-tree scan: exact rule IDs and lines per seeded violation ----
@@ -177,6 +201,9 @@ TEST(LintFixtureTest, DetectsEverySeededViolationExactly) {
       {"src/sim/bad_thread_id.cc", 14, "SR006"},
       {"src/tier/bad_rng_ctor.cc", 15, "SR004"},
       {"src/tier/bad_rng_ctor.cc", 19, "SR004"},
+      {"src/tier/bad_std_function.cc", 15, "SR007"},
+      {"src/tier/bad_std_function.cc", 19, "SR007"},
+      {"src/tier/bad_std_function.cc", 22, "SR007"},
   };
   ASSERT_EQ(fs.size(), expected.size())
       << [&] {

@@ -103,6 +103,44 @@ TEST(SimulatorTest, HandleReuseDoesNotCancelNewEvent) {
   EXPECT_TRUE(fired);
 }
 
+TEST(SimulatorTest, CancelledRecordRecycledAcrossFreelistIsAbaSafe) {
+  // Eager cancellation recycles the record *immediately*, so the very next
+  // schedule reuses the same slot. The old handle pins the old generation
+  // and must neither cancel nor reschedule the stranger now in the slot —
+  // the classic ABA hazard of freelist-backed handles.
+  Simulator sim;
+  bool old_fired = false;
+  EventHandle h1 = sim.schedule(1.0, [&] { old_fired = true; });
+  EXPECT_TRUE(sim.cancel(h1));
+  bool new_fired = false;
+  EventHandle h2 = sim.schedule(2.0, [&] { new_fired = true; });
+  EXPECT_FALSE(sim.cancel(h1));            // stale gen: refuses
+  EXPECT_FALSE(sim.reschedule(h1, 0.5));   // stale gen: refuses
+  EXPECT_EQ(sim.events_pending(), 1u);
+  sim.run();
+  EXPECT_FALSE(old_fired);
+  EXPECT_TRUE(new_fired);
+  EXPECT_EQ(sim.now(), 2.0);  // h2 kept its original time
+  EXPECT_TRUE(sim.cancel(h2) == false);  // already fired
+}
+
+TEST(SimulatorTest, RescheduleMovesEventInPlace) {
+  Simulator sim;
+  std::vector<int> order;
+  EventHandle h = sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  // Move the first event past the second; it must fire after, and at the
+  // new instant, under the same still-valid handle.
+  EXPECT_TRUE(sim.reschedule(h, 3.0));
+  EXPECT_EQ(sim.events_pending(), 2u);
+  sim.run_until(2.5);
+  EXPECT_EQ(order, (std::vector<int>{2}));
+  EXPECT_TRUE(sim.reschedule(h, 1.0));  // handle survives a reschedule
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+  EXPECT_EQ(sim.now(), 3.5);
+}
+
 TEST(SimulatorTest, RunUntilStopsAtBoundary) {
   Simulator sim;
   std::vector<double> times;

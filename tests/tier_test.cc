@@ -56,7 +56,7 @@ struct Rig {
   }
 
   RequestPtr make_dynamic(int queries = 2) {
-    auto req = std::make_shared<Request>();
+    auto req = make_request();
     req->kind = RequestKind::kDynamic;
     req->num_queries = queries;
     req->apache_demand_s = 0.0002;
@@ -68,7 +68,7 @@ struct Rig {
   }
 
   RequestPtr make_static() {
-    auto req = std::make_shared<Request>();
+    auto req = make_request();
     req->kind = RequestKind::kStatic;
     req->num_queries = 0;
     req->apache_demand_s = 0.0001;

@@ -34,6 +34,10 @@ const std::vector<RuleInfo>& rule_table() {
       {"SR006", "address-dependent",
        "thread-id or pointer-to-integer hashing: differs across runs and "
        "address-space layouts"},
+      {"SR007", "std-function-hot-path",
+       "std::function in src/sim or src/tier: per-event callbacks heap-"
+       "allocate their captures; use sim::InlineCallback (or annotate a "
+       "cold path with SOFTRES_LINT_ALLOW)"},
   };
   return kRules;
 }
@@ -219,6 +223,8 @@ std::vector<Finding> scan_file(const std::string& rel_path,
 
   const bool in_sim_core =
       under(rel_path, "src/sim/") || under(rel_path, "src/core/");
+  const bool in_hot_path =
+      under(rel_path, "src/sim/") || under(rel_path, "src/tier/");
   const bool rng_ctor_exempt = under(rel_path, "src/sim/") ||
                                rel_path == "src/exp/run_context.cc" ||
                                rel_path == "src/exp/run_context.h";
@@ -276,6 +282,7 @@ std::vector<Finding> scan_file(const std::string& rel_path,
   static const std::regex kPtrHash(
       R"(reinterpret_cast\s*<\s*(?:std::)?u?intptr_t|std::hash\s*<[^>]*\*)");
   static const std::regex kRandomInclude(R"(#\s*include\s*<random>)");
+  static const std::regex kStdFunction(R"(\bstd\s*::\s*function\s*<)");
 
   for (std::size_t i = 0; i < code_lines.size(); ++i) {
     const std::string& code = code_lines[i];
@@ -352,6 +359,18 @@ std::vector<Finding> scan_file(const std::string& rel_path,
           break;
         }
       }
+    }
+
+    // SR007 — src/sim and src/tier, the per-event hot paths. A
+    // std::function here heap-allocates every capture over ~16 bytes and
+    // costs an indirect call per dispatch; sim::InlineCallback holds 24
+    // bytes inline. Cold paths (setup, teardown, reporting) may opt out
+    // with SOFTRES_LINT_ALLOW(SR007: ...).
+    if (in_hot_path && std::regex_search(code, kStdFunction)) {
+      add(n, "SR007",
+          "std::function in a per-event hot path: use sim::InlineCallback "
+          "(sim/inline_callback.h), or annotate a cold path with "
+          "SOFTRES_LINT_ALLOW(SR007: why)");
     }
 
     // SR006 — sim-reachable src/ domains.
