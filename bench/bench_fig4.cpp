@@ -68,8 +68,21 @@ int main() {
     std::cout << "\n";
   }
 
+  std::cout << "\n-- online diagnoser: onset workload per pathology --\n";
+  for (std::size_t p = 0; p < pools.size(); ++p) {
+    bench::print_onsets("pool " + std::to_string(pools[p]), runs[p]);
+  }
+
+  // Acceptance: the streaming diagnoser must call the Fig 4 pathology at the
+  // paper-matching operating point and stay quiet on the healthy baseline.
+  int failures = 0;
+  bench::expect_diagnosis(runs[0].back(), obs::Pathology::kSoftUnderAlloc,
+                          "pool 6 @ 6600 users", failures);
+  bench::expect_diagnosis(runs[3].front(), obs::Pathology::kNone,
+                          "pool 200 @ 4600 users", failures);
+
   std::cout << "\npaper's reference: pool 6 saturates before 5000, pool 10 "
                "~5600, pool 20 ~6000; pool 200's peak goodput is below pool "
                "20's (over-allocation overhead)\n";
-  return 0;
+  return failures;
 }

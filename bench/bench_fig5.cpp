@@ -82,10 +82,24 @@ int main() {
     bench::maybe_export_sweep("fig5c_gc_seconds.csv", workloads, gc);
   }
 
+  std::cout << "\n-- online diagnoser: onset workload per pathology --\n";
+  for (std::size_t c = 0; c < conns.size(); ++c) {
+    bench::print_onsets("conns " + std::to_string(conns[c]), runs[c]);
+  }
+
+  // Acceptance: the generous pool must be diagnosed as GC-driven
+  // over-allocation at the top workload; the lean pool stays healthy at the
+  // bottom one.
+  int failures = 0;
+  bench::expect_diagnosis(runs[3].back(), obs::Pathology::kGcOverAlloc,
+                          "conns 200 @ 7800 users", failures);
+  bench::expect_diagnosis(runs[0].front(), obs::Pathology::kNone,
+                          "conns 10 @ 6000 users", failures);
+
   const double g10 = runs[0].back().goodput(2.0);
   const double g200 = runs[3].back().goodput(2.0);
   std::cout << "\nmeasured at WL 7800: conns-10 goodput ahead of conns-200 by "
             << bench::pct_diff(g10, g200)
             << " (paper: ~34%); GC share grows with conns as in Fig 5c\n";
-  return 0;
+  return failures;
 }

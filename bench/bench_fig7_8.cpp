@@ -106,10 +106,19 @@ int main() {
   print_timeline(runs[2], from, to);
   maybe_export_snapshot(runs[2], "fig8_wl7400_pool400");
 
+  // Acceptance: the diagnoser must call the FIN-wait buffer effect at WL
+  // 7400 with the 30-worker pool and stay quiet at the healthy WL 6000.
+  std::cout << "\n-- online diagnoser --\n";
+  int failures = 0;
+  bench::expect_diagnosis(runs[1], obs::Pathology::kFinWaitBuffer,
+                          "30-6-20 @ 7400 users", failures);
+  bench::expect_diagnosis(runs[0], obs::Pathology::kNone,
+                          "30-6-20 @ 6000 users", failures);
+
   std::cout << "\npaper's reading: at WL 7400 with 30 threads, PT_total "
                "spikes (FIN waits) while threads interacting with Tomcat "
                "falls far below the pool size; with 400 threads the "
                "interacting count stays well above the 24 Tomcat slots and "
                "throughput holds\n";
-  return 0;
+  return failures;
 }

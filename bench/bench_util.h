@@ -15,6 +15,7 @@
 #include "exp/sweep.h"
 #include "metrics/csv.h"
 #include "metrics/table.h"
+#include "obs/diagnoser.h"
 
 namespace softres::bench {
 
@@ -65,6 +66,44 @@ inline void maybe_export_sweep(
 inline std::string pct_diff(double a, double b) {
   if (b <= 0.0) return "n/a";
   return metrics::Table::fmt(100.0 * (a - b) / b, 1) + "%";
+}
+
+/// Diagnoser acceptance check: the trial's online verdict must match `want`,
+/// with at least one evidence window unless the expectation is healthy
+/// (kNone). Prints one line either way and bumps `failures`, which the bench
+/// returns as its exit code — the check is ctest-visible.
+inline void expect_diagnosis(const exp::RunResult& r, obs::Pathology want,
+                             const std::string& label, int& failures) {
+  const obs::Diagnosis& d = r.diagnosis;
+  bool ok = d.pathology == want;
+  if (want != obs::Pathology::kNone && d.evidence.empty()) ok = false;
+  std::cout << (ok ? "[diagnosis OK]   " : "[diagnosis FAIL] ") << label
+            << ": " << d.summary() << "\n";
+  if (!ok) {
+    std::cout << "  expected " << obs::pathology_name(want)
+              << (want == obs::Pathology::kNone
+                      ? ""
+                      : " with at least one evidence window")
+              << "\n";
+    ++failures;
+  }
+}
+
+/// Print the onset-workload summary of one sweep row (exp::pathology_onsets).
+inline void print_onsets(const std::string& label,
+                         const std::vector<exp::RunResult>& results) {
+  const auto onsets = exp::pathology_onsets(results);
+  std::cout << label << ": ";
+  if (onsets.empty()) {
+    std::cout << "healthy across the sweep\n";
+    return;
+  }
+  for (const auto& o : onsets) {
+    std::cout << obs::pathology_name(o.pathology) << " from " << o.onset_users
+              << " users (" << o.trials << " trial(s), peak confidence "
+              << metrics::Table::fmt(o.peak_confidence, 2) << ")  ";
+  }
+  std::cout << "\n";
 }
 
 }  // namespace softres::bench

@@ -2,7 +2,11 @@
 // saturated *soft* resource hides below idle hardware. Runs the same
 // workload twice — once with a starved Tomcat thread pool, once healthy —
 // and shows what a hardware-only monitor would miss, including the
-// utilization-density view (Fig 4 b/c/e/f).
+// utilization-density view (Fig 4 b/c/e/f) and the online diagnoser's
+// streaming verdict with its evidence windows.
+//
+// Set SOFTRES_REPORT_HTML=<path> to also write one flight-recorder HTML
+// report per trial (timelines, shaded evidence, latency breakdown).
 //
 // Usage: bottleneck_hunt [users]
 
@@ -24,7 +28,10 @@ void diagnose(const exp::Experiment& experiment, const exp::SoftConfig& soft,
   const exp::RunResult r = experiment.run(soft, users);
   const core::Observation obs =
       exp::RunnerAdapter::to_observation(r, slo);
-  const core::BottleneckReport report = core::detect_bottleneck(obs);
+  // The diagnoser's timeline-backed verdict outranks the end-of-window
+  // snapshot classifier when present.
+  const core::BottleneckReport report =
+      core::detect_bottleneck(obs, r.diagnosis.to_hint());
 
   std::cout << "\n=== " << soft.to_string() << " at " << users
             << " users ===\n";
@@ -38,6 +45,7 @@ void diagnose(const exp::Experiment& experiment, const exp::SoftConfig& soft,
   }
   cpus.print(std::cout);
 
+  std::cout << "diagnosis: " << r.diagnosis.summary() << "\n";
   switch (report.kind) {
     case core::BottleneckKind::kNone:
       std::cout << "verdict: no bottleneck — offered load below capacity\n";

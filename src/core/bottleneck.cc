@@ -38,4 +38,17 @@ BottleneckReport detect_bottleneck(const Observation& obs) {
   return report;
 }
 
+BottleneckReport detect_bottleneck(const Observation& obs,
+                                   const DiagnosisHint& hint) {
+  if (!hint.valid) return detect_bottleneck(obs);
+  BottleneckReport report;
+  report.kind = hint.kind;
+  report.hardware = hint.hardware;
+  report.soft = hint.soft;
+  report.critical = hint.critical;
+  report.diagnosed = true;
+  report.confidence = hint.confidence;
+  return report;
+}
+
 }  // namespace softres::core

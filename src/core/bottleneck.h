@@ -22,11 +22,33 @@ struct BottleneckReport {
   /// The critical hardware resource (first saturated one) when kind is
   /// kHardware or kMulti.
   std::string critical;
+  /// True when the verdict came from a timeline-backed diagnosis rather than
+  /// the single-observation classifier, with its evidence-scaled confidence.
+  bool diagnosed = false;
+  double confidence = 0.0;
+};
+
+/// A verdict handed down from a richer diagnoser (obs::Diagnoser) in core
+/// vocabulary. core cannot depend on obs, so the obs layer converts its
+/// Diagnosis into this and detect_bottleneck delegates when `valid`.
+struct DiagnosisHint {
+  bool valid = false;
+  BottleneckKind kind = BottleneckKind::kNone;
+  std::vector<std::string> hardware;  // implicated "<node>.cpu" resources
+  std::vector<std::string> soft;      // implicated pools
+  std::string critical;
+  double confidence = 0.0;
 };
 
 /// Classify one observation. This is the detection step the paper argues
 /// must look at soft resources too: monitoring only `hardware` would report
 /// kNone in the under-allocation scenario.
 BottleneckReport detect_bottleneck(const Observation& obs);
+
+/// Classify with streaming evidence available: a valid hint (built from a
+/// whole trial's timeline, not one end-of-run snapshot) wins over the
+/// single-observation classifier, which remains the fallback.
+BottleneckReport detect_bottleneck(const Observation& obs,
+                                   const DiagnosisHint& hint);
 
 }  // namespace softres::core

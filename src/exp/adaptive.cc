@@ -69,8 +69,33 @@ void AdaptiveTuner::control() {
       static_cast<double>(saturated_samples_) <
           config_.saturation_guard_fraction *
               static_cast<double>(samples_in_interval_);
+  // Consult the diagnoser's hint once per interval: its verdict rests on the
+  // whole timeline, not just this interval's samples.
+  obs::SuggestedAction hint;
+  std::vector<std::string> implicated;
+  if (hint_source_ != nullptr) {
+    const obs::Diagnosis diag = hint_source_->diagnosis();
+    hint = diag.suggested_action;
+    implicated = diag.implicated_resources;
+  }
   for (auto& t : tracked_) {
-    resize(t, allow_growth);
+    bool grow = allow_growth;
+    double headroom = t.headroom;
+    const bool named =
+        std::find(implicated.begin(), implicated.end(), t.pool->name()) !=
+            implicated.end() ||
+        hint.resource == t.pool->name();
+    if (named && hint.kind == obs::SuggestedAction::Kind::kGrowPool) {
+      // The diagnoser established the hardware idles below this pool
+      // (Section III-A), so the saturation guard does not apply to it.
+      if (!grow) ++hints_applied_;
+      grow = true;
+    } else if (named && hint.kind == obs::SuggestedAction::Kind::kShrinkPool) {
+      // Over-allocation verdict: stop paying the idle-unit JVM tax.
+      ++hints_applied_;
+      headroom = 1.0;
+    }
+    resize(t, grow, headroom);
     t.demand.reset();
   }
   samples_in_interval_ = 0;
@@ -79,9 +104,10 @@ void AdaptiveTuner::control() {
   bed_.simulator().schedule(config_.control_interval_s, [this] { control(); });
 }
 
-void AdaptiveTuner::resize(Tracked& tracked, bool allow_growth) {
+void AdaptiveTuner::resize(Tracked& tracked, bool allow_growth,
+                           double headroom_override) {
   if (tracked.demand.count() == 0) return;
-  const double target_raw = tracked.headroom * tracked.demand.mean();
+  const double target_raw = headroom_override * tracked.demand.mean();
   auto target = std::clamp(
       static_cast<std::size_t>(std::ceil(target_raw)), config_.min_pool,
       config_.max_pool);

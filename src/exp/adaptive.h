@@ -59,6 +59,20 @@ class AdaptiveTuner {
   };
   const std::vector<Action>& actions() const { return actions_; }
 
+  /// Optional hint channel: when set (typically to &bed.diagnoser()), each
+  /// control interval consults the diagnoser's suggested action. A kGrowPool
+  /// hint naming a tracked pool overrides the saturation guard for that pool
+  /// (the diagnoser already established the hardware is idle); a kShrinkPool
+  /// hint drops the pool's headroom to 1.0 for the interval, so idle units
+  /// taxing the JVM are released faster. `diagnoser` must outlive the tuner.
+  void set_hint_source(const obs::Diagnoser* diagnoser) {
+    hint_source_ = diagnoser;
+  }
+
+  /// Hints that actually changed a control decision (observability for
+  /// tests and demos).
+  std::size_t hints_applied() const { return hints_applied_; }
+
   const AdaptiveConfig& config() const { return config_; }
 
  private:
@@ -71,12 +85,14 @@ class AdaptiveTuner {
 
   void sample();
   void control();
-  void resize(Tracked& tracked, bool allow_growth);
+  void resize(Tracked& tracked, bool allow_growth, double headroom_override);
   void sync_jvm_threads();
   bool backend_saturated_since_last_sample();
 
   Testbed& bed_;
   AdaptiveConfig config_;
+  const obs::Diagnoser* hint_source_ = nullptr;
+  std::size_t hints_applied_ = 0;
   std::vector<Tracked> tracked_;
   obs::Counter resizes_;
   std::vector<Action> actions_;

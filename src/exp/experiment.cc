@@ -1,9 +1,11 @@
 #include "exp/experiment.h"
 
+#include <cstdio>
 #include <cstdlib>
 #include <utility>
 
 #include "exp/run_context.h"
+#include "obs/report.h"
 #include "soft/pool_monitor.h"
 
 namespace softres::exp {
@@ -24,6 +26,9 @@ ExperimentOptions ExperimentOptions::from_env() {
   // and example without touching the per-trial identity hashing.
   if (const char* seed = std::getenv("SOFTRES_SEED")) {
     opts.client.seed = std::strtoull(seed, nullptr, 10);
+  }
+  if (const char* report = std::getenv("SOFTRES_REPORT_HTML")) {
+    opts.report_html = report;
   }
   return opts;
 }
@@ -123,6 +128,22 @@ ServerOps condense_server(const tier::Server& server) {
   return ops;
 }
 
+/// "out.html" + (400/6/60, 6200) -> "out_s400-6-60_u6200.html": one report
+/// file per trial even when a sweep shares one SOFTRES_REPORT_HTML value.
+std::string report_path(const std::string& base, const SoftConfig& soft,
+                        std::size_t users) {
+  std::string suffix = "_s" + std::to_string(soft.apache_threads) + "-" +
+                       std::to_string(soft.tomcat_threads) + "-" +
+                       std::to_string(soft.db_connections) + "_u" +
+                       std::to_string(users);
+  const std::size_t slash = base.find_last_of('/');
+  const std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos || (slash != std::string::npos && dot < slash)) {
+    return base + suffix + ".html";
+  }
+  return base.substr(0, dot) + suffix + base.substr(dot);
+}
+
 }  // namespace
 
 std::uint64_t Experiment::trial_seed(const SoftConfig& soft,
@@ -195,6 +216,34 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
   }
   r.metrics = ctx.registry().snapshot(ctx.simulator().now());
   ctx.traces().collect(bed.farm().traced_requests());
+  r.diagnosis = bed.diagnoser().diagnosis();
+
+  if (!opts_.report_html.empty()) {
+    obs::ReportMeta meta;
+    meta.title = "Trial " + cfg.hw.to_string() + " / " + soft.to_string() +
+                 " @ " + std::to_string(users) + " users";
+    meta.topology = cfg.hw.to_string();
+    meta.allocation = soft.to_string();
+    meta.workload = std::to_string(users) + " users";
+    meta.measure_start = bed.measure_start();
+    meta.measure_end = bed.measure_end();
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f req/s", r.throughput);
+    meta.extra.emplace_back("throughput", buf);
+    std::snprintf(buf, sizeof(buf), "%.1f req/s",
+                  r.goodput(opts_.sla_threshold_s));
+    meta.extra.emplace_back(
+        "goodput@" + std::to_string(opts_.sla_threshold_s) + "s", buf);
+    std::snprintf(buf, sizeof(buf), "%.0f ms",
+                  1000.0 * r.response_times.mean());
+    meta.extra.emplace_back("mean response time", buf);
+    meta.extra.emplace_back("trial seed", std::to_string(r.trial_seed));
+    const obs::LatencyBreakdown breakdown = ctx.traces().breakdown();
+    obs::write_flight_recorder_html(
+        report_path(opts_.report_html, soft, users), meta, bed.timeline(),
+        r.diagnosis, breakdown.rows.empty() ? nullptr : &breakdown);
+  }
+
   r.traces = std::move(ctx.traces());
   return r;
 }

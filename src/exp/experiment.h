@@ -32,6 +32,12 @@ struct ExperimentOptions {
     client.trace_sample_rate = rate;
   }
 
+  /// When non-empty, every trial writes a flight-recorder HTML report; the
+  /// trial's soft allocation and workload are folded into the file name
+  /// ("out.html" -> "out_s400-6-60_u6200.html"). from_env() reads it from
+  /// SOFTRES_REPORT_HTML.
+  std::string report_html;
+
   static ExperimentOptions from_env();
 };
 
@@ -86,6 +92,9 @@ struct RunResult {
   /// Assembled span trees of the traced requests (empty unless
   /// trace_sample_rate > 0); traces.breakdown() is the Fig 9 analysis.
   obs::TraceCollector traces;
+  /// The online diagnoser's verdict over the measurement window, with its
+  /// evidence windows; diagnosis.to_hint() feeds core::detect_bottleneck.
+  obs::Diagnosis diagnosis;
 
   double goodput(double threshold_s) const;
   metrics::SlaSplit sla(double threshold_s) const;

@@ -52,6 +52,13 @@ class RunContext {
   obs::Registry& registry() { return registry_; }
   const obs::Registry& registry() const { return registry_; }
 
+  /// Zero every metric value, histogram sum/count and bucket in the registry
+  /// while keeping registrations, pull sources and dotted aliases. Testbed
+  /// wiring calls this at build time: on a fresh context it is a no-op, but
+  /// re-wiring a second testbed onto a reused context must not inherit the
+  /// previous trial's histogram accumulations.
+  void reset_metrics() { registry_.reset_values(); }
+
   obs::TraceCollector& traces() { return traces_; }
   const obs::TraceCollector& traces() const { return traces_; }
 

@@ -58,4 +58,33 @@ double max_goodput(const std::vector<RunResult>& results, double threshold_s) {
   return best;
 }
 
+std::vector<PathologyOnset> pathology_onsets(
+    const std::vector<RunResult>& results) {
+  std::vector<PathologyOnset> out;
+  // Scan in ascending-workload order so the first sighting is the onset.
+  std::vector<const RunResult*> ordered;
+  ordered.reserve(results.size());
+  for (const auto& r : results) ordered.push_back(&r);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const RunResult* a, const RunResult* b) {
+                     return a->users < b->users;
+                   });
+  for (const RunResult* r : ordered) {
+    const obs::Pathology p = r->diagnosis.pathology;
+    if (p == obs::Pathology::kNone) continue;
+    PathologyOnset* entry = nullptr;
+    for (PathologyOnset& o : out) {
+      if (o.pathology == p) entry = &o;
+    }
+    if (entry == nullptr) {
+      out.push_back(PathologyOnset{p, r->users, 0, 0.0});
+      entry = &out.back();
+    }
+    ++entry->trials;
+    entry->peak_confidence =
+        std::max(entry->peak_confidence, r->diagnosis.confidence);
+  }
+  return out;
+}
+
 }  // namespace softres::exp

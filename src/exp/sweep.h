@@ -37,4 +37,20 @@ double max_throughput(const std::vector<RunResult>& results);
 /// Highest goodput at a threshold across a sweep.
 double max_goodput(const std::vector<RunResult>& results, double threshold_s);
 
+/// Where along a workload sweep a pathology first appears — the "onset
+/// workload" of Figs 4/5/7 (e.g. the 6-thread allocation starves from 5800
+/// users on). One entry per pathology observed across the sweep.
+struct PathologyOnset {
+  obs::Pathology pathology = obs::Pathology::kNone;
+  std::size_t onset_users = 0;  // lowest user count whose verdict matched
+  std::size_t trials = 0;       // trials of the sweep with this verdict
+  double peak_confidence = 0.0;
+};
+
+/// Aggregate the diagnoser verdicts of one workload sweep (one row of a
+/// sweep_grid result). Entries appear in onset order; healthy (kNone)
+/// verdicts are not listed.
+std::vector<PathologyOnset> pathology_onsets(
+    const std::vector<RunResult>& results);
+
 }  // namespace softres::exp

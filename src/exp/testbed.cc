@@ -21,6 +21,10 @@ Testbed::Testbed(const TestbedConfig& cfg,
 }
 
 void Testbed::build(const workload::ClientConfig& client_cfg) {
+  // A fresh context makes this a no-op; re-wiring a second testbed onto a
+  // reused context must start from zeroed metric values (histogram sums and
+  // counts would otherwise leak across trials).
+  ctx_->reset_metrics();
   sim::Simulator& sim = ctx_->simulator();
   sim::Rng& rng = ctx_->rng();
   obs::Registry& registry = ctx_->registry();
@@ -122,6 +126,27 @@ void Testbed::build(const workload::ClientConfig& client_cfg) {
   }
   farm_->bind_registry(registry);
   registry.attach(*sampler_);
+
+  // Streaming diagnosis: ring-buffer the families the paper's pathologies
+  // live in, tick them from the sampler, and run the detectors right after
+  // each tick (probes evaluate in registration order). The analysis window
+  // is the measurement window, so ramp transients cannot fire a pathology.
+  timeline_ = std::make_unique<obs::Timeline>(registry);
+  for (const char* family :
+       {"cpu_util_pct", "gc_util_pct", "pool_util_pct", "pool_waiting",
+        "server_throughput", "apache_threads_active",
+        "apache_threads_connecting"}) {
+    timeline_->track_family(family);
+  }
+  timeline_->attach(*sampler_);
+  diagnoser_ = std::make_unique<obs::Diagnoser>(*timeline_);
+  diagnoser_->set_analysis_window(farm_->measure_start(),
+                                  farm_->measure_end());
+  obs::Diagnoser* diag = diagnoser_.get();
+  sampler_->add_probe("obs.diagnosis", [diag](sim::SimTime now) {
+    diag->observe(now);
+    return static_cast<double>(diag->active_detectors());
+  });
 }
 
 hw::Node& Testbed::add_node(const std::string& name) {

@@ -9,7 +9,9 @@
 #include "exp/run_context.h"
 #include "hw/link.h"
 #include "hw/node.h"
+#include "obs/diagnoser.h"
 #include "obs/registry.h"
+#include "obs/timeline.h"
 #include "sim/sampler.h"
 #include "sim/simulator.h"
 #include "tier/apache.h"
@@ -56,6 +58,13 @@ class Testbed {
   /// any runtime tuner registers here; the sampler polls it at 1 Hz.
   obs::Registry& registry() { return ctx_->registry(); }
   const obs::Registry& registry() const { return ctx_->registry(); }
+  /// Windowed time-series store over the key registry families, ticked by
+  /// the sampler; the diagnoser's detectors run right after each tick.
+  obs::Timeline& timeline() { return *timeline_; }
+  const obs::Timeline& timeline() const { return *timeline_; }
+  /// Online pathology diagnoser; diagnosis() is the trial's verdict.
+  obs::Diagnoser& diagnoser() { return *diagnoser_; }
+  const obs::Diagnoser& diagnoser() const { return *diagnoser_; }
   workload::ClientFarm& farm() { return *farm_; }
   const workload::ClientFarm& farm() const { return *farm_; }
   const workload::RubbosWorkload& workload() const { return workload_; }
@@ -116,6 +125,8 @@ class Testbed {
   std::vector<std::unique_ptr<tier::ApacheServer>> apaches_;
   std::unique_ptr<workload::ClientFarm> farm_;
   std::unique_ptr<sim::Sampler> sampler_;
+  std::unique_ptr<obs::Timeline> timeline_;
+  std::unique_ptr<obs::Diagnoser> diagnoser_;
 
   std::map<const jvm::Jvm*, double> gc_baseline_;
   std::map<const jvm::Jvm*, double> gc_at_end_;

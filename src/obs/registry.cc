@@ -218,6 +218,32 @@ void Registry::counter_fn(const std::string& name, Source source,
   m->alias = alias;
 }
 
+Reader Registry::reader(const std::string& name, const Labels& labels) const {
+  for (const auto& m : metrics_) {
+    if (m->name == name && m->labels == labels) return Reader(m.get());
+  }
+  return Reader();
+}
+
+std::vector<Labels> Registry::family(const std::string& name) const {
+  std::vector<Labels> out;
+  for (const auto& m : metrics_) {
+    if (m->name == name) out.push_back(m->labels);
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  for (auto& m : metrics_) {
+    m->value = 0.0;
+    m->sum = 0.0;
+    m->count = 0;
+    m->cached_at = -1.0;
+    m->cached = 0.0;
+    std::fill(m->bucket_counts.begin(), m->bucket_counts.end(), 0);
+  }
+}
+
 Snapshot Registry::snapshot(sim::SimTime now) const {
   Snapshot snap;
   snap.at = now;

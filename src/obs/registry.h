@@ -38,7 +38,22 @@ struct Metric {
   double sum = 0.0;
   std::uint64_t count = 0;
 
-  double read(sim::SimTime now) const { return source ? source(now) : value; }
+  /// Pull sources are evaluated at most once per timestamp: rate-style
+  /// sources differentiate a cumulative counter against their previous call,
+  /// so a second same-tick caller (e.g. the Timeline polling after the
+  /// sampler probe) would otherwise see dt = 0. Every same-instant reader
+  /// gets the first evaluation's value.
+  mutable sim::SimTime cached_at = -1.0;
+  mutable double cached = 0.0;
+
+  double read(sim::SimTime now) const {
+    if (!source) return value;
+    if (now != cached_at) {
+      cached = source(now);
+      cached_at = now;
+    }
+    return cached;
+  }
 };
 }  // namespace detail
 
@@ -89,6 +104,22 @@ class Histogram {
   friend class Registry;
   explicit Histogram(detail::Metric* m) : m_(m) {}
   detail::Metric* m_ = nullptr;
+};
+
+/// Read-only handle on one registered series: evaluates the pull source (or
+/// returns the stored value) without snapshotting the whole registry. This is
+/// what obs::Timeline polls every sampler tick — one cheap read per tracked
+/// series instead of a full Snapshot. A default-constructed Reader reads 0.
+class Reader {
+ public:
+  Reader() = default;
+  bool valid() const { return m_ != nullptr; }
+  double read(sim::SimTime now) const { return m_ != nullptr ? m_->read(now) : 0.0; }
+
+ private:
+  friend class Registry;
+  explicit Reader(const detail::Metric* m) : m_(m) {}
+  const detail::Metric* m_ = nullptr;
 };
 
 /// Point-in-time copy of one metric, with pull sources already evaluated.
@@ -153,6 +184,21 @@ class Registry {
   /// Polled counter (cumulative source, e.g. total completions).
   void counter_fn(const std::string& name, Source source, Labels labels = {},
                   const std::string& help = "", const std::string& alias = "");
+
+  /// Cheap read-only handle on an already-registered series (invalid Reader
+  /// when no such series exists). Stays valid for the registry's lifetime.
+  Reader reader(const std::string& name, const Labels& labels = {}) const;
+
+  /// Label sets of every series registered under family `name`, in
+  /// registration order (used to enumerate e.g. every pool_util_pct series).
+  std::vector<Labels> family(const std::string& name) const;
+
+  /// Reset every stored value — counters, gauges, histogram buckets, sums and
+  /// counts — to zero while keeping registrations, pull sources, aliases and
+  /// handles intact. A registry reused across back-to-back trials must call
+  /// this between trials or the second trial's histograms (and counters)
+  /// continue accumulating on top of the first's.
+  void reset_values();
 
   /// Evaluate every metric (pull sources included) at `now`.
   Snapshot snapshot(sim::SimTime now) const;

@@ -1,0 +1,232 @@
+#include "obs/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace softres::obs {
+namespace {
+
+std::string escape_html(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v, int precision = 2) {
+  std::ostringstream os;
+  os.precision(precision);
+  os << std::fixed << v;
+  std::string s = os.str();
+  // Trim trailing zeros (and a bare trailing dot) for compact labels.
+  while (!s.empty() && s.find('.') != std::string::npos &&
+         (s.back() == '0' || s.back() == '.')) {
+    const bool dot = s.back() == '.';
+    s.pop_back();
+    if (dot) break;
+  }
+  return s.empty() ? "0" : s;
+}
+
+struct SvgScale {
+  double t0 = 0.0, t1 = 1.0;   // time extent
+  double v0 = 0.0, v1 = 1.0;   // value extent
+  double w = 640.0, h = 90.0;  // pixel box
+  double pad = 4.0;
+
+  double x(double t) const {
+    return pad + (t - t0) / std::max(t1 - t0, 1e-9) * (w - 2 * pad);
+  }
+  double y(double v) const {
+    return h - pad - (v - v0) / std::max(v1 - v0, 1e-9) * (h - 2 * pad);
+  }
+};
+
+void write_series_svg(std::ostream& os, const SeriesWindow& win,
+                      const std::string& series,
+                      const std::vector<const EvidenceWindow*>& evidence,
+                      sim::SimTime t0, sim::SimTime t1) {
+  SvgScale sc;
+  sc.t0 = t0;
+  sc.t1 = t1;
+  double lo = 0.0, hi = 1.0;
+  for (std::size_t i = 0; i < win.size(); ++i) {
+    lo = std::min(lo, win.value_at(i));
+    hi = std::max(hi, win.value_at(i));
+  }
+  sc.v0 = lo;
+  sc.v1 = hi <= lo ? lo + 1.0 : hi;
+
+  os << "<svg viewBox=\"0 0 " << sc.w << " " << sc.h
+     << "\" class=\"series\" role=\"img\" aria-label=\""
+     << escape_html(series) << "\">\n";
+  os << "  <rect x=\"0\" y=\"0\" width=\"" << sc.w << "\" height=\"" << sc.h
+     << "\" class=\"bg\"/>\n";
+  // Evidence windows first, shaded under the line.
+  for (const EvidenceWindow* ev : evidence) {
+    const double xa = sc.x(std::max(ev->from, t0));
+    const double xb = sc.x(std::min(ev->to, t1));
+    if (xb <= xa) continue;
+    os << "  <rect x=\"" << fmt(xa) << "\" y=\"0\" width=\"" << fmt(xb - xa)
+       << "\" height=\"" << sc.h << "\" class=\"evidence\"><title>"
+       << escape_html(ev->condition) << "</title></rect>\n";
+  }
+  if (win.size() >= 2) {
+    os << "  <polyline class=\"line\" points=\"";
+    for (std::size_t i = 0; i < win.size(); ++i) {
+      if (i > 0) os << " ";
+      os << fmt(sc.x(win.time_at(i))) << "," << fmt(sc.y(win.value_at(i)));
+    }
+    os << "\"/>\n";
+  }
+  os << "  <text x=\"" << sc.pad + 2 << "\" y=\"12\" class=\"label\">"
+     << escape_html(series) << "</text>\n";
+  os << "  <text x=\"" << sc.w - sc.pad - 2
+     << "\" y=\"12\" text-anchor=\"end\" class=\"label\">last "
+     << fmt(win.last()) << " | max " << fmt(sc.v1) << "</text>\n";
+  os << "</svg>\n";
+}
+
+const char* kCss = R"css(
+  body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
+         max-width: 60em; color: #222; }
+  h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+  table { border-collapse: collapse; margin: 0.6em 0; }
+  th, td { border: 1px solid #ccc; padding: 0.25em 0.6em; text-align: left; }
+  th { background: #f2f2f2; }
+  .verdict { padding: 0.5em 0.8em; border-radius: 4px; display: inline-block;
+             font-weight: 600; }
+  .verdict.bad { background: #fde8e8; color: #8a1f1f; }
+  .verdict.ok { background: #e6f4ea; color: #1c5e31; }
+  svg.series { display: block; width: 100%; height: 90px; margin: 0.4em 0;
+               border: 1px solid #ddd; }
+  svg .bg { fill: #fcfcfc; }
+  svg .evidence { fill: #e05252; fill-opacity: 0.22; }
+  svg .line { fill: none; stroke: #2a6fb0; stroke-width: 1.5; }
+  svg .label { font: 11px monospace; fill: #444; }
+  code { background: #f5f5f5; padding: 0 0.25em; }
+)css";
+
+}  // namespace
+
+void write_flight_recorder_html(std::ostream& os, const ReportMeta& meta,
+                                const Timeline& timeline,
+                                const Diagnosis& diagnosis,
+                                const LatencyBreakdown* breakdown) {
+  const bool healthy = diagnosis.pathology == Pathology::kNone;
+  os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
+     << "<title>" << escape_html(meta.title) << " — flight recorder</title>\n"
+     << "<style>" << kCss << "</style>\n</head>\n<body>\n";
+  os << "<h1>" << escape_html(meta.title) << "</h1>\n";
+
+  // Header: trial identity.
+  os << "<table>\n";
+  auto row = [&os](const std::string& k, const std::string& v) {
+    os << "<tr><th>" << escape_html(k) << "</th><td>" << escape_html(v)
+       << "</td></tr>\n";
+  };
+  if (!meta.topology.empty()) row("topology", meta.topology);
+  if (!meta.allocation.empty()) row("allocation", meta.allocation);
+  if (!meta.workload.empty()) row("workload", meta.workload);
+  row("measure window",
+      "[" + fmt(meta.measure_start, 0) + " s, " + fmt(meta.measure_end, 0) +
+          " s]");
+  for (const auto& kv : meta.extra) row(kv.first, kv.second);
+  os << "</table>\n";
+
+  // Diagnosis.
+  os << "<h2>Diagnosis</h2>\n";
+  os << "<p><span class=\"verdict " << (healthy ? "ok" : "bad") << "\">"
+     << pathology_name(diagnosis.pathology) << "</span> &nbsp;confidence "
+     << fmt(diagnosis.confidence) << "</p>\n";
+  if (!diagnosis.implicated_resources.empty()) {
+    os << "<p>implicated:";
+    for (const std::string& r : diagnosis.implicated_resources) {
+      os << " <code>" << escape_html(r) << "</code>";
+    }
+    os << "</p>\n";
+  }
+  if (!diagnosis.suggested_action.text.empty()) {
+    os << "<p>suggested: " << escape_html(diagnosis.suggested_action.text)
+       << "</p>\n";
+  }
+  if (!diagnosis.evidence.empty()) {
+    os << "<table>\n<tr><th>series</th><th>from (s)</th><th>to (s)</th>"
+       << "<th>observed</th><th>threshold</th><th>condition</th></tr>\n";
+    for (const EvidenceWindow& ev : diagnosis.evidence) {
+      os << "<tr><td><code>" << escape_html(ev.series) << "</code></td><td>"
+         << fmt(ev.from, 0) << "</td><td>" << fmt(ev.to, 0) << "</td><td>"
+         << fmt(ev.observed) << "</td><td>" << fmt(ev.threshold)
+         << "</td><td>" << escape_html(ev.condition) << "</td></tr>\n";
+    }
+    os << "</table>\n";
+  }
+
+  // Timelines: common extent so windows line up vertically across series.
+  os << "<h2>Timelines</h2>\n";
+  sim::SimTime t0 = 0.0, t1 = 1.0;
+  bool any = false;
+  for (std::size_t i = 0; i < timeline.series_count(); ++i) {
+    const SeriesWindow& w = timeline.window(i);
+    if (w.empty()) continue;
+    t0 = any ? std::min(t0, w.first_time()) : w.first_time();
+    t1 = any ? std::max(t1, w.last_time()) : w.last_time();
+    any = true;
+  }
+  if (t1 <= t0) t1 = t0 + 1.0;
+  for (std::size_t i = 0; i < timeline.series_count(); ++i) {
+    std::vector<const EvidenceWindow*> shaded;
+    for (const EvidenceWindow& ev : diagnosis.evidence) {
+      if (ev.series == timeline.series(i)) shaded.push_back(&ev);
+    }
+    write_series_svg(os, timeline.window(i), timeline.series(i), shaded, t0,
+                     t1);
+  }
+
+  // Latency breakdown (present when the trial traced requests).
+  if (breakdown != nullptr && !breakdown->rows.empty()) {
+    os << "<h2>Latency breakdown</h2>\n";
+    os << "<table>\n<tr><th>tier</th><th>visits</th><th>queue (ms)</th>"
+       << "<th>service (ms)</th><th>conn wait (ms)</th><th>gc (ms)</th>"
+       << "<th>fin wait (ms)</th><th>residence (ms)</th></tr>\n";
+    for (const LatencyBreakdown::Row& r : breakdown->rows) {
+      os << "<tr><td>" << escape_html(r.tier) << "</td><td>"
+         << fmt(r.visits) << "</td><td>" << fmt(r.queue_ms) << "</td><td>"
+         << fmt(r.service_ms) << "</td><td>" << fmt(r.conn_wait_ms)
+         << "</td><td>" << fmt(r.gc_ms) << "</td><td>" << fmt(r.fin_wait_ms)
+         << "</td><td>" << fmt(r.residence_ms) << "</td></tr>\n";
+    }
+    os << "<tr><th>network / other</th><td colspan=\"7\">"
+       << fmt(breakdown->network_other_ms) << " ms</td></tr>\n";
+    os << "<tr><th>mean response time</th><td colspan=\"7\">"
+       << fmt(breakdown->mean_rt_ms) << " ms over " << breakdown->requests
+       << " traced request(s)</td></tr>\n";
+    os << "</table>\n";
+  }
+
+  os << "</body>\n</html>\n";
+}
+
+bool write_flight_recorder_html(const std::string& path,
+                                const ReportMeta& meta,
+                                const Timeline& timeline,
+                                const Diagnosis& diagnosis,
+                                const LatencyBreakdown* breakdown) {
+  std::ofstream file(path);
+  if (!file) return false;
+  write_flight_recorder_html(file, meta, timeline, diagnosis, breakdown);
+  return file.good();
+}
+
+}  // namespace softres::obs

@@ -1,0 +1,147 @@
+#pragma once
+
+// Streaming windowed view of registry series: the data structure the online
+// pathology diagnoser (obs/diagnoser.h) reads. A Timeline tracks a chosen set
+// of registry series into fixed-capacity ring buffers, fed at sampler ticks,
+// and answers rolling-window questions — mean, max, min, least-squares slope,
+// how long a condition has held, and cross-correlation between two series —
+// without ever materializing a full registry snapshot per tick.
+//
+// Rendering contract (enforced by softres-lint rule SR008): timeline and
+// diagnoser code never writes to streams; all human-facing output goes
+// through obs/report.h.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "sim/sim_time.h"
+
+namespace softres::sim {
+class Sampler;
+}
+
+namespace softres::obs {
+
+/// Fixed-capacity ring buffer of (time, value) samples with rolling-window
+/// statistics. Windows are trailing: "over the last `window_s` seconds up to
+/// the newest sample". All statistics are pure functions of the buffered
+/// samples, so they are bit-identical across serial and parallel sweeps.
+class SeriesWindow {
+ public:
+  explicit SeriesWindow(std::size_t capacity);
+
+  void push(sim::SimTime t, double v);
+
+  std::size_t size() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::size_t capacity() const { return times_.size(); }
+
+  /// Newest / oldest retained sample (0 when empty).
+  double last() const;
+  sim::SimTime last_time() const;
+  sim::SimTime first_time() const;
+
+  /// i-th retained sample, oldest first (i < size()).
+  sim::SimTime time_at(std::size_t i) const;
+  double value_at(std::size_t i) const;
+
+  double mean_over(double window_s) const;
+  double max_over(double window_s) const;
+  double min_over(double window_s) const;
+
+  /// Least-squares slope (value units per second) over the trailing window;
+  /// 0 when fewer than two samples fall inside it.
+  double slope_over(double window_s) const;
+
+  /// Seconds the *newest contiguous run* of samples has satisfied
+  /// (value >= threshold) — or (value <= threshold) with `at_least=false`.
+  /// Returns the span from the first sample of the run to the newest sample;
+  /// 0 when the newest sample itself fails the predicate.
+  double held_for(double threshold, bool at_least = true) const;
+
+  /// Start time of the run measured by held_for (newest sample's time when
+  /// the run is empty).
+  sim::SimTime held_since(double threshold, bool at_least = true) const;
+
+ private:
+  std::size_t index(std::size_t i) const;  // oldest-first -> ring position
+
+  std::vector<sim::SimTime> times_;
+  std::vector<double> values_;
+  std::size_t head_ = 0;   // next write position
+  std::size_t count_ = 0;  // retained samples (<= capacity)
+};
+
+/// Pearson correlation of two series over their common trailing window,
+/// pairing samples by index from the newest backwards (both series are fed by
+/// the same sampler tick, so indices align). Returns 0 when either side is
+/// constant or fewer than three pairs fall in the window.
+double cross_correlation(const SeriesWindow& a, const SeriesWindow& b,
+                         double window_s);
+
+struct TimelineConfig {
+  /// Ring entries per tracked series. At the 1 Hz sampler cadence the default
+  /// retains ~4 minutes — enough for every detector window while bounding
+  /// memory per trial.
+  std::size_t capacity = 256;
+};
+
+/// The per-trial windowed time-series store. Track individual series (or
+/// whole families) after the testbed registered its probes, attach to the
+/// sampler, and the timeline polls each tracked series' Reader once per tick.
+class Timeline {
+ public:
+  explicit Timeline(const Registry& registry, TimelineConfig cfg = {});
+
+  Timeline(const Timeline&) = delete;
+  Timeline& operator=(const Timeline&) = delete;
+
+  /// Track one registry series; returns its index (stable for the timeline's
+  /// lifetime). Unknown series are tracked anyway and read as 0.
+  std::size_t track(const std::string& name, Labels labels = {});
+
+  /// Track every series currently registered under family `name`; returns
+  /// the new indices in registration order.
+  std::vector<std::size_t> track_family(const std::string& name);
+
+  /// Poll every tracked series once. Called by the sampler probe installed by
+  /// attach(), or directly by tests.
+  void tick(sim::SimTime now);
+
+  /// Register one probe ("obs.timeline") on the sampler whose evaluation
+  /// ticks this timeline; its series value is the number of tracked series.
+  void attach(sim::Sampler& sampler);
+
+  std::size_t series_count() const { return tracked_.size(); }
+  std::size_t ticks() const { return ticks_; }
+  sim::SimTime last_tick() const { return last_tick_; }
+
+  const SeriesWindow& window(std::size_t i) const { return tracked_[i].window; }
+  const std::string& name(std::size_t i) const { return tracked_[i].name; }
+  const Labels& labels(std::size_t i) const { return tracked_[i].labels; }
+  /// Rendered "name{k=\"v\"}" identity, as cited in evidence windows.
+  const std::string& series(std::size_t i) const { return tracked_[i].series; }
+
+  /// Window of a tracked series, or nullptr when it is not tracked.
+  const SeriesWindow* find(const std::string& name,
+                           const Labels& labels = {}) const;
+
+ private:
+  struct Tracked {
+    std::string name;
+    Labels labels;
+    std::string series;  // rendered name{labels}
+    Reader reader;
+    SeriesWindow window;
+  };
+
+  const Registry* registry_;
+  TimelineConfig cfg_;
+  std::vector<Tracked> tracked_;
+  std::size_t ticks_ = 0;
+  sim::SimTime last_tick_ = 0.0;
+};
+
+}  // namespace softres::obs

@@ -53,6 +53,28 @@ void expect_bit_identical(const RunResult& a, const RunResult& b) {
     EXPECT_EQ(a.pools[i].util_pct, b.pools[i].util_pct);
     EXPECT_EQ(a.pools[i].mean_wait_ms, b.pools[i].mean_wait_ms);
   }
+  // The online diagnoser is part of the determinism contract too: verdict,
+  // confidence, every evidence window and the suggested action must be
+  // bit-identical, not merely equivalent.
+  EXPECT_EQ(a.diagnosis.pathology, b.diagnosis.pathology);
+  EXPECT_EQ(a.diagnosis.confidence, b.diagnosis.confidence);
+  EXPECT_EQ(a.diagnosis.implicated_resources, b.diagnosis.implicated_resources);
+  EXPECT_EQ(a.diagnosis.suggested_action.kind, b.diagnosis.suggested_action.kind);
+  EXPECT_EQ(a.diagnosis.suggested_action.resource,
+            b.diagnosis.suggested_action.resource);
+  EXPECT_EQ(a.diagnosis.suggested_action.text, b.diagnosis.suggested_action.text);
+  ASSERT_EQ(a.diagnosis.evidence.size(), b.diagnosis.evidence.size());
+  for (std::size_t i = 0; i < a.diagnosis.evidence.size(); ++i) {
+    const obs::EvidenceWindow& ea = a.diagnosis.evidence[i];
+    const obs::EvidenceWindow& eb = b.diagnosis.evidence[i];
+    EXPECT_EQ(ea.series, eb.series);
+    EXPECT_EQ(ea.from, eb.from);
+    EXPECT_EQ(ea.to, eb.to);
+    EXPECT_EQ(ea.condition, eb.condition);
+    EXPECT_EQ(ea.observed, eb.observed);
+    EXPECT_EQ(ea.threshold, eb.threshold);
+  }
+  EXPECT_EQ(a.diagnosis.summary(), b.diagnosis.summary());
 }
 
 TEST(DeriveSeedTest, PureFunctionOfTrialIdentity) {

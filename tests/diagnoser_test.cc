@@ -1,0 +1,487 @@
+// Tests for the online pathology diagnoser stack: SeriesWindow ring-buffer
+// statistics, Timeline tracking, the per-pathology detector rules driven by a
+// synthetic registry, the Registry::reset_values() between-trials regression,
+// and the golden list of legacy dotted sampler aliases.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/run_context.h"
+#include "exp/testbed.h"
+#include "obs/diagnoser.h"
+#include "obs/registry.h"
+#include "obs/timeline.h"
+#include "sim/sampler.h"
+
+namespace softres::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SeriesWindow
+
+TEST(SeriesWindowTest, RingBufferKeepsNewestCapacitySamples) {
+  SeriesWindow w(4);
+  EXPECT_TRUE(w.empty());
+  for (int t = 0; t < 6; ++t) w.push(t, 10.0 * t);
+  EXPECT_EQ(w.size(), 4u);
+  EXPECT_EQ(w.capacity(), 4u);
+  // Oldest-first iteration starts at the oldest *retained* sample.
+  EXPECT_DOUBLE_EQ(w.first_time(), 2.0);
+  EXPECT_DOUBLE_EQ(w.time_at(0), 2.0);
+  EXPECT_DOUBLE_EQ(w.value_at(0), 20.0);
+  EXPECT_DOUBLE_EQ(w.time_at(3), 5.0);
+  EXPECT_DOUBLE_EQ(w.value_at(3), 50.0);
+  EXPECT_DOUBLE_EQ(w.last(), 50.0);
+  EXPECT_DOUBLE_EQ(w.last_time(), 5.0);
+}
+
+TEST(SeriesWindowTest, RollingStatisticsOverTrailingWindow) {
+  SeriesWindow w(16);
+  for (int t = 0; t <= 5; ++t) w.push(t, 2.0 * t);  // 0 2 4 6 8 10
+  // A 2 s trailing window from t=5 holds the samples at t=3,4,5.
+  EXPECT_DOUBLE_EQ(w.mean_over(2.0), 8.0);
+  EXPECT_DOUBLE_EQ(w.max_over(2.0), 10.0);
+  EXPECT_DOUBLE_EQ(w.min_over(2.0), 6.0);
+  // The full series is the line v = 2t.
+  EXPECT_NEAR(w.slope_over(100.0), 2.0, 1e-12);
+  // A window too narrow for two samples has no slope.
+  EXPECT_DOUBLE_EQ(w.slope_over(0.5), 0.0);
+}
+
+TEST(SeriesWindowTest, HeldForMeasuresNewestContiguousRun) {
+  SeriesWindow w(16);
+  w.push(0.0, 1.0);
+  w.push(1.0, 5.0);
+  w.push(2.0, 6.0);
+  w.push(3.0, 7.0);
+  EXPECT_DOUBLE_EQ(w.held_for(5.0), 2.0);  // run started at t=1
+  EXPECT_DOUBLE_EQ(w.held_since(5.0), 1.0);
+  // The newest sample failing the predicate resets the run.
+  w.push(4.0, 2.0);
+  EXPECT_DOUBLE_EQ(w.held_for(5.0), 0.0);
+  // Flipped predicate: value <= threshold.
+  EXPECT_DOUBLE_EQ(w.held_for(2.0, /*at_least=*/false), 0.0);
+}
+
+TEST(SeriesWindowTest, CrossCorrelationSigns) {
+  SeriesWindow a(16), up(16), down(16), flat(16);
+  for (int t = 0; t <= 5; ++t) {
+    a.push(t, t);
+    up.push(t, 3.0 * t + 1.0);
+    down.push(t, 5.0 - t);
+    flat.push(t, 2.0);
+  }
+  EXPECT_NEAR(cross_correlation(a, up, 100.0), 1.0, 1e-12);
+  EXPECT_NEAR(cross_correlation(a, down, 100.0), -1.0, 1e-12);
+  // A constant side has zero variance: defined as uncorrelated.
+  EXPECT_DOUBLE_EQ(cross_correlation(a, flat, 100.0), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline
+
+TEST(TimelineTest, TracksFamiliesAndPolledSeries) {
+  Registry r;
+  Gauge t0 = r.gauge("pool_util_pct", {{"pool", "tomcat0.threads"}});
+  Gauge a0 = r.gauge("pool_util_pct", {{"pool", "apache0.workers"}});
+  Timeline tl(r);
+  const std::vector<std::size_t> idx = tl.track_family("pool_util_pct");
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(tl.series_count(), 2u);
+  EXPECT_EQ(tl.series(idx[0]), "pool_util_pct{pool=\"tomcat0.threads\"}");
+
+  t0.set(80.0);
+  a0.set(40.0);
+  tl.tick(1.0);
+  t0.set(90.0);
+  tl.tick(2.0);
+  EXPECT_EQ(tl.ticks(), 2u);
+  EXPECT_DOUBLE_EQ(tl.last_tick(), 2.0);
+
+  const SeriesWindow* w =
+      tl.find("pool_util_pct", {{"pool", "tomcat0.threads"}});
+  ASSERT_NE(w, nullptr);
+  ASSERT_EQ(w->size(), 2u);
+  EXPECT_DOUBLE_EQ(w->value_at(0), 80.0);
+  EXPECT_DOUBLE_EQ(w->last(), 90.0);
+  EXPECT_EQ(tl.find("pool_util_pct", {{"pool", "nope"}}), nullptr);
+}
+
+TEST(TimelineTest, UnknownSeriesReadsZero) {
+  Registry r;
+  Timeline tl(r);
+  const std::size_t i = tl.track("does_not_exist");
+  tl.tick(1.0);
+  EXPECT_DOUBLE_EQ(tl.window(i).last(), 0.0);
+}
+
+// The double-poll regression: rate-style pull sources differentiate against
+// their previous call, so when the sampler probe and the Timeline both read
+// the same series in one tick, the second reader used to see dt = 0. The
+// registry memoizes one evaluation per timestamp.
+TEST(TimelineTest, PullSourceEvaluatedOncePerTimestamp) {
+  Registry r;
+  int calls = 0;
+  r.gauge_fn("poll", [&calls](sim::SimTime now) {
+    ++calls;
+    return 2.0 * now;
+  });
+  const Reader reader = r.reader("poll");
+  ASSERT_TRUE(reader.valid());
+  EXPECT_DOUBLE_EQ(reader.read(1.0), 2.0);
+  EXPECT_DOUBLE_EQ(reader.read(1.0), 2.0);  // same instant: memoized
+  EXPECT_EQ(calls, 1);
+  EXPECT_DOUBLE_EQ(reader.read(2.0), 4.0);  // new instant: re-evaluated
+  EXPECT_EQ(calls, 2);
+  // reset_values() (between trials) drops the memo with the values.
+  r.reset_values();
+  EXPECT_DOUBLE_EQ(reader.read(2.0), 4.0);
+  EXPECT_EQ(calls, 3);
+}
+
+// ---------------------------------------------------------------------------
+// Registry reset between back-to-back trials (the histogram-leak regression)
+
+TEST(RegistryResetTest, SecondTrialStartsFromZeroedValues) {
+  Registry r;
+  Counter done = r.counter("client_requests_total");
+  Gauge depth = r.gauge("queue_depth");
+  Histogram rt = r.histogram("client_response_time_seconds", {0.5, 1.0});
+
+  // Trial 1.
+  done.inc(7.0);
+  depth.set(3.0);
+  rt.observe(0.3);
+  rt.observe(0.7);
+  rt.observe(5.0);
+  ASSERT_EQ(rt.count(), 3u);
+  ASSERT_DOUBLE_EQ(rt.sum(), 6.0);
+
+  // What Testbed::build does when re-wiring onto a reused RunContext.
+  r.reset_values();
+  EXPECT_DOUBLE_EQ(done.value(), 0.0);
+  EXPECT_DOUBLE_EQ(depth.value(), 0.0);
+  EXPECT_EQ(rt.count(), 0u);
+  EXPECT_DOUBLE_EQ(rt.sum(), 0.0);
+
+  // Trial 2: the old handles stay wired and the second trial's numbers are
+  // its own, not trial 1's plus its own.
+  done.inc(2.0);
+  rt.observe(0.4);
+  const Snapshot snap = r.snapshot(0.0);
+  const MetricSample* h = snap.find("client_response_time_seconds");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_DOUBLE_EQ(h->sum, 0.4);
+  ASSERT_EQ(h->bucket_counts.size(), 3u);
+  EXPECT_EQ(h->bucket_counts[0], 1u);  // 0.4 <= 0.5 (per-bucket storage)
+  EXPECT_EQ(h->bucket_counts[1], 0u);
+  EXPECT_EQ(h->bucket_counts[2], 0u);
+  const MetricSample* c = snap.find("client_requests_total");
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->value, 2.0);
+}
+
+TEST(RegistryResetTest, RunContextResetMetricsClearsItsRegistry) {
+  exp::RunContext ctx(1, exp::TestbedConfig::defaults(), 100);
+  Histogram rt =
+      ctx.registry().histogram("client_response_time_seconds", {1.0});
+  rt.observe(0.5);
+  rt.observe(2.0);
+  ASSERT_EQ(rt.count(), 2u);
+  ctx.reset_metrics();
+  EXPECT_EQ(rt.count(), 0u);
+  EXPECT_DOUBLE_EQ(rt.sum(), 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Diagnoser rules, driven by a synthetic registry
+
+// A miniature two-node topology (apache0 web, tomcat0 app) whose series are
+// plain stored gauges, so each test scripts the exact shapes the detectors
+// must recognise. Family names, labels and pool naming match the testbed's
+// probe registration, which is what Diagnoser::discover() keys on.
+class DiagnoserRig {
+ public:
+  DiagnoserRig() : timeline_(registry_) {
+    apache_cpu_ = registry_.gauge("cpu_util_pct", {{"node", "apache0"}});
+    tomcat_cpu_ = registry_.gauge("cpu_util_pct", {{"node", "tomcat0"}});
+    tomcat_gc_ = registry_.gauge("gc_util_pct", {{"node", "tomcat0"}});
+    threads_util_ =
+        registry_.gauge("pool_util_pct", {{"pool", "tomcat0.threads"}});
+    workers_util_ =
+        registry_.gauge("pool_util_pct", {{"pool", "apache0.workers"}});
+    threads_waiting_ =
+        registry_.gauge("pool_waiting", {{"pool", "tomcat0.threads"}});
+    workers_waiting_ =
+        registry_.gauge("pool_waiting", {{"pool", "apache0.workers"}});
+    throughput_ =
+        registry_.gauge("server_throughput", {{"server", "tomcat0"}});
+    active_ =
+        registry_.gauge("apache_threads_active", {{"server", "apache0"}});
+    connecting_ =
+        registry_.gauge("apache_threads_connecting", {{"server", "apache0"}});
+    for (const char* family :
+         {"cpu_util_pct", "gc_util_pct", "pool_util_pct", "pool_waiting",
+          "server_throughput", "apache_threads_active",
+          "apache_threads_connecting"}) {
+      timeline_.track_family(family);
+    }
+    diagnoser_ = std::make_unique<Diagnoser>(timeline_);
+    healthy();
+  }
+
+  void healthy() {
+    apache_cpu_.set(40.0);
+    tomcat_cpu_.set(50.0);
+    tomcat_gc_.set(1.0);
+    threads_util_.set(60.0);
+    threads_waiting_.set(0.0);
+    workers_util_.set(50.0);
+    workers_waiting_.set(0.0);
+    throughput_.set(100.0);
+    active_.set(10.0);
+    connecting_.set(8.0);
+  }
+
+  void starved_threads() {  // Fig 4: pegged app pool, idle hardware
+    threads_util_.set(100.0);
+    threads_waiting_.set(5.0);
+  }
+
+  void gc_storm() {  // Fig 5: high GC share on a busy (not saturated) node
+    tomcat_gc_.set(12.0);
+    tomcat_cpu_.set(85.0);
+  }
+
+  void fin_wait() {  // Fig 7: workers pegged, few talking to the app tier
+    workers_util_.set(100.0);
+    active_.set(30.0);
+    connecting_.set(5.0);
+  }
+
+  void run_ticks(int n) {
+    for (int i = 0; i < n; ++i) {
+      now_ += 1.0;
+      timeline_.tick(now_);
+      diagnoser_->observe(now_);
+    }
+  }
+
+  Diagnoser& diagnoser() { return *diagnoser_; }
+
+  Gauge apache_cpu_, tomcat_cpu_, tomcat_gc_;
+  Gauge threads_util_, workers_util_, threads_waiting_, workers_waiting_;
+  Gauge throughput_, active_, connecting_;
+
+ private:
+  Registry registry_;
+  Timeline timeline_;
+  std::unique_ptr<Diagnoser> diagnoser_;
+  sim::SimTime now_ = 0.0;
+};
+
+TEST(DiagnoserTest, HealthyTrialDiagnosesNone) {
+  DiagnoserRig rig;
+  rig.run_ticks(30);
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kNone);
+  EXPECT_DOUBLE_EQ(d.confidence, 1.0);
+  EXPECT_TRUE(d.evidence.empty());
+  EXPECT_TRUE(d.implicated_resources.empty());
+  EXPECT_EQ(d.to_hint().kind, core::BottleneckKind::kNone);
+  EXPECT_EQ(rig.diagnoser().active_detectors(), 0u);
+}
+
+TEST(DiagnoserTest, FlagsUnderAllocationWithCitedEvidence) {
+  DiagnoserRig rig;
+  rig.starved_threads();
+  rig.run_ticks(20);
+  EXPECT_EQ(rig.diagnoser().active_detectors(), 1u);
+
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kSoftUnderAlloc);
+  EXPECT_DOUBLE_EQ(d.confidence, 1.0);
+  ASSERT_EQ(d.evidence.size(), 1u);
+  const EvidenceWindow& w = d.evidence.front();
+  EXPECT_EQ(w.series, "pool_util_pct{pool=\"tomcat0.threads\"}");
+  EXPECT_DOUBLE_EQ(w.from, 1.0);
+  EXPECT_DOUBLE_EQ(w.to, 20.0);
+  EXPECT_DOUBLE_EQ(w.observed, 100.0);
+  EXPECT_DOUBLE_EQ(w.threshold, 99.0);
+  EXPECT_NE(w.condition.find("waiter"), std::string::npos);
+  ASSERT_EQ(d.implicated_resources,
+            std::vector<std::string>{"tomcat0.threads"});
+  EXPECT_EQ(d.suggested_action.kind, SuggestedAction::Kind::kGrowPool);
+  EXPECT_EQ(d.suggested_action.resource, "tomcat0.threads");
+
+  const core::DiagnosisHint hint = d.to_hint();
+  EXPECT_TRUE(hint.valid);
+  EXPECT_EQ(hint.kind, core::BottleneckKind::kSoft);
+  ASSERT_EQ(hint.soft, std::vector<std::string>{"tomcat0.threads"});
+  EXPECT_TRUE(hint.hardware.empty());
+}
+
+TEST(DiagnoserTest, FlagsGcOverAllocationAndImplicatesFeedingPool) {
+  DiagnoserRig rig;
+  rig.gc_storm();
+  rig.run_ticks(20);
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kGcOverAlloc);
+  ASSERT_GE(d.evidence.size(), 1u);
+  EXPECT_EQ(d.evidence.front().series, "gc_util_pct{node=\"tomcat0\"}");
+  // The GC rule names both the burned CPU and the pool whose idle units feed
+  // the collector.
+  const std::vector<std::string> want = {"tomcat0.cpu", "tomcat0.threads"};
+  EXPECT_EQ(d.implicated_resources, want);
+  EXPECT_EQ(d.suggested_action.kind, SuggestedAction::Kind::kShrinkPool);
+  EXPECT_EQ(d.suggested_action.resource, "tomcat0.threads");
+
+  const core::DiagnosisHint hint = d.to_hint();
+  EXPECT_EQ(hint.kind, core::BottleneckKind::kSoft);  // hidden soft cause
+  EXPECT_EQ(hint.critical, "tomcat0.cpu");            // hardware symptom
+}
+
+TEST(DiagnoserTest, FlagsFinWaitBufferEffect) {
+  DiagnoserRig rig;
+  rig.fin_wait();
+  rig.run_ticks(20);
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kFinWaitBuffer);
+  ASSERT_GE(d.evidence.size(), 1u);
+  EXPECT_EQ(d.evidence.front().series,
+            "apache_threads_connecting{server=\"apache0\"}");
+  ASSERT_EQ(d.implicated_resources,
+            std::vector<std::string>{"apache0.workers"});
+  EXPECT_EQ(d.suggested_action.kind, SuggestedAction::Kind::kGrowPool);
+  EXPECT_EQ(d.suggested_action.resource, "apache0.workers");
+}
+
+TEST(DiagnoserTest, SaturatedCpuIsHardwareNotUnderAllocation) {
+  DiagnoserRig rig;
+  // The pool is pegged *because* the node is out of CPU: the paper's classic
+  // case, which must not masquerade as a soft bottleneck.
+  rig.starved_threads();
+  rig.tomcat_cpu_.set(100.0);
+  rig.run_ticks(20);
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kHardware);
+  ASSERT_EQ(d.implicated_resources, std::vector<std::string>{"tomcat0.cpu"});
+  EXPECT_EQ(d.suggested_action.kind, SuggestedAction::Kind::kAddHardware);
+  EXPECT_EQ(d.to_hint().kind, core::BottleneckKind::kHardware);
+  EXPECT_EQ(d.to_hint().critical, "tomcat0.cpu");
+}
+
+TEST(DiagnoserTest, TwoSoftPathologiesDiagnoseMulti) {
+  DiagnoserRig rig;
+  rig.starved_threads();
+  rig.fin_wait();
+  rig.run_ticks(20);
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kMulti);
+  EXPECT_GE(d.evidence.size(), 2u);
+  // Both resources are named; the action is the re-balance escape hatch.
+  const std::vector<std::string> want = {"tomcat0.threads", "apache0.workers"};
+  EXPECT_EQ(d.implicated_resources, want);
+  EXPECT_EQ(d.suggested_action.kind, SuggestedAction::Kind::kNone);
+}
+
+TEST(DiagnoserTest, SaturatedCpusOnTwoTiersDiagnoseMulti) {
+  DiagnoserRig rig;
+  rig.apache_cpu_.set(100.0);
+  rig.tomcat_cpu_.set(100.0);
+  rig.run_ticks(20);
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kMulti);
+}
+
+TEST(DiagnoserTest, AnalysisWindowExcludesOutOfWindowEvidence) {
+  DiagnoserRig rig;
+  rig.starved_threads();
+  rig.run_ticks(30);
+  // The same evidence, restricted to a window it does not overlap, must not
+  // fire (ramp transients cannot produce a verdict).
+  rig.diagnoser().set_analysis_window(1000.0, 2000.0);
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kNone);
+  EXPECT_TRUE(d.evidence.empty());
+}
+
+TEST(DiagnoserTest, ShortBurstBelowMinVerdictDoesNotFire) {
+  DiagnoserRig rig;
+  // 9 pegged ticks: the run clears hold_s (5 s) but its 8 s total stays
+  // below min_verdict_s (15 s), so the verdict stays healthy.
+  rig.starved_threads();
+  rig.run_ticks(9);
+  rig.healthy();
+  rig.run_ticks(20);
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kNone);
+}
+
+TEST(DiagnoserTest, RunsShorterThanHoldAreDiscarded) {
+  DiagnoserRig rig;
+  rig.starved_threads();
+  rig.run_ticks(4);  // 3 s run < hold_s
+  rig.healthy();
+  rig.run_ticks(20);
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kNone);
+}
+
+TEST(DiagnoserTest, ConfidenceScalesWithEvidenceDuration) {
+  DiagnoserRig rig;
+  rig.starved_threads();
+  rig.run_ticks(12);  // open run [1 s, 12 s] = 11 s of evidence
+  const Diagnosis d = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d.pathology, Pathology::kNone);  // 11 s < min_verdict_s
+  rig.run_ticks(6);  // now 17 s >= min_verdict_s, confidence saturates
+  const Diagnosis d2 = rig.diagnoser().diagnosis();
+  EXPECT_EQ(d2.pathology, Pathology::kSoftUnderAlloc);
+  EXPECT_DOUBLE_EQ(d2.confidence, 1.0);
+  EXPECT_NE(d2.summary().find("kSoftUnderAlloc"), std::string::npos);
+  EXPECT_NE(d2.summary().find("tomcat0.threads"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Golden list: every register_* family keeps its legacy dotted sampler alias
+// byte-identical. Sampler::find is an exact string match, so a renamed alias
+// fails here before it breaks a figure script.
+
+TEST(AliasGoldenTest, EveryProbeFamilyKeepsItsDottedAlias) {
+  exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+  cfg.hw = exp::HardwareConfig{1, 1, 1, 1};
+  workload::ClientConfig client;
+  client.users = 10;
+  exp::Testbed bed(cfg, client);
+
+  const std::vector<std::string> golden = {
+      // register_cpu_util: "<node>.cpu"
+      "apache0.cpu", "tomcat0.cpu", "cjdbc0.cpu", "mysql0.cpu",
+      // register_gc_util: "<server>.gc"
+      "tomcat0.gc", "cjdbc0.gc",
+      // register_pool: "<pool>.util" / ".waiting" / ".capacity"
+      "apache0.workers.util", "apache0.workers.waiting",
+      "apache0.workers.capacity", "tomcat0.threads.util",
+      "tomcat0.threads.waiting", "tomcat0.threads.capacity",
+      "tomcat0.dbconns.util", "tomcat0.dbconns.waiting",
+      "tomcat0.dbconns.capacity",
+      // register_server_ops: "<server>.tp" / ".rt"
+      "apache0.tp", "apache0.rt", "tomcat0.tp", "tomcat0.rt", "cjdbc0.tp",
+      "cjdbc0.rt", "mysql0.tp", "mysql0.rt",
+      // register_apache_timeline: the five Fig 7/8 series
+      "apache0.processed", "apache0.pt_total_ms", "apache0.pt_tomcat_ms",
+      "apache0.threads_active", "apache0.threads_connecting",
+      // the streaming-diagnosis probes wired by Testbed::build
+      "obs.timeline", "obs.diagnosis"};
+  for (const std::string& name : golden) {
+    EXPECT_NE(bed.sampler().find(name), nullptr) << "missing alias: " << name;
+  }
+}
+
+}  // namespace
+}  // namespace softres::obs

@@ -1,0 +1,20 @@
+// Fixture: SR008 — stream machinery in a src/obs diagnoser file. Detectors
+// return structured Diagnosis data; obs/report.h does the rendering.
+#include <iostream>
+#include <sstream>
+#include <cstdio>
+
+namespace softres_fixture {
+
+void dump_verdict() {
+  std::cout << "kSoftUnderAlloc";
+}
+
+void render(std::ostream& os) { os << 1; }
+
+// SOFTRES_LINT_ALLOW(SR008: demonstrating the escape hatch)
+std::ostringstream allowed_buffer;
+
+void log_line() { printf("diagnosis\n"); }
+
+}  // namespace softres_fixture

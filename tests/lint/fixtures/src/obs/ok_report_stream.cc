@@ -1,0 +1,9 @@
+// Fixture: clean — stream writes are fine in src/obs files *outside* the
+// diagnoser/timeline scope: report rendering and the exporters live here.
+#include <ostream>
+
+namespace softres_fixture {
+
+void write_report(std::ostream& os) { os << "<html></html>"; }
+
+}  // namespace softres_fixture

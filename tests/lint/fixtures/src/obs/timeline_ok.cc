@@ -1,0 +1,14 @@
+// Fixture: clean — a timeline file labelling evidence with snprintf into a
+// buffer, which SR008 permits (no stream machinery involved).
+#include <cstdio>
+#include <string>
+
+namespace softres_fixture {
+
+std::string label(double from, double to) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "[%.0f s, %.0f s]", from, to);
+  return std::string(buf);
+}
+
+}  // namespace softres_fixture

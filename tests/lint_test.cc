@@ -161,11 +161,40 @@ TEST(LintScanTest, StdFunctionOnlyInHotPathDomains) {
                   .empty());
 }
 
+TEST(LintScanTest, StreamWritesBannedInDiagnoserAndTimelineFiles) {
+  const std::string code = "std::cout << \"verdict\";\n";
+  EXPECT_EQ(rules_of(lint::scan_file("src/obs/diagnoser.cc", code)),
+            (std::vector<std::string>{"SR008"}));
+  EXPECT_EQ(rules_of(lint::scan_file("src/obs/timeline.cc", code)),
+            (std::vector<std::string>{"SR008"}));
+  EXPECT_EQ(rules_of(lint::scan_file("src/obs/diagnoser_rules.h", code)),
+            (std::vector<std::string>{"SR008"}));
+  // Out of scope: the rest of obs renders and exports on purpose.
+  EXPECT_TRUE(lint::scan_file("src/obs/report.cc", code).empty());
+  EXPECT_TRUE(lint::scan_file("src/obs/registry.cc", code).empty());
+  EXPECT_TRUE(lint::scan_file("src/exp/experiment.cc", code).empty());
+  // Stream headers fire even without a write on the same line...
+  EXPECT_EQ(rules_of(lint::scan_file("src/obs/timeline.cc",
+                                     "#include <sstream>\n")),
+            (std::vector<std::string>{"SR008"}));
+  // ...but snprintf into a buffer is the sanctioned labelling tool.
+  EXPECT_TRUE(lint::scan_file("src/obs/diagnoser.cc",
+                              "#include <cstdio>\n"
+                              "void f() { std::snprintf(nullptr, 0, \"x\"); }\n")
+                  .empty());
+  // The escape hatch works like every other rule's.
+  EXPECT_TRUE(
+      lint::scan_file("src/obs/diagnoser.cc",
+                      "// SOFTRES_LINT_ALLOW(SR008: debugging aid)\n" + code)
+          .empty());
+}
+
 TEST(LintScanTest, RuleTableCoversAllEmittedRules) {
   std::set<std::string> ids;
   for (const auto& r : lint::rule_table()) ids.insert(r.id);
   EXPECT_EQ(ids, (std::set<std::string>{"SR001", "SR002", "SR003", "SR004",
-                                        "SR005", "SR006", "SR007"}));
+                                        "SR005", "SR006", "SR007",
+                                        "SR008"}));
 }
 
 // ---- Fixture-tree scan: exact rule IDs and lines per seeded violation ----
@@ -192,6 +221,11 @@ TEST(LintFixtureTest, DetectsEverySeededViolationExactly) {
       {"src/exp/bad_clock.cc", 9, "SR002"},
       {"src/exp/bad_clock.cc", 10, "SR002"},
       {"src/exp/bad_clock.cc", 11, "SR002"},
+      {"src/obs/diagnoser_bad_print.cc", 3, "SR008"},
+      {"src/obs/diagnoser_bad_print.cc", 4, "SR008"},
+      {"src/obs/diagnoser_bad_print.cc", 10, "SR008"},
+      {"src/obs/diagnoser_bad_print.cc", 13, "SR008"},
+      {"src/obs/diagnoser_bad_print.cc", 18, "SR008"},
       {"src/sim/bad_rng.cc", 3, "SR001"},
       {"src/sim/bad_rng.cc", 8, "SR001"},
       {"src/sim/bad_rng.cc", 9, "SR001"},

@@ -38,6 +38,10 @@ const std::vector<RuleInfo>& rule_table() {
        "std::function in src/sim or src/tier: per-event callbacks heap-"
        "allocate their captures; use sim::InlineCallback (or annotate a "
        "cold path with SOFTRES_LINT_ALLOW)"},
+      {"SR008", "stream-writes-in-detector",
+       "stream writes in src/obs diagnoser/timeline code: detectors produce "
+       "data (Diagnosis, EvidenceWindow); every human-facing rendering goes "
+       "through obs/report.h"},
   };
   return kRules;
 }
@@ -209,8 +213,36 @@ constexpr TokenRule kAddressDependent[] = {
     {"SR006", "get_id", "thread-id query"},
 };
 
+// SR008 — stream machinery in the diagnoser/timeline files of src/obs.
+// Detectors emit structured Diagnosis/EvidenceWindow data; rendering is
+// obs/report.h's job. Banning the tokens (not just the writes) keeps even a
+// "temporary" debug print out of the rule engine.
+constexpr TokenRule kStreamWrites[] = {
+    {"SR008", "ostream", "std::ostream"},
+    {"SR008", "ofstream", "std::ofstream"},
+    {"SR008", "fstream", "std::fstream"},
+    {"SR008", "ostringstream", "std::ostringstream"},
+    {"SR008", "stringstream", "std::stringstream"},
+    {"SR008", "cout", "std::cout"},
+    {"SR008", "cerr", "std::cerr"},
+    {"SR008", "clog", "std::clog"},
+    {"SR008", "printf", "printf"},
+    {"SR008", "fprintf", "fprintf"},
+    {"SR008", "puts", "puts"},
+};
+
 bool under(const std::string& rel_path, const char* prefix) {
   return rel_path.rfind(prefix, 0) == 0;
+}
+
+/// SR008 scope: the streaming-analysis files of src/obs (basename starting
+/// "diagnoser" or "timeline"). Other obs code — report.h, the exporters —
+/// is *supposed* to write streams.
+bool is_detector_file(const std::string& rel_path) {
+  if (!under(rel_path, "src/obs/")) return false;
+  const std::size_t slash = rel_path.rfind('/');
+  const std::string base = rel_path.substr(slash + 1);
+  return base.rfind("diagnoser", 0) == 0 || base.rfind("timeline", 0) == 0;
 }
 
 }  // namespace
@@ -223,6 +255,7 @@ std::vector<Finding> scan_file(const std::string& rel_path,
 
   const bool in_sim_core =
       under(rel_path, "src/sim/") || under(rel_path, "src/core/");
+  const bool in_detector = is_detector_file(rel_path);
   const bool in_hot_path =
       under(rel_path, "src/sim/") || under(rel_path, "src/tier/");
   const bool rng_ctor_exempt = under(rel_path, "src/sim/") ||
@@ -283,6 +316,8 @@ std::vector<Finding> scan_file(const std::string& rel_path,
       R"(reinterpret_cast\s*<\s*(?:std::)?u?intptr_t|std::hash\s*<[^>]*\*)");
   static const std::regex kRandomInclude(R"(#\s*include\s*<random>)");
   static const std::regex kStdFunction(R"(\bstd\s*::\s*function\s*<)");
+  static const std::regex kStreamInclude(
+      R"(#\s*include\s*<(?:iostream|ostream|sstream|fstream|iomanip|print)>)");
 
   for (std::size_t i = 0; i < code_lines.size(); ++i) {
     const std::string& code = code_lines[i];
@@ -371,6 +406,27 @@ std::vector<Finding> scan_file(const std::string& rel_path,
           "std::function in a per-event hot path: use sim::InlineCallback "
           "(sim/inline_callback.h), or annotate a cold path with "
           "SOFTRES_LINT_ALLOW(SR007: why)");
+    }
+
+    // SR008 — the src/obs diagnoser/timeline files. Detector output is
+    // structured data; rendering goes through obs/report.h.
+    if (in_detector) {
+      bool flagged = false;
+      for (const auto& r : kStreamWrites) {
+        if (contains_token(code, r.token)) {
+          add(n, r.rule,
+              std::string(r.what) +
+                  " in detector code: return structured Diagnosis data and "
+                  "render it through obs/report.h");
+          flagged = true;
+          break;
+        }
+      }
+      if (!flagged && std::regex_search(code, kStreamInclude)) {
+        add(n, "SR008",
+            "stream header included in detector code: rendering belongs in "
+            "obs/report.h (snprintf into buffers is fine for labels)");
+      }
     }
 
     // SR006 — sim-reachable src/ domains.

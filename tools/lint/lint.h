@@ -25,6 +25,12 @@
 //                            which are single-threaded per trial by contract
 //   SR006 address-dependent  thread-id / pointer-to-integer hashing whose
 //                            value differs across runs
+//   SR007 std-function-hot-path  std::function in src/sim + src/tier per-
+//                            event paths; use sim::InlineCallback
+//   SR008 stream-writes-in-detector  stream tokens in the src/obs
+//                            diagnoser/timeline files; detectors produce
+//                            structured Diagnosis data and obs/report.h
+//                            renders it
 //
 // Escape hatch: a line (or the line immediately above it) containing
 // `SOFTRES_LINT_ALLOW(SRnnn: reason)` suppresses rule SRnnn there. Legitimate

@@ -1,0 +1,63 @@
+# Validate an emitted flight-recorder HTML report: self-contained document
+# with balanced structural tags, a diagnosis section, and inline SVG
+# timelines. Runs as the bottleneck_hunt_report_* CTests (FIXTURES_REQUIRED
+# on the bottleneck_hunt smoke run). Pass -DEXPECT_EVIDENCE=1 when the trial
+# is known to produce a pathology verdict, so the shaded evidence windows
+# must appear in the SVGs.
+#
+# Usage: cmake -DREPORT_HTML=<file> [-DEXPECT_EVIDENCE=1]
+#              -P tools/validate_report_html.cmake
+cmake_minimum_required(VERSION 3.19)
+
+if(NOT DEFINED REPORT_HTML)
+  message(FATAL_ERROR "pass -DREPORT_HTML=<file>")
+endif()
+if(NOT EXISTS "${REPORT_HTML}")
+  message(FATAL_ERROR "report not found: ${REPORT_HTML}")
+endif()
+
+file(READ "${REPORT_HTML}" content)
+string(LENGTH "${content}" size)
+if(size LESS 2000)
+  message(FATAL_ERROR "report suspiciously small (${size} bytes)")
+endif()
+
+if(NOT content MATCHES "^<!DOCTYPE html>")
+  message(FATAL_ERROR "report does not start with <!DOCTYPE html>")
+endif()
+
+# Every structural element must open and close the same number of times.
+foreach(tag html head body table svg)
+  string(REGEX MATCHALL "<${tag}[ >\n]" opens "${content}")
+  string(REGEX MATCHALL "</${tag}>" closes "${content}")
+  list(LENGTH opens n_open)
+  list(LENGTH closes n_close)
+  if(NOT n_open EQUAL n_close)
+    message(FATAL_ERROR
+      "unbalanced <${tag}>: ${n_open} opened, ${n_close} closed")
+  endif()
+endforeach()
+
+if(NOT content MATCHES "</html>\n$")
+  message(FATAL_ERROR "report is truncated (missing trailing </html>)")
+endif()
+
+# The three report sections: diagnosis table, SVG timelines, and (when
+# tracing ran) the latency breakdown.
+if(NOT content MATCHES "<h2>Diagnosis</h2>")
+  message(FATAL_ERROR "diagnosis section missing")
+endif()
+string(REGEX MATCHALL "<svg " svgs "${content}")
+list(LENGTH svgs n_svg)
+if(n_svg LESS 1)
+  message(FATAL_ERROR "no inline SVG timelines in the report")
+endif()
+
+if(DEFINED EXPECT_EVIDENCE AND EXPECT_EVIDENCE)
+  if(NOT content MATCHES "class=\"evidence\"")
+    message(FATAL_ERROR
+      "expected shaded evidence windows, found none in ${REPORT_HTML}")
+  endif()
+endif()
+
+message(STATUS "ok: ${size} bytes, ${n_svg} SVG timeline(s) in ${REPORT_HTML}")
