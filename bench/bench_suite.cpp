@@ -4,63 +4,56 @@
 // BENCH_softres.json snapshot at the repo root. The CI bench job runs
 //
 //   bench_suite --benchmark_format=json --benchmark_out=BENCH_softres.json
+//               --profile --profile-out=profile.folded
 //
 // and tools/bench_diff compares the result against the baseline, failing
-// the build on a >20% geomean regression (see DESIGN.md §9).
+// the build on a >20% geomean regression (see DESIGN.md §9) and printing a
+// per-subsystem attribution table from the embedded "profile" block
+// (DESIGN.md §11).
 //
 // Reported per benchmark, beyond wall time:
-//   items_per_second  trials/s (sweep benches) or events/s (trial benches)
-//   events_per_s      simulator dispatch rate
-//   ns_per_event      wall nanoseconds per dispatched event
-//   allocs_per_trial  global operator-new calls per trial (counting
-//                     allocator hook below) — the arena/freelist work is
-//                     only proven by this staying flat as load grows
+//   items_per_second        trials/s (sweep benches) or events/s
+//   events_per_s            simulator dispatch rate
+//   ns_per_event            wall nanoseconds per dispatched event
+//   allocs_per_trial        steady-state operator-new calls per trial
+//                           (ramp-up through ramp-down; the arena/freelist
+//                           work is only proven by this staying flat)
+//   setup_allocs_per_trial  setup-phase operator-new calls per trial
+//                           (topology build + registry construction),
+//                           reported separately so one-time construction
+//                           cost can't mask a steady-state regression
 //
 // Keep this suite SMALL and its arguments FIXED: every entry is a contract
 // with the baseline file, and renaming or re-parameterizing a benchmark
 // silently drops it from the regression comparison (bench_diff warns on
 // unmatched names).
+//
+// The --profile pass runs *after* the gated benchmarks so the timed numbers
+// are never perturbed by instrumentation: a dedicated serial sweep with the
+// profiler on, whose merged snapshot is printed as a table, written as a
+// collapsed-stack file (flamegraph.pl / speedscope), and spliced into the
+// --benchmark_out JSON as a top-level "profile" block.
 
 #include <benchmark/benchmark.h>
 
-#include <atomic>
 #include <cstdlib>
-#include <new>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
 
+#define SOFTRES_BENCH_ALLOC_LEDGER  // install the counting-allocator hooks
+#include "bench_util.h"
 #include "exp/config.h"
 #include "exp/experiment.h"
 #include "exp/parallel.h"
 #include "exp/sweep.h"
 #include "exp/testbed.h"
+#include "obs/profiler.h"
 
 using namespace softres;
-
-// ---------------------------------------------------------------------------
-// Counting allocator hook: every global operator new bumps a relaxed atomic.
-// This counts *all* allocations on the process (gtest-free, benchmark's own
-// bookkeeping included), so benches measure deltas across the timed region
-// and report per-trial rates; the absolute level is meaningless.
-
-namespace {
-std::atomic<std::uint64_t> g_alloc_count{0};
-}  // namespace
-
-void* operator new(std::size_t size) {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  if (void* p = std::malloc(size)) return p;
-  throw std::bad_alloc();
-}
-
-void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
-  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
-  return std::malloc(size);
-}
-
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
 
 namespace {
 
@@ -92,21 +85,20 @@ void BM_SweepThroughput(benchmark::State& state) {
 
   std::uint64_t trials = 0;
   double tp_checksum = 0.0;
-  const std::uint64_t allocs0 =
-      g_alloc_count.load(std::memory_order_relaxed);
+  const bench::AllocDelta allocs;
   for (auto _ : state) {
     const auto results =
         exp::sweep_workload(e, exp::SoftConfig{50, 10, 10}, workloads, jobs);
     trials += results.size();
     for (const auto& r : results) tp_checksum += r.throughput;
   }
-  const std::uint64_t allocs =
-      g_alloc_count.load(std::memory_order_relaxed) - allocs0;
   benchmark::DoNotOptimize(tp_checksum);
   state.SetItemsProcessed(static_cast<int64_t>(trials));
   if (trials > 0) {
     state.counters["allocs_per_trial"] =
-        static_cast<double>(allocs) / static_cast<double>(trials);
+        static_cast<double>(allocs.steady()) / static_cast<double>(trials);
+    state.counters["setup_allocs_per_trial"] =
+        static_cast<double>(allocs.setup()) / static_cast<double>(trials);
   }
   state.SetLabel("jobs=" + std::to_string(
                      jobs ? jobs : exp::ParallelExecutor::default_jobs()));
@@ -124,9 +116,11 @@ void BM_TrialEventRate(benchmark::State& state) {
   const auto users = static_cast<std::size_t>(state.range(0));
   std::uint64_t events = 0;
   std::uint64_t trials = 0;
-  const std::uint64_t allocs0 =
-      g_alloc_count.load(std::memory_order_relaxed);
+  const bench::AllocDelta allocs;
   for (auto _ : state) {
+    // Standalone Testbeds don't go through Experiment::run, so mark the
+    // phase boundary by hand for the allocation ledger.
+    SOFTRES_PROF_PHASE(kSetup);
     exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
     workload::ClientConfig client;
     client.users = users;
@@ -138,8 +132,7 @@ void BM_TrialEventRate(benchmark::State& state) {
     events += bed.simulator().events_executed();
     ++trials;
   }
-  const std::uint64_t allocs =
-      g_alloc_count.load(std::memory_order_relaxed) - allocs0;
+  SOFTRES_PROF_PHASE(kSetup);
   state.SetItemsProcessed(static_cast<int64_t>(events));
   state.counters["events_per_s"] = benchmark::Counter(
       static_cast<double>(events), benchmark::Counter::kIsRate);
@@ -149,7 +142,9 @@ void BM_TrialEventRate(benchmark::State& state) {
       benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
   if (trials > 0) {
     state.counters["allocs_per_trial"] =
-        static_cast<double>(allocs) / static_cast<double>(trials);
+        static_cast<double>(allocs.steady()) / static_cast<double>(trials);
+    state.counters["setup_allocs_per_trial"] =
+        static_cast<double>(allocs.setup()) / static_cast<double>(trials);
   }
 }
 BENCHMARK(BM_TrialEventRate)
@@ -157,6 +152,95 @@ BENCHMARK(BM_TrialEventRate)
     ->Arg(2000)
     ->Unit(benchmark::kMillisecond);
 
+/// Splice `"profile": {...}` into the root object of the --benchmark_out
+/// JSON by inserting before its final closing brace. Done as a string edit
+/// because the repo deliberately carries no C++ JSON library.
+bool inject_profile_json(const std::string& path,
+                         const obs::ProfileSnapshot& snap) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string text = buffer.str();
+  in.close();
+  const std::size_t brace = text.find_last_of('}');
+  if (brace == std::string::npos) return false;
+  text.insert(brace, ",\n  \"profile\": " + obs::profile_json(snap, 2) + "\n");
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << text;
+  return out.good();
+}
+
+/// The dedicated profiled pass: the same sweep BM_SweepThroughput times,
+/// run serially with the profiler on. Serial keeps the collapsed-stack
+/// output ordering trivially stable; the count axis would be identical
+/// under any jobs value (tests/determinism_test.cc holds that line).
+int run_profile_pass(const std::string& folded_path,
+                     const std::string& bench_out) {
+  exp::ExperimentOptions opts = suite_options();
+  opts.profile = true;
+  const exp::Experiment e(suite_config(), opts);
+  const auto workloads = exp::workload_range(100, 800, 100);
+  const auto results =
+      exp::sweep_workload(e, exp::SoftConfig{50, 10, 10}, workloads, 1);
+
+  obs::ProfileSnapshot total;
+  for (const auto& r : results) total.merge(r.profile);
+  std::cout << "\n" << obs::render_profile_table(total);
+
+  std::ofstream folded(folded_path);
+  if (!folded) {
+    std::cerr << "bench_suite: cannot write " << folded_path << "\n";
+    return 1;
+  }
+  obs::write_collapsed_stacks(folded, total);
+  std::cout << "[profile] wrote collapsed stacks to " << folded_path << "\n";
+
+  if (!bench_out.empty()) {
+    if (inject_profile_json(bench_out, total)) {
+      std::cout << "[profile] embedded profile block in " << bench_out << "\n";
+    } else {
+      std::cerr << "bench_suite: could not embed profile block in "
+                << bench_out << "\n";
+      return 1;
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool profile = false;
+  if (const char* env = std::getenv("SOFTRES_PROFILE")) {
+    profile = env[0] == '1';
+  }
+  std::string profile_out = "profile.folded";
+  std::string bench_out;
+  std::vector<char*> bench_args;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--profile") == 0) {
+      profile = true;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--profile-out=", 14) == 0) {
+      profile = true;
+      profile_out = argv[i] + 14;
+      continue;
+    }
+    if (std::strncmp(argv[i], "--benchmark_out=", 16) == 0) {
+      bench_out = argv[i] + 16;
+    }
+    bench_args.push_back(argv[i]);
+  }
+  int bench_argc = static_cast<int>(bench_args.size());
+  benchmark::Initialize(&bench_argc, bench_args.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (profile) return run_profile_pass(profile_out, bench_out);
+  return 0;
+}

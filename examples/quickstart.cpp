@@ -8,6 +8,8 @@
 //                             print the per-tier latency breakdown
 //   SOFTRES_TRACE_JSON=f.json additionally write the traced requests as
 //                             Chrome trace_event JSON (Perfetto-loadable)
+//   SOFTRES_PROFILE=1         self-profile the trial (DESIGN.md §11) and
+//                             print the top subsystems by exclusive cycles
 
 #include <cstdlib>
 #include <fstream>
@@ -16,6 +18,7 @@
 #include "exp/config.h"
 #include "exp/experiment.h"
 #include "metrics/table.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 
 using namespace softres;
@@ -78,6 +81,10 @@ int main(int argc, char** argv) {
             << metrics::Table::fmt(r.tomcat_gc_seconds, 1)
             << "  cjdbc=" << metrics::Table::fmt(r.cjdbc_gc_seconds, 1)
             << "\n";
+
+  if (r.profile.enabled) {
+    std::cout << "\n" << obs::one_line_profile_summary(r.profile) << "\n";
+  }
 
   if (r.traces.size() > 0) {
     std::cout << "\nTraced " << r.traces.size()

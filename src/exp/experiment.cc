@@ -2,9 +2,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <utility>
 
 #include "exp/run_context.h"
+#include "obs/profiler.h"
 #include "obs/report.h"
 #include "soft/pool_monitor.h"
 
@@ -29,6 +31,9 @@ ExperimentOptions ExperimentOptions::from_env() {
   }
   if (const char* report = std::getenv("SOFTRES_REPORT_HTML")) {
     opts.report_html = report;
+  }
+  if (const char* profile = std::getenv("SOFTRES_PROFILE")) {
+    opts.profile = profile[0] == '1';
   }
   return opts;
 }
@@ -159,6 +164,19 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
   workload::ClientConfig client = opts_.client;
   client.users = users;
 
+  // Install the profiler ledger before the context is built so topology and
+  // registry construction land in the kSetup phase; the testbed advances the
+  // phase at its own (simulated-time) transitions. The ledger is installed
+  // on *this* thread only, which is the thread that runs the whole trial —
+  // parallel sweep workers each profile their own trials independently, so
+  // the count axis stays bit-identical to a serial sweep.
+  obs::Profiler profiler;
+  std::optional<prof::InstallGuard> profile_guard;
+  if (opts_.profile) profile_guard.emplace(&profiler.ledger());
+  // Always reset the thread's phase marker: the bench allocation ledger
+  // attributes by it whether or not a profiler ledger is installed.
+  SOFTRES_PROF_PHASE(kSetup);
+
   // One trial = one context. The trial seed is a pure function of the
   // trial's identity, so sweeps can run these in any order — or in
   // parallel — and reproduce the serial results bit for bit. The client
@@ -217,6 +235,7 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
   r.metrics = ctx.registry().snapshot(ctx.simulator().now());
   ctx.traces().collect(bed.farm().traced_requests());
   r.diagnosis = bed.diagnoser().diagnosis();
+  if (opts_.profile) r.profile = profiler.snapshot();
 
   if (!opts_.report_html.empty()) {
     obs::ReportMeta meta;
@@ -241,7 +260,8 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
     const obs::LatencyBreakdown breakdown = ctx.traces().breakdown();
     obs::write_flight_recorder_html(
         report_path(opts_.report_html, soft, users), meta, bed.timeline(),
-        r.diagnosis, breakdown.rows.empty() ? nullptr : &breakdown);
+        r.diagnosis, breakdown.rows.empty() ? nullptr : &breakdown,
+        r.profile.enabled ? &r.profile : nullptr);
   }
 
   r.traces = std::move(ctx.traces());

@@ -7,6 +7,7 @@
 #include "exp/config.h"
 #include "exp/testbed.h"
 #include "metrics/sla.h"
+#include "obs/profiler.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "sim/sampler.h"
@@ -23,6 +24,11 @@ struct ExperimentOptions {
   workload::ClientConfig client;   // users is overridden per run
   double sla_threshold_s = 2.0;    // reporting default, as in the paper
   bool keep_series = true;         // retain all sampler series in the result
+
+  /// Opt-in self-profiling (DESIGN.md §11): each trial installs a
+  /// prof::Ledger and RunResult::profile carries the snapshot. from_env()
+  /// reads it from SOFTRES_PROFILE=1.
+  bool profile = false;
 
   /// Single switch for tier-by-tier request tracing, plumbed into
   /// ClientConfig::trace_sample_rate (0 = off, the default; 1 = every dynamic
@@ -95,6 +101,9 @@ struct RunResult {
   /// The online diagnoser's verdict over the measurement window, with its
   /// evidence windows; diagnosis.to_hint() feeds core::detect_bottleneck.
   obs::Diagnosis diagnosis;
+  /// Self-profiler snapshot (enabled=false unless ExperimentOptions::profile
+  /// was set). The count axis is deterministic; the cycle axis is not.
+  obs::ProfileSnapshot profile;
 
   double goodput(double threshold_s) const;
   metrics::SlaSplit sla(double threshold_s) const;

@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "obs/probes.h"
+#include "support/prof.h"
 
 namespace softres::exp {
 
@@ -156,6 +157,7 @@ hw::Node& Testbed::add_node(const std::string& name) {
 }
 
 void Testbed::on_measure_start() {
+  SOFTRES_PROF_PHASE(kMeasure);
   for (auto& a : apaches_) {
     a->reset_window_stats();
     a->worker_pool().reset_stats(simulator().now());
@@ -174,6 +176,7 @@ void Testbed::on_measure_start() {
 }
 
 void Testbed::on_measure_end() {
+  SOFTRES_PROF_PHASE(kRampDown);
   for (auto& t : tomcats_) {
     gc_at_end_[&t->jvm()] = t->jvm().total_gc_seconds();
   }
@@ -192,6 +195,9 @@ double Testbed::window_gc_seconds(const jvm::Jvm& j) const {
 }
 
 void Testbed::run() {
+  // Phase transitions ride the trial's own schedule: everything before this
+  // call is kSetup, the measurement-window events below advance further.
+  SOFTRES_PROF_PHASE(kRampUp);
   sampler_->start();
   farm_->start();
   simulator().schedule_at(farm_->measure_start(), [this] { on_measure_start(); });

@@ -13,6 +13,7 @@
 #include "sim/inline_callback.h"
 #include "sim/sim_time.h"
 #include "sim/simulator.h"
+#include "support/prof.h"
 
 namespace softres::hw {
 
@@ -166,6 +167,7 @@ inline void Cpu::reschedule_completion() {
 }
 
 inline void Cpu::submit(double demand, Callback done) {
+  SOFTRES_PROF_SCOPE(kCpuService);
   assert(done);
   if (demand <= 0.0) {
     sim_.schedule(0.0, std::move(done));

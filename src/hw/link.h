@@ -8,6 +8,7 @@
 
 #include "sim/inline_callback.h"
 #include "sim/simulator.h"
+#include "support/prof.h"
 
 namespace softres::hw {
 
@@ -50,6 +51,7 @@ class Link {
 // keeping it in the header lets callers fold the whole hop into one
 // inlined schedule.
 inline void Link::send(double bytes, Callback delivered) {
+  SOFTRES_PROF_SCOPE(kLinkService);
   assert(delivered);
   const sim::SimTime now = sim_.now();
   const double tx_time = std::max(0.0, bytes) / bytes_per_second_;

@@ -123,7 +123,8 @@ const char* kCss = R"css(
 void write_flight_recorder_html(std::ostream& os, const ReportMeta& meta,
                                 const Timeline& timeline,
                                 const Diagnosis& diagnosis,
-                                const LatencyBreakdown* breakdown) {
+                                const LatencyBreakdown* breakdown,
+                                const ProfileSnapshot* profile) {
   const bool healthy = diagnosis.pathology == Pathology::kNone;
   os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
      << "<title>" << escape_html(meta.title) << " — flight recorder</title>\n"
@@ -215,6 +216,12 @@ void write_flight_recorder_html(std::ostream& os, const ReportMeta& meta,
     os << "</table>\n";
   }
 
+  // Self-profiler footer (present when the trial ran with SOFTRES_PROFILE).
+  if (profile != nullptr && profile->enabled) {
+    os << "<p class=\"footer\">"
+       << escape_html(one_line_profile_summary(*profile)) << "</p>\n";
+  }
+
   os << "</body>\n</html>\n";
 }
 
@@ -222,10 +229,12 @@ bool write_flight_recorder_html(const std::string& path,
                                 const ReportMeta& meta,
                                 const Timeline& timeline,
                                 const Diagnosis& diagnosis,
-                                const LatencyBreakdown* breakdown) {
+                                const LatencyBreakdown* breakdown,
+                                const ProfileSnapshot* profile) {
   std::ofstream file(path);
   if (!file) return false;
-  write_flight_recorder_html(file, meta, timeline, diagnosis, breakdown);
+  write_flight_recorder_html(file, meta, timeline, diagnosis, breakdown,
+                             profile);
   return file.good();
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "obs/diagnoser.h"
+#include "obs/profiler.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 
@@ -36,11 +37,13 @@ struct ReportMeta {
 };
 
 /// Render the full flight-recorder page. `breakdown` is optional (trials run
-/// without tracing simply omit that section).
+/// without tracing simply omit that section); `profile` likewise (a one-line
+/// self-profiler summary is appended to the footer when present).
 void write_flight_recorder_html(std::ostream& os, const ReportMeta& meta,
                                 const Timeline& timeline,
                                 const Diagnosis& diagnosis,
-                                const LatencyBreakdown* breakdown = nullptr);
+                                const LatencyBreakdown* breakdown = nullptr,
+                                const ProfileSnapshot* profile = nullptr);
 
 /// Convenience wrapper writing to `path`; returns false when the file cannot
 /// be opened (the caller decides whether that is fatal — the experiment
@@ -49,6 +52,7 @@ bool write_flight_recorder_html(const std::string& path,
                                 const ReportMeta& meta,
                                 const Timeline& timeline,
                                 const Diagnosis& diagnosis,
-                                const LatencyBreakdown* breakdown = nullptr);
+                                const LatencyBreakdown* breakdown = nullptr,
+                                const ProfileSnapshot* profile = nullptr);
 
 }  // namespace softres::obs

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "sim/sampler.h"
+#include "support/prof.h"
 
 namespace softres::obs {
 
@@ -173,6 +174,7 @@ std::vector<std::size_t> Timeline::track_family(const std::string& name) {
 }
 
 void Timeline::tick(sim::SimTime now) {
+  SOFTRES_PROF_SCOPE(kTimeline);
   for (Tracked& t : tracked_) {
     t.window.push(now, t.reader.read(now));
   }

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "support/prof.h"
+
 namespace softres::sim {
 namespace {
 
@@ -76,6 +78,7 @@ double ziggurat_exp(Rng& rng) {
 }  // namespace
 
 double fast_exponential(Rng& rng, double mean) {
+  SOFTRES_PROF_SCOPE(kDistSample);
   if (mean <= 0.0) return 0.0;
   return mean * ziggurat_exp(rng);
 }

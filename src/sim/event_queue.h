@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "sim/sim_time.h"
+#include "support/prof.h"
 
 namespace softres::sim {
 
@@ -71,6 +72,7 @@ class EventQueue {
   }
 
   void push(const Entry& e) {
+    SOFTRES_PROF_SCOPE(kEventQueuePush);
     const std::uint32_t idx = static_cast<std::uint32_t>(e.key & kIndexMask);
     if (idx >= pos_.size()) pos_.resize(idx + 1, 0);
     if (!has_top_) {
@@ -89,6 +91,7 @@ class EventQueue {
   }
 
   Entry pop() {
+    SOFTRES_PROF_SCOPE(kEventQueuePop);
     assert(has_top_);
     const Entry out = top_;
     if (heap_.empty()) {
@@ -104,6 +107,7 @@ class EventQueue {
   /// seq) with a single in-place sift. Precondition: exactly one entry with
   /// that index is in the queue (the owner's pending flag guards this).
   void update(std::uint32_t idx, const Entry& e) {
+    SOFTRES_PROF_SCOPE(kEventQueueCancel);
     assert((e.key & kIndexMask) == idx && idx < pos_.size());
     const std::uint32_t p = pos_[idx];
     if (p == kTopPos) {
@@ -132,6 +136,7 @@ class EventQueue {
 
   /// Remove the entry whose index is `idx`. Same precondition as update().
   void erase(std::uint32_t idx) {
+    SOFTRES_PROF_SCOPE(kEventQueueCancel);
     assert(idx < pos_.size());
     const std::uint32_t p = pos_[idx];
     if (p == kTopPos) {

@@ -10,6 +10,7 @@
 #include "sim/sim_time.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
+#include "support/prof.h"
 
 namespace softres::soft {
 
@@ -96,6 +97,10 @@ inline void Pool::grant(Callback granted, sim::SimTime waited_since) {
 }
 
 inline void Pool::acquire(Callback granted) {
+  // The synchronous grant path runs the continuation under this scope;
+  // scoped subsystems it reaches (cpu, dist, queue pushes) nest and subtract,
+  // so pool_service keeps only the grant-cascade glue. See DESIGN.md §11.
+  SOFTRES_PROF_SCOPE(kPoolService);
   assert(granted);
   if (in_use_ < capacity_) {
     grant(std::move(granted), sim_.now());
@@ -105,6 +110,7 @@ inline void Pool::acquire(Callback granted) {
 }
 
 inline void Pool::release() {
+  SOFTRES_PROF_SCOPE(kPoolService);
   assert(in_use_ > 0);
   --in_use_;
   occupancy_.set(sim_.now(), static_cast<double>(in_use_));

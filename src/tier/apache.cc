@@ -15,6 +15,7 @@ ApacheServer::ApacheServer(sim::Simulator& sim, std::string name,
       to_tomcat_(to_tomcat), from_tomcat_(from_tomcat), to_client_(to_client),
       tcp_(std::move(tcp)), client_load_(std::move(client_load)) {
   assert(client_load_);
+  set_profile_subsystem(prof::Subsystem::kApacheService);
 }
 
 void ApacheServer::handle(const RequestPtr& req, Callback responded) {

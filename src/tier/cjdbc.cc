@@ -11,7 +11,9 @@ CJdbcServer::CJdbcServer(sim::Simulator& sim, std::string name, hw::Node& node,
     : Server(sim, std::move(name)), node_(node),
       jvm_(sim, node.cpu(), jvm_config, this->name() + ".jvm"),
       down_link_(down_link), up_link_(up_link),
-      alloc_per_query_mb_(alloc_per_query_mb) {}
+      alloc_per_query_mb_(alloc_per_query_mb) {
+  set_profile_subsystem(prof::Subsystem::kCJdbcService);
+}
 
 void CJdbcServer::query(const RequestPtr& req, Callback done) {
   assert(!backends_.empty());

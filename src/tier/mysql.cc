@@ -6,7 +6,9 @@ namespace softres::tier {
 
 MySqlServer::MySqlServer(sim::Simulator& sim, std::string name, hw::Node& node,
                          sim::Rng rng)
-    : Server(sim, std::move(name)), node_(node), rng_(rng) {}
+    : Server(sim, std::move(name)), node_(node), rng_(rng) {
+  set_profile_subsystem(prof::Subsystem::kMySqlService);
+}
 
 void MySqlServer::query(const RequestPtr& req, Callback done) {
   // Residence state lives in the request (see Request::MySqlVisitState) so

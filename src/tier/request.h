@@ -10,6 +10,7 @@
 
 #include "sim/inline_callback.h"
 #include "sim/sim_time.h"
+#include "support/prof.h"
 
 namespace softres::tier {
 
@@ -306,6 +307,7 @@ class RequestArena {
 
   /// A fresh (default-state) request owned by this arena.
   RequestPtr acquire() {
+    SOFTRES_PROF_COUNT(kArenaAlloc);
     Request* r;
     if (!free_.empty()) {
       r = free_.back();

@@ -6,6 +6,7 @@
 #include "sim/sim_time.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
+#include "support/prof.h"
 
 namespace softres::tier {
 
@@ -25,6 +26,10 @@ class Server {
   /// Restart window accounting (called at measurement-window start).
   virtual void reset_window_stats();
 
+  /// Which profiler subsystem this server's request counts land in; tiers
+  /// tag themselves in their constructors (kCount = untagged, not counted).
+  void set_profile_subsystem(prof::Subsystem sub) { prof_subsystem_ = sub; }
+
   std::uint64_t window_completed() const { return completed_; }
   /// Completions per second over the window so far.
   double window_throughput() const;
@@ -43,6 +48,7 @@ class Server {
   /// are a counter bump plus an inlined TimeWeighted/Welford update, kept
   /// here so the tier state machines fold them in.
   void job_entered() {
+    prof::count(prof_subsystem_);  // per-tier request count (no-op untagged)
     ++jobs_inside_;
     jobs_tw_.set(sim_.now(), static_cast<double>(jobs_inside_));
   }
@@ -57,6 +63,7 @@ class Server {
   sim::Simulator& sim_;
   std::string name_;
   sim::SimTime window_start_ = 0.0;
+  prof::Subsystem prof_subsystem_ = prof::Subsystem::kCount;
   std::uint64_t completed_ = 0;
   std::size_t jobs_inside_ = 0;
   sim::Welford rt_stats_;

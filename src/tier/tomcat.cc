@@ -17,6 +17,7 @@ TomcatServer::TomcatServer(sim::Simulator& sim, std::string name,
       alloc_per_request_mb_(alloc_per_request_mb) {
   // Idle threads and pooled connections consume heap whether used or not.
   jvm_.set_live_threads(threads + db_connections);
+  set_profile_subsystem(prof::Subsystem::kTomcatService);
 }
 
 void TomcatServer::submit(const RequestPtr& req, Callback done) {

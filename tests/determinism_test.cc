@@ -11,6 +11,8 @@
 #include "exp/experiment.h"
 #include "exp/run_context.h"
 #include "exp/sweep.h"
+#include "obs/profiler.h"
+#include "support/prof.h"
 
 namespace softres::exp {
 namespace {
@@ -152,6 +154,47 @@ TEST(DeterminismTest, SingleRunMatchesSweepMember) {
   const auto sweep = sweep_workload(e, soft, {100, 200, 300}, /*jobs=*/3);
   const RunResult alone = e.run(soft, 200);
   expect_bit_identical(alone, sweep[1]);
+}
+
+// The profiler's count axis is part of the determinism contract: the same
+// trial enters the same scopes the same number of times in the same phases
+// no matter which worker thread runs it. (The timing axis — cycles, paths'
+// cycle weights — is machine-local and deliberately NOT compared.)
+TEST(DeterminismTest, ProfileCountAxisIsBitIdenticalAcrossJobs) {
+  ExperimentOptions opts = cheap_options();
+  opts.profile = true;
+  Experiment e(cheap_config(), opts);
+  const SoftConfig soft{50, 10, 10};
+  const auto workloads = workload_range(100, 400, 100);  // 4 trials
+
+  const auto serial = sweep_workload(e, soft, workloads, /*jobs=*/1);
+  const auto parallel = sweep_workload(e, soft, workloads, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("workload " + std::to_string(workloads[i]));
+    const obs::ProfileSnapshot& a = serial[i].profile;
+    const obs::ProfileSnapshot& b = parallel[i].profile;
+    ASSERT_TRUE(a.enabled);
+    ASSERT_TRUE(b.enabled);
+    EXPECT_GT(a.total_counts(), 0u);
+    for (std::size_t p = 0; p < prof::kPhases; ++p) {
+      for (std::size_t s = 0; s < prof::kSubsystems; ++s) {
+        EXPECT_EQ(a.counts[p][s], b.counts[p][s])
+            << prof::phase_name(static_cast<prof::Phase>(p)) << "/"
+            << prof::subsystem_name(static_cast<prof::Subsystem>(s));
+      }
+    }
+    for (std::size_t s = 0; s < prof::kSubsystems; ++s) {
+      EXPECT_EQ(a.scope_entries[s], b.scope_entries[s]);
+    }
+    // Same call paths entered the same number of times; the snapshot sorts
+    // paths by frame sequence, so the vectors line up index by index.
+    ASSERT_EQ(a.paths.size(), b.paths.size());
+    for (std::size_t j = 0; j < a.paths.size(); ++j) {
+      EXPECT_EQ(a.paths[j].frames, b.paths[j].frames);
+      EXPECT_EQ(a.paths[j].count, b.paths[j].count);
+    }
+  }
 }
 
 TEST(DeterminismTest, GridSweepMatchesPointwiseRuns) {

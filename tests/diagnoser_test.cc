@@ -81,6 +81,39 @@ TEST(SeriesWindowTest, CrossCorrelationSigns) {
   EXPECT_DOUBLE_EQ(cross_correlation(a, flat, 100.0), 0.0);
 }
 
+TEST(SeriesWindowTest, StatisticsDegradeGracefullyOnShortSeries) {
+  // Fewer samples than a statistic needs must read as "no signal" (0), not
+  // extrapolate: detectors call these on windows that are still filling.
+  SeriesWindow w(16);
+  EXPECT_DOUBLE_EQ(w.slope_over(10.0), 0.0);  // empty
+  w.push(1.0, 5.0);
+  EXPECT_DOUBLE_EQ(w.slope_over(10.0), 0.0);  // one sample: no slope
+  EXPECT_DOUBLE_EQ(w.held_for(1.0), 0.0);     // single sample: zero-width run
+  w.push(2.0, 7.0);
+  // Two samples are enough for a slope even when the requested window is far
+  // wider than the data actually buffered.
+  EXPECT_NEAR(w.slope_over(1000.0), 2.0, 1e-12);
+
+  // cross_correlation needs three aligned pairs inside the window.
+  SeriesWindow a(16), b(16);
+  EXPECT_DOUBLE_EQ(cross_correlation(a, b, 100.0), 0.0);  // both empty
+  a.push(1.0, 1.0);
+  b.push(1.0, 2.0);
+  a.push(2.0, 2.0);
+  b.push(2.0, 4.0);
+  EXPECT_DOUBLE_EQ(cross_correlation(a, b, 100.0), 0.0);  // two pairs
+  a.push(3.0, 3.0);
+  b.push(3.0, 6.0);
+  EXPECT_NEAR(cross_correlation(a, b, 100.0), 1.0, 1e-12);  // three pairs
+  // One side shorter than the other: pairing from the newest backwards
+  // bounds the pair count by the shorter series.
+  SeriesWindow c(16);
+  c.push(3.0, 1.0);
+  EXPECT_DOUBLE_EQ(cross_correlation(a, c, 100.0), 0.0);
+  // A lag window narrower than the sample spacing holds at most one pair.
+  EXPECT_DOUBLE_EQ(cross_correlation(a, b, 0.5), 0.0);
+}
+
 // ---------------------------------------------------------------------------
 // Timeline
 
@@ -141,6 +174,38 @@ TEST(TimelineTest, PullSourceEvaluatedOncePerTimestamp) {
   r.reset_values();
   EXPECT_DOUBLE_EQ(reader.read(2.0), 4.0);
   EXPECT_EQ(calls, 3);
+}
+
+// A held_for run must not survive Registry::reset_values(): once the trial
+// boundary zeroes the gauge, the next tick pushes a failing sample and the
+// run restarts from scratch — no above-threshold credit leaks from trial 1
+// into trial 2's evidence windows.
+TEST(TimelineTest, HeldForRunBreaksAcrossRegistryReset) {
+  Registry r;
+  Gauge util = r.gauge("pool_util_pct", {{"pool", "tomcat0.threads"}});
+  Timeline tl(r);
+  const std::vector<std::size_t> idx = tl.track_family("pool_util_pct");
+  ASSERT_EQ(idx.size(), 1u);
+  const std::size_t i = idx[0];
+
+  util.set(90.0);
+  tl.tick(1.0);
+  tl.tick(2.0);
+  tl.tick(3.0);
+  EXPECT_DOUBLE_EQ(tl.window(i).held_for(80.0), 2.0);  // run since t=1
+
+  r.reset_values();  // the trial boundary: gauge now reads 0
+  tl.tick(4.0);
+  EXPECT_DOUBLE_EQ(tl.window(i).held_for(80.0), 0.0);
+  EXPECT_DOUBLE_EQ(tl.window(i).held_since(80.0), 4.0);
+
+  // Re-asserting the condition starts a *new* run at the first passing
+  // sample after the reset, with no credit for the pre-reset run.
+  util.set(90.0);
+  tl.tick(5.0);
+  tl.tick(6.0);
+  EXPECT_DOUBLE_EQ(tl.window(i).held_for(80.0), 1.0);
+  EXPECT_DOUBLE_EQ(tl.window(i).held_since(80.0), 5.0);
 }
 
 // ---------------------------------------------------------------------------

@@ -189,12 +189,36 @@ TEST(LintScanTest, StreamWritesBannedInDiagnoserAndTimelineFiles) {
           .empty());
 }
 
+TEST(LintScanTest, CycleCountersOutsideProfilerTu) {
+  const std::string code = "auto t = __builtin_ia32_rdtsc();\n";
+  EXPECT_EQ(rules_of(lint::scan_file("src/tier/x.cc", code)),
+            (std::vector<std::string>{"SR009"}));
+  EXPECT_EQ(rules_of(lint::scan_file("bench/x.cpp", code)),
+            (std::vector<std::string>{"SR009"}));
+  // The sanctioned homes: the profiler TU (src/support) and src/obs.
+  EXPECT_TRUE(lint::scan_file("src/support/prof.h", code).empty());
+  EXPECT_TRUE(lint::scan_file("src/obs/profiler.cc", code).empty());
+  // std::chrono stopwatches in drivers are SR009; inside src/ the same line
+  // already belongs to SR002 (wall-clock) and must not double-report.
+  const std::string chrono = "auto t0 = std::chrono::steady_clock::now();\n";
+  EXPECT_EQ(rules_of(lint::scan_file("bench/x.cpp", chrono)),
+            (std::vector<std::string>{"SR009"}));
+  EXPECT_EQ(rules_of(lint::scan_file("src/exp/x.cc", chrono)),
+            (std::vector<std::string>{"SR002"}));
+  // The escape hatch works like every other rule's.
+  EXPECT_TRUE(
+      lint::scan_file("src/tier/x.cc",
+                      "// SOFTRES_LINT_ALLOW(SR009: calibration harness)\n" +
+                          code)
+          .empty());
+}
+
 TEST(LintScanTest, RuleTableCoversAllEmittedRules) {
   std::set<std::string> ids;
   for (const auto& r : lint::rule_table()) ids.insert(r.id);
   EXPECT_EQ(ids, (std::set<std::string>{"SR001", "SR002", "SR003", "SR004",
-                                        "SR005", "SR006", "SR007",
-                                        "SR008"}));
+                                        "SR005", "SR006", "SR007", "SR008",
+                                        "SR009"}));
 }
 
 // ---- Fixture-tree scan: exact rule IDs and lines per seeded violation ----
@@ -233,6 +257,9 @@ TEST(LintFixtureTest, DetectsEverySeededViolationExactly) {
       {"src/sim/bad_thread_id.cc", 10, "SR006"},
       {"src/sim/bad_thread_id.cc", 14, "SR005"},
       {"src/sim/bad_thread_id.cc", 14, "SR006"},
+      {"src/tier/bad_rdtsc.cc", 10, "SR009"},
+      {"src/tier/bad_rdtsc.cc", 13, "SR009"},
+      {"src/tier/bad_rdtsc.cc", 20, "SR009"},
       {"src/tier/bad_rng_ctor.cc", 15, "SR004"},
       {"src/tier/bad_rng_ctor.cc", 19, "SR004"},
       {"src/tier/bad_std_function.cc", 15, "SR007"},

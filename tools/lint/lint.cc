@@ -42,6 +42,10 @@ const std::vector<RuleInfo>& rule_table() {
        "stream writes in src/obs diagnoser/timeline code: detectors produce "
        "data (Diagnosis, EvidenceWindow); every human-facing rendering goes "
        "through obs/report.h"},
+      {"SR009", "cycle-counter",
+       "cycle-counter intrinsics (rdtsc and friends) or std::chrono timing "
+       "outside the profiler TU (src/support/prof.h) and src/obs; measure "
+       "through obs::Profiler so the timing axis stays in one place"},
   };
   return kRules;
 }
@@ -229,6 +233,28 @@ constexpr TokenRule kStreamWrites[] = {
     {"SR008", "printf", "printf"},
     {"SR008", "fprintf", "fprintf"},
     {"SR008", "puts", "puts"},
+};
+
+// SR009 — cycle counters and chrono timing outside the profiler TU. The
+// self-profiler (src/support/prof.h, rendered by src/obs/profiler.cc) is
+// the one sanctioned home for machine timing; a stray rdtsc in a tier model
+// or a bench is an un-calibrated, un-attributed measurement that the
+// regression pipeline can't see. src/support and src/obs are exempt by
+// domain, exactly like the SR002 clock carve-out. The cycle-counter tokens
+// fire in kSim and kDriver; the chrono token fires in kDriver only, because
+// SR002 already owns wall-clock timing inside src/ and double-reporting the
+// same line under two rules would just be noise.
+constexpr TokenRule kCycleCounter[] = {
+    {"SR009", "rdtsc", "rdtsc"},
+    {"SR009", "__rdtsc", "__rdtsc"},
+    {"SR009", "__rdtscp", "__rdtscp"},
+    {"SR009", "__builtin_ia32_rdtsc", "__builtin_ia32_rdtsc"},
+    {"SR009", "__builtin_ia32_rdtscp", "__builtin_ia32_rdtscp"},
+    {"SR009", "__builtin_readcyclecounter", "__builtin_readcyclecounter"},
+    {"SR009", "cntvct_el0", "cntvct_el0 (aarch64 counter)"},
+};
+constexpr TokenRule kDriverTiming[] = {
+    {"SR009", "chrono", "std::chrono timing"},
 };
 
 bool under(const std::string& rel_path, const char* prefix) {
@@ -426,6 +452,33 @@ std::vector<Finding> scan_file(const std::string& rel_path,
         add(n, "SR008",
             "stream header included in detector code: rendering belongs in "
             "obs/report.h (snprintf into buffers is fine for labels)");
+      }
+    }
+
+    // SR009 — cycle counters / chrono timing in sim code and drivers; the
+    // profiler TU (src/support, exempt by domain) and src/obs own timing.
+    if (domain == Domain::kSim || domain == Domain::kDriver) {
+      bool hit = false;
+      for (const auto& r : kCycleCounter) {
+        if (contains_token(code, r.token)) {
+          add(n, r.rule,
+              std::string(r.what) +
+                  " outside the profiler TU: machine timing belongs to "
+                  "src/support/prof.h + obs::Profiler (or src/obs exports)");
+          hit = true;
+          break;
+        }
+      }
+      if (!hit && domain == Domain::kDriver) {
+        for (const auto& r : kDriverTiming) {
+          if (contains_token(code, r.token)) {
+            add(n, r.rule,
+                std::string(r.what) +
+                    " in a driver: time the sim through google-benchmark or "
+                    "obs::Profiler, not ad-hoc std::chrono stopwatches");
+            break;
+          }
+        }
       }
     }
 

@@ -31,6 +31,9 @@
 //                            diagnoser/timeline files; detectors produce
 //                            structured Diagnosis data and obs/report.h
 //                            renders it
+//   SR009 cycle-counter      rdtsc-family intrinsics or std::chrono timing
+//                            outside the profiler TU (src/support/prof.h)
+//                            and src/obs; obs::Profiler owns machine timing
 //
 // Escape hatch: a line (or the line immediately above it) containing
 // `SOFTRES_LINT_ALLOW(SRnnn: reason)` suppresses rule SRnnn there. Legitimate
