@@ -7,12 +7,13 @@ namespace softres::exp {
 
 AdaptiveTuner::AdaptiveTuner(Testbed& bed, AdaptiveConfig config)
     : bed_(bed), config_(config) {
-  for (auto& a : bed_.apaches()) {
-    tracked_.push_back(Tracked{&a->worker_pool(), config_.web_margin, {}});
-  }
-  for (auto& t : bed_.tomcats()) {
-    tracked_.push_back(Tracked{&t->thread_pool(), config_.margin, {}});
-    tracked_.push_back(Tracked{&t->connection_pool(), config_.margin, {}});
+  // The testbed's uniform pool registry replaces the old per-tier accessor
+  // walk; role decides headroom (web workers stall on FIN waits, not CPU).
+  for (const auto& e : bed_.pool_set().entries()) {
+    const double headroom = e.role == soft::PoolRole::kWebWorkers
+                                ? config_.web_margin
+                                : config_.margin;
+    tracked_.push_back(Tracked{e.pool, headroom, {}});
   }
   for (const auto& node : bed_.nodes()) {
     if (node->name().rfind("apache", 0) == 0) continue;  // web stalls != CPU
@@ -126,19 +127,10 @@ void AdaptiveTuner::resize(Tracked& tracked, bool allow_growth,
 
 void AdaptiveTuner::sync_jvm_threads() {
   // Idle soft resources cost heap and GC work whether used or not; the GC
-  // model must see the adapted allocation, not the initial one.
-  for (auto& t : bed_.tomcats()) {
-    t->jvm().set_live_threads(t->thread_pool().capacity() +
-                              t->connection_pool().capacity());
-  }
-  for (std::size_t c = 0; c < bed_.cjdbcs().size(); ++c) {
-    std::size_t conns = 0;
-    for (std::size_t i = c; i < bed_.tomcats().size();
-         i += bed_.cjdbcs().size()) {
-      conns += bed_.tomcats()[i]->connection_pool().capacity();
-    }
-    bed_.cjdbcs()[c]->set_upstream_connections(conns);
-  }
+  // model must see the adapted allocation, not the initial one. The tiers
+  // registered the actual sync logic (JVM live threads, C-JDBC upstream
+  // connection counts) as post-resize hooks alongside their pools.
+  bed_.pool_set().run_hooks();
 }
 
 }  // namespace softres::exp

@@ -181,7 +181,7 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
   // trial's identity, so sweeps can run these in any order — or in
   // parallel — and reproduce the serial results bit for bit. The client
   // farm's user streams and trace sampling hash off the same trial seed.
-  RunContext ctx(opts_.client.seed, cfg, users);
+  RunContext ctx(opts_.client.seed, cfg, users, opts_.governor);
   client.seed = ctx.trial_seed();
   Testbed bed(ctx, cfg, client);
   bed.run();
@@ -236,6 +236,7 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
   ctx.traces().collect(bed.farm().traced_requests());
   r.diagnosis = bed.diagnoser().diagnosis();
   if (opts_.profile) r.profile = profiler.snapshot();
+  if (bed.governor() != nullptr) r.governor_actions = bed.governor()->actions();
 
   if (!opts_.report_html.empty()) {
     obs::ReportMeta meta;
@@ -257,6 +258,10 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
                   1000.0 * r.response_times.mean());
     meta.extra.emplace_back("mean response time", buf);
     meta.extra.emplace_back("trial seed", std::to_string(r.trial_seed));
+    for (const core::GovernorAction& act : r.governor_actions) {
+      meta.resizes.push_back(
+          obs::ReportMeta::ResizeMark{act.at, act.pool, act.from, act.to});
+    }
     const obs::LatencyBreakdown breakdown = ctx.traces().breakdown();
     obs::write_flight_recorder_html(
         report_path(opts_.report_html, soft, users), meta, bed.timeline(),

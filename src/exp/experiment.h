@@ -25,6 +25,12 @@ struct ExperimentOptions {
   double sla_threshold_s = 2.0;    // reporting default, as in the paper
   bool keep_series = true;         // retain all sampler series in the result
 
+  /// Closed-loop soft-resource governor (disabled by default). When
+  /// governor.enabled is set, every trial runs a core::Governor at sampler
+  /// cadence that live-resizes the testbed's pools; RunResult::
+  /// governor_actions carries the applied resizes.
+  core::GovernorConfig governor;
+
   /// Opt-in self-profiling (DESIGN.md §11): each trial installs a
   /// prof::Ledger and RunResult::profile carries the snapshot. from_env()
   /// reads it from SOFTRES_PROFILE=1.
@@ -104,6 +110,10 @@ struct RunResult {
   /// Self-profiler snapshot (enabled=false unless ExperimentOptions::profile
   /// was set). The count axis is deterministic; the cycle axis is not.
   obs::ProfileSnapshot profile;
+  /// Resizes applied by the closed-loop governor, in event order (empty for
+  /// ungoverned trials). Part of the determinism contract: bit-identical
+  /// across jobs=1 / jobs=N sweeps.
+  std::vector<core::GovernorAction> governor_actions;
 
   double goodput(double threshold_s) const;
   metrics::SlaSplit sla(double threshold_s) const;

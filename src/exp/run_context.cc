@@ -23,10 +23,11 @@ std::uint64_t RunContext::derive_seed(std::uint64_t base_seed,
 }
 
 RunContext::RunContext(std::uint64_t base_seed, const TestbedConfig& cfg,
-                       std::size_t users)
+                       std::size_t users, core::GovernorConfig governor)
     : base_seed_(base_seed),
       trial_seed_(derive_seed(base_seed, cfg.hw, cfg.soft, users)),
       users_(users),
+      governor_(governor),
       rng_(trial_seed_) {}
 
 }  // namespace softres::exp

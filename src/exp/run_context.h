@@ -3,6 +3,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "core/governor.h"
 #include "exp/config.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -24,9 +25,13 @@ namespace softres::exp {
 class RunContext {
  public:
   /// Derives the trial seed from the trial's identity. `cfg.hw` and
-  /// `cfg.soft` must already hold the trial's values.
+  /// `cfg.soft` must already hold the trial's values. `governor` configures
+  /// the optional closed-loop controller the testbed builds for this trial;
+  /// it is deliberately NOT part of the seed — a governed trial replays the
+  /// ungoverned trial's random streams, so goodput differences are pure
+  /// control-policy effects.
   RunContext(std::uint64_t base_seed, const TestbedConfig& cfg,
-             std::size_t users);
+             std::size_t users, core::GovernorConfig governor = {});
 
   RunContext(const RunContext&) = delete;
   RunContext& operator=(const RunContext&) = delete;
@@ -48,6 +53,9 @@ class RunContext {
   /// Root RNG of the trial; subsystems derive independent streams via
   /// split(). Seeded from trial_seed().
   sim::Rng& rng() { return rng_; }
+
+  /// Governor settings for this trial ({.enabled = false} by default).
+  const core::GovernorConfig& governor_config() const { return governor_; }
 
   obs::Registry& registry() { return registry_; }
   const obs::Registry& registry() const { return registry_; }
@@ -71,6 +79,7 @@ class RunContext {
   std::uint64_t base_seed_ = 0;
   std::uint64_t trial_seed_ = 0;
   std::size_t users_ = 0;
+  core::GovernorConfig governor_;
   // Declared before sim_ (so destroyed after it): pending events hold
   // RequestPtr captures whose destructors hand requests back to the arena.
   tier::RequestArena arena_;

@@ -58,6 +58,43 @@ double max_goodput(const std::vector<RunResult>& results, double threshold_s) {
   return best;
 }
 
+GovernedComparison governed_sweep(const Experiment& exp,
+                                  const std::vector<SoftConfig>& softs,
+                                  std::size_t users, const SoftConfig& start,
+                                  const core::GovernorConfig& governor,
+                                  std::size_t jobs) {
+  GovernedComparison out;
+  out.sla_threshold_s = exp.options().sla_threshold_s;
+
+  // Static side: the same scenario under every candidate fixed allocation,
+  // with the governor forced off so the grid answers Algorithm 1's question.
+  ExperimentOptions static_opts = exp.options();
+  static_opts.governor.enabled = false;
+  const Experiment static_exp(exp.base_config(), static_opts);
+  std::vector<std::vector<RunResult>> grid =
+      sweep_grid(static_exp, softs, {users}, jobs);
+  bool first = true;
+  for (std::size_t s = 0; s < grid.size(); ++s) {
+    RunResult& r = grid[s][0];
+    const double g = r.goodput(out.sla_threshold_s);
+    if (first || g > out.best_static_goodput) {
+      out.best_static_goodput = g;
+      out.best_static_soft = softs[s];
+      out.best_static = std::move(r);
+      first = false;
+    }
+  }
+
+  // Governed side: one trial from `start`, resizing live.
+  ExperimentOptions gov_opts = exp.options();
+  gov_opts.governor = governor;
+  gov_opts.governor.enabled = true;
+  const Experiment gov_exp(exp.base_config(), gov_opts);
+  out.governed = gov_exp.run(start, users);
+  out.governed_goodput = out.governed.goodput(out.sla_threshold_s);
+  return out;
+}
+
 std::vector<PathologyOnset> pathology_onsets(
     const std::vector<RunResult>& results) {
   std::vector<PathologyOnset> out;

@@ -53,4 +53,32 @@ struct PathologyOnset {
 std::vector<PathologyOnset> pathology_onsets(
     const std::vector<RunResult>& results);
 
+/// Score the closed-loop governor against the best *static* allocation on
+/// one scenario: the paper's Algorithm 1 question ("which fixed S is best?")
+/// versus the governed answer ("resize S live"). See governed_sweep.
+struct GovernedComparison {
+  /// Best static trial by goodput (moved out of the grid).
+  RunResult best_static;
+  SoftConfig best_static_soft;
+  double best_static_goodput = 0.0;
+  /// The governed trial, started from `start` (its RunResult carries the
+  /// governor action log).
+  RunResult governed;
+  double governed_goodput = 0.0;
+  double sla_threshold_s = 2.0;
+  /// governed_goodput - best_static_goodput (positive = governor wins).
+  double advantage() const { return governed_goodput - best_static_goodput; }
+};
+
+/// Run the static grid (governor disabled) at `users`, pick the allocation
+/// with the highest goodput at `exp`'s SLA threshold, then run one governed
+/// trial starting from `start` with `governor` (enabled is forced on). All
+/// static trials fan out over the executor; the comparison is deterministic
+/// for any `jobs`.
+GovernedComparison governed_sweep(const Experiment& exp,
+                                  const std::vector<SoftConfig>& softs,
+                                  std::size_t users, const SoftConfig& start,
+                                  const core::GovernorConfig& governor,
+                                  std::size_t jobs = 0);
+
 }  // namespace softres::exp

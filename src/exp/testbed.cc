@@ -73,13 +73,7 @@ void Testbed::build(const workload::ClientConfig& client_cfg) {
         cfg_.tomcat_alloc_per_request_mb));
   }
   // One Tomcat DB connection = one C-JDBC thread (and one MySQL thread).
-  for (std::size_t c = 0; c < cjdbcs_.size(); ++c) {
-    std::size_t conns = 0;
-    for (std::size_t i = c; i < tomcats_.size(); i += cjdbcs_.size()) {
-      conns += cfg_.soft.db_connections;
-    }
-    cjdbcs_[c]->set_upstream_connections(conns);
-  }
+  sync_cjdbc_upstreams();
 
   // Client farm precedes the web tier so Apache can observe client load.
   farm_ = std::make_unique<workload::ClientFarm>(sim, workload_, client_cfg,
@@ -98,6 +92,19 @@ void Testbed::build(const workload::ClientConfig& client_cfg) {
     for (auto& t : tomcats_) apaches_.back()->add_tomcat(*t);
     farm_->add_target(*apaches_.back());
   }
+
+  // Uniform soft-resource surface: every tier registers its live-resizable
+  // pools (and tier-local consistency hooks) through the one virtual hook;
+  // controllers (AdaptiveTuner, core::Governor) only ever see this set.
+  // Registration order — web, app, middleware, db — is deterministic.
+  for (auto& a : apaches_) a->register_soft_resources(pool_set_);
+  for (auto& t : tomcats_) t->register_soft_resources(pool_set_);
+  for (auto& c : cjdbcs_) c->register_soft_resources(pool_set_);
+  for (auto& m : mysqls_) m->register_soft_resources(pool_set_);
+  // Cross-tier consistency only the testbed can express: each C-JDBC JVM's
+  // thread count tracks the summed connection-pool capacities of the Tomcats
+  // mapped to it (one Tomcat DB connection = one C-JDBC thread).
+  pool_set_.add_post_resize_hook([this] { sync_cjdbc_upstreams(); });
 
   // Unified observability: every probe family registers on the one Registry;
   // the SysStat-equivalent sampler polls it at 1 s granularity. Registry
@@ -135,7 +142,7 @@ void Testbed::build(const workload::ClientConfig& client_cfg) {
   timeline_ = std::make_unique<obs::Timeline>(registry);
   for (const char* family :
        {"cpu_util_pct", "gc_util_pct", "pool_util_pct", "pool_waiting",
-        "server_throughput", "apache_threads_active",
+        "pool_capacity", "server_throughput", "apache_threads_active",
         "apache_threads_connecting"}) {
     timeline_->track_family(family);
   }
@@ -148,6 +155,65 @@ void Testbed::build(const workload::ClientConfig& client_cfg) {
     diag->observe(now);
     return static_cast<double>(diag->active_detectors());
   });
+
+  // Closed-loop governor (opt-in via the trial context). The probe runs
+  // after "obs.diagnosis" — probes evaluate in registration order — so each
+  // tick consumes the diagnosis of the same sampling instant. The callback
+  // captures only `this` (fits InlineFunction's buffer) and is a pure
+  // function of sim state, keeping governed trials bit-identical across
+  // sweep workers.
+  const core::GovernorConfig& gov_cfg = ctx_->governor_config();
+  if (gov_cfg.enabled) {
+    governor_ = std::make_unique<core::Governor>(gov_cfg, pool_set_);
+    for (const auto& node : nodes_) {
+      if (node->name().rfind("apache", 0) == 0) continue;  // web stalls != CPU
+      governor_busy_.push_back(GovernorNodeBusy{node.get(), 0.0});
+    }
+    sampler_->add_probe("core.governor", [this](sim::SimTime now) {
+      return governor_tick(now);
+    });
+  }
+}
+
+void Testbed::sync_cjdbc_upstreams() {
+  for (std::size_t c = 0; c < cjdbcs_.size(); ++c) {
+    std::size_t conns = 0;
+    for (std::size_t i = c; i < tomcats_.size(); i += cjdbcs_.size()) {
+      conns += tomcats_[i]->connection_pool().capacity();
+    }
+    cjdbcs_[c]->set_upstream_connections(conns);
+  }
+}
+
+double Testbed::governor_tick(sim::SimTime now) {
+  // Hottest backend CPU over the last tick: the growth-guard input. Same
+  // busy-core differentiation the AdaptiveTuner uses for its guard.
+  const double dt = now - governor_prev_tick_;
+  governor_prev_tick_ = now;
+  double max_cpu_pct = 0.0;
+  for (auto& nb : governor_busy_) {
+    const double busy = nb.node->cpu().busy_core_seconds();
+    if (dt > 0.0) {
+      const double util =
+          100.0 * (busy - nb.prev_busy) /
+          (static_cast<double>(nb.node->cpu().cores()) * dt);
+      if (util > max_cpu_pct) max_cpu_pct = util;
+    }
+    nb.prev_busy = busy;
+  }
+
+  // Translate the diagnoser's live suggestion into core vocabulary (core
+  // cannot depend on obs; cf. DiagnosisHint).
+  core::GovernorAdvice advice;
+  const obs::SuggestedAction hint = diagnoser_->diagnosis().suggested_action;
+  if (hint.kind == obs::SuggestedAction::Kind::kGrowPool) {
+    advice.kind = core::GovernorAdvice::Kind::kGrow;
+    advice.resource = hint.resource;
+  } else if (hint.kind == obs::SuggestedAction::Kind::kShrinkPool) {
+    advice.kind = core::GovernorAdvice::Kind::kShrink;
+    advice.resource = hint.resource;
+  }
+  return static_cast<double>(governor_->tick(now, max_cpu_pct, advice));
 }
 
 hw::Node& Testbed::add_node(const std::string& name) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "core/governor.h"
 #include "exp/config.h"
 #include "exp/run_context.h"
 #include "hw/link.h"
@@ -14,6 +15,7 @@
 #include "obs/timeline.h"
 #include "sim/sampler.h"
 #include "sim/simulator.h"
+#include "soft/pool_set.h"
 #include "tier/apache.h"
 #include "tier/cjdbc.h"
 #include "tier/mysql.h"
@@ -67,6 +69,14 @@ class Testbed {
   const obs::Diagnoser& diagnoser() const { return *diagnoser_; }
   workload::ClientFarm& farm() { return *farm_; }
   const workload::ClientFarm& farm() const { return *farm_; }
+  /// Every live-resizable pool in the rig, registered by the tiers through
+  /// the uniform Server::register_soft_resources hook at build time, with
+  /// the cross-tier consistency hooks (JVM thread sync, C-JDBC upstream
+  /// connection counts) attached. Controllers operate on this.
+  soft::ResizablePoolSet& pool_set() { return pool_set_; }
+  const soft::ResizablePoolSet& pool_set() const { return pool_set_; }
+  /// The closed-loop governor, when the trial context enables one.
+  const core::Governor* governor() const { return governor_.get(); }
   const workload::RubbosWorkload& workload() const { return workload_; }
   const TestbedConfig& config() const { return cfg_; }
 
@@ -111,6 +121,8 @@ class Testbed {
   hw::Node& add_node(const std::string& name);
   void on_measure_start();
   void on_measure_end();
+  void sync_cjdbc_upstreams();
+  double governor_tick(sim::SimTime now);
 
   std::unique_ptr<RunContext> owned_ctx_;  // only for the standalone ctor
   RunContext* ctx_ = nullptr;
@@ -127,6 +139,16 @@ class Testbed {
   std::unique_ptr<sim::Sampler> sampler_;
   std::unique_ptr<obs::Timeline> timeline_;
   std::unique_ptr<obs::Diagnoser> diagnoser_;
+
+  soft::ResizablePoolSet pool_set_;
+  std::unique_ptr<core::Governor> governor_;
+  // Backend (non-web) CPU busy baselines for the governor's growth guard.
+  struct GovernorNodeBusy {
+    const hw::Node* node = nullptr;
+    double prev_busy = 0.0;
+  };
+  std::vector<GovernorNodeBusy> governor_busy_;
+  sim::SimTime governor_prev_tick_ = 0.0;
 
   std::map<const jvm::Jvm*, double> gc_baseline_;
   std::map<const jvm::Jvm*, double> gc_at_end_;

@@ -98,6 +98,15 @@ void Diagnoser::set_analysis_window(sim::SimTime lo, sim::SimTime hi) {
   analysis_hi_ = hi;
 }
 
+const SeriesWindow* Diagnoser::capacity_window(const std::string& pool) const {
+  for (const PoolRef& p : pools_) {
+    if (p.pool == pool && p.capacity != npos) {
+      return &timeline_->window(p.capacity);
+    }
+  }
+  return nullptr;
+}
+
 void Diagnoser::discover() {
   const Timeline& tl = *timeline_;
   auto label = [](const Labels& ls, const char* key) -> std::string {
@@ -113,7 +122,8 @@ void Diagnoser::discover() {
       cpus_.push_back(CpuRef{label(tl.labels(i), "node"), i});
     } else if (name == "gc_util_pct") {
       gcs_.push_back(GcRef{label(tl.labels(i), "node"), i, npos, npos});
-    } else if (name == "pool_util_pct" || name == "pool_waiting") {
+    } else if (name == "pool_util_pct" || name == "pool_waiting" ||
+               name == "pool_capacity") {
       const std::string pool = label(tl.labels(i), "pool");
       const std::size_t dot = pool.rfind('.');
       PoolRef* ref = nullptr;
@@ -127,7 +137,13 @@ void Diagnoser::discover() {
         ref->server = dot == std::string::npos ? pool : pool.substr(0, dot);
         ref->kind = dot == std::string::npos ? "" : pool.substr(dot + 1);
       }
-      (name == "pool_util_pct" ? ref->util : ref->waiting) = i;
+      if (name == "pool_util_pct") {
+        ref->util = i;
+      } else if (name == "pool_waiting") {
+        ref->waiting = i;
+      } else {
+        ref->capacity = i;
+      }
     } else if (name == "apache_threads_active" ||
                name == "apache_threads_connecting") {
       const std::string server = label(tl.labels(i), "server");

@@ -143,6 +143,11 @@ class Diagnoser {
   /// per-tick health number the "obs.diagnosis" sampler series records.
   std::size_t active_detectors() const;
 
+  /// Ring-buffered pool_capacity series of `pool`, when the timeline tracks
+  /// one. Lets consumers (reports, controllers' observability) separate
+  /// "load grew" from "capacity shrank" around an evidence window.
+  const SeriesWindow* capacity_window(const std::string& pool) const;
+
   const DiagnoserConfig& config() const { return cfg_; }
 
  private:
@@ -170,6 +175,7 @@ class Diagnoser {
     std::string kind;    // "workers" | "threads" | "dbconns"
     std::size_t util = npos;
     std::size_t waiting = npos;
+    std::size_t capacity = npos;  // pool_capacity gauge (live resizes)
   };
   struct CpuRef {
     std::string node;

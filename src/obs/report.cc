@@ -56,6 +56,7 @@ struct SvgScale {
 void write_series_svg(std::ostream& os, const SeriesWindow& win,
                       const std::string& series,
                       const std::vector<const EvidenceWindow*>& evidence,
+                      const std::vector<const ReportMeta::ResizeMark*>& marks,
                       sim::SimTime t0, sim::SimTime t1) {
   SvgScale sc;
   sc.t0 = t0;
@@ -81,6 +82,16 @@ void write_series_svg(std::ostream& os, const SeriesWindow& win,
     os << "  <rect x=\"" << fmt(xa) << "\" y=\"0\" width=\"" << fmt(xb - xa)
        << "\" height=\"" << sc.h << "\" class=\"evidence\"><title>"
        << escape_html(ev->condition) << "</title></rect>\n";
+  }
+  // Resize lanes: one vertical mark per applied capacity change on this
+  // pool's series, so "capacity shrank" is visibly distinct from "load grew".
+  for (const ReportMeta::ResizeMark* m : marks) {
+    if (m->at < t0 || m->at > t1) continue;
+    const double xm = sc.x(m->at);
+    os << "  <line x1=\"" << fmt(xm) << "\" y1=\"0\" x2=\"" << fmt(xm)
+       << "\" y2=\"" << sc.h << "\" class=\"resize\"><title>"
+       << escape_html(m->pool) << " " << m->from << " -> " << m->to << " @ "
+       << fmt(m->at, 0) << " s</title></line>\n";
   }
   if (win.size() >= 2) {
     os << "  <polyline class=\"line\" points=\"";
@@ -113,6 +124,7 @@ const char* kCss = R"css(
                border: 1px solid #ddd; }
   svg .bg { fill: #fcfcfc; }
   svg .evidence { fill: #e05252; fill-opacity: 0.22; }
+  svg .resize { stroke: #c07b1a; stroke-width: 1; stroke-dasharray: 3 2; }
   svg .line { fill: none; stroke: #2a6fb0; stroke-width: 1.5; }
   svg .label { font: 11px monospace; fill: #444; }
   code { background: #f5f5f5; padding: 0 0.25em; }
@@ -191,8 +203,30 @@ void write_flight_recorder_html(std::ostream& os, const ReportMeta& meta,
     for (const EvidenceWindow& ev : diagnosis.evidence) {
       if (ev.series == timeline.series(i)) shaded.push_back(&ev);
     }
-    write_series_svg(os, timeline.window(i), timeline.series(i), shaded, t0,
-                     t1);
+    std::vector<const ReportMeta::ResizeMark*> marks;
+    for (const ReportMeta::ResizeMark& m : meta.resizes) {
+      for (const auto& kv : timeline.labels(i)) {
+        if (kv.first == "pool" && kv.second == m.pool) {
+          marks.push_back(&m);
+          break;
+        }
+      }
+    }
+    write_series_svg(os, timeline.window(i), timeline.series(i), shaded, marks,
+                     t0, t1);
+  }
+
+  // Governor / tuner resize log (present when the trial resized pools live).
+  if (!meta.resizes.empty()) {
+    os << "<h2>Pool resizes</h2>\n";
+    os << "<table>\n<tr><th>time (s)</th><th>pool</th><th>from</th>"
+       << "<th>to</th></tr>\n";
+    for (const ReportMeta::ResizeMark& m : meta.resizes) {
+      os << "<tr><td>" << fmt(m.at, 0) << "</td><td><code>"
+         << escape_html(m.pool) << "</code></td><td>" << m.from << "</td><td>"
+         << m.to << "</td></tr>\n";
+    }
+    os << "</table>\n";
   }
 
   // Latency breakdown (present when the trial traced requests).

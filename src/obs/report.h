@@ -34,6 +34,18 @@ struct ReportMeta {
   /// Extra key/value rows appended to the header table (throughput, goodput,
   /// response time, ...).
   std::vector<std::pair<std::string, std::string>> extra;
+
+  /// One live pool resize (e.g. a core::Governor action). Rendered as a
+  /// vertical annotation mark on every timeline series labelled with that
+  /// pool, plus a "Pool resizes" table — the lanes that distinguish
+  /// "load grew" from "capacity changed" when reading a governed trial.
+  struct ResizeMark {
+    sim::SimTime at = 0.0;
+    std::string pool;
+    std::size_t from = 0;
+    std::size_t to = 0;
+  };
+  std::vector<ResizeMark> resizes;
 };
 
 /// Render the full flight-recorder page. `breakdown` is optional (trials run

@@ -102,6 +102,12 @@ class TimeWeighted {
   }
   /// Close the window at time t and return stats; the signal keeps running.
   double average(SimTime until) const;
+  /// Running integral of the signal up to `until` (since construction or the
+  /// last reset). Two snapshots give an exact window average — how the
+  /// governor measures demand without aliasing sub-tick holds.
+  double integral(SimTime until) const {
+    return weighted_sum_ + value_ * (until - last_);
+  }
   double current() const { return value_; }
   void reset(SimTime t);
 

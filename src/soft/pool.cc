@@ -17,6 +17,8 @@ bool Pool::try_acquire() {
 }
 
 void Pool::set_capacity(std::size_t capacity) {
+  if (capacity == capacity_) return;
+  epochs_.push_back(CapacityEpoch{sim_.now(), capacity_, capacity});
   capacity_ = capacity;
   while (!waiters_.empty() && in_use_ < capacity_) {
     Waiter w = std::move(waiters_.front());

@@ -1,10 +1,12 @@
 #pragma once
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "sim/inline_callback.h"
 #include "sim/sim_time.h"
@@ -22,6 +24,15 @@ namespace softres::soft {
 class Pool {
  public:
   using Callback = sim::InlineCallback;
+
+  /// One live-resize event: at time `at` the capacity moved `from` -> `to`.
+  /// The log is what lets timelines and reports distinguish "load grew"
+  /// from "capacity shrank" after the fact.
+  struct CapacityEpoch {
+    sim::SimTime at;
+    std::size_t from;
+    std::size_t to;
+  };
 
   Pool(sim::Simulator& sim, std::string name, std::size_t capacity);
   Pool(const Pool&) = delete;
@@ -41,14 +52,33 @@ class Pool {
   std::size_t capacity() const { return capacity_; }
   std::size_t in_use() const { return in_use_; }
   std::size_t waiting() const { return waiters_.size(); }
-  /// Occupancy fraction in [0,1].
+  /// Occupancy fraction, clamped to [0,1]. While draining, `in_use_` can
+  /// exceed `capacity_`; reporting >100% would make a shrinking pool look
+  /// like a measurement bug, so the over-commit is surfaced via `draining()`
+  /// and `drain_pending()` instead.
   double utilization() const {
-    return capacity_ ? static_cast<double>(in_use_) /
-                           static_cast<double>(capacity_)
-                     : 1.0;
+    if (!capacity_) return 1.0;
+    return std::min(
+        1.0, static_cast<double>(in_use_) / static_cast<double>(capacity_));
   }
   /// A pool is saturated when every unit is taken and someone is queued.
-  bool saturated() const { return in_use_ == capacity_ && !waiters_.empty(); }
+  /// `>=`, not `==`: a draining pool (in_use_ > capacity_) with a queue is
+  /// just as starved as an exactly-full one.
+  bool saturated() const { return in_use_ >= capacity_ && !waiters_.empty(); }
+  /// True while a shrink is still paying out: more units are checked out
+  /// than the new capacity allows. Drains lazily, one unit per release.
+  bool draining() const { return in_use_ > capacity_; }
+  /// Units that must be released (and retired, not recycled) before the pool
+  /// reaches its post-shrink capacity. Zero when not draining.
+  std::size_t drain_pending() const {
+    return in_use_ > capacity_ ? in_use_ - capacity_ : 0;
+  }
+  /// Units retired by lazy shrink since construction (never reset).
+  std::uint64_t drained_total() const { return drained_total_; }
+  /// Full live-resize history, in event order.
+  const std::vector<CapacityEpoch>& capacity_epochs() const {
+    return epochs_;
+  }
 
   std::uint64_t total_acquired() const { return total_acquired_; }
   /// Mean time acquirers spent queued (0 when nothing ever waited).
@@ -57,6 +87,13 @@ class Pool {
   /// Time-weighted occupancy statistics since construction / last reset.
   double average_in_use(sim::SimTime until) const {
     return occupancy_.average(until);
+  }
+  /// Running occupancy integral (unit-seconds) up to `until`. Differencing
+  /// two snapshots yields the exact time-weighted occupancy of the window —
+  /// the governor's demand signal, immune to sampling-instant aliasing when
+  /// holds are much shorter than the control period. Drops on reset_stats.
+  double occupancy_integral(sim::SimTime until) const {
+    return occupancy_.integral(until);
   }
   void reset_stats(sim::SimTime t);
 
@@ -79,8 +116,10 @@ class Pool {
   std::size_t in_use_ = 0;
   std::deque<Waiter> waiters_;
   std::uint64_t total_acquired_ = 0;
+  std::uint64_t drained_total_ = 0;
   sim::Welford wait_stats_;
   sim::TimeWeighted occupancy_;
+  std::vector<CapacityEpoch> epochs_;
 };
 
 // acquire/release bracket every request's residence in every tier (two pools
@@ -112,6 +151,9 @@ inline void Pool::acquire(Callback granted) {
 inline void Pool::release() {
   SOFTRES_PROF_SCOPE(kPoolService);
   assert(in_use_ > 0);
+  // A release while draining retires the unit instead of recycling it: this
+  // is the lazy shrink paying out one unit at a time.
+  if (in_use_ > capacity_) ++drained_total_;
   --in_use_;
   occupancy_.set(sim_.now(), static_cast<double>(in_use_));
   if (!waiters_.empty() && in_use_ < capacity_) {

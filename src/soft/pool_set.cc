@@ -1,0 +1,45 @@
+#include "soft/pool_set.h"
+
+#include <utility>
+
+namespace softres::soft {
+
+const char* pool_role_name(PoolRole role) {
+  switch (role) {
+    case PoolRole::kWebWorkers:
+      return "web_workers";
+    case PoolRole::kAppThreads:
+      return "app_threads";
+    case PoolRole::kDbConnections:
+      return "db_connections";
+  }
+  return "unknown";
+}
+
+void ResizablePoolSet::add(Pool& pool, PoolRole role, std::size_t floor,
+                           std::size_t ceiling) {
+  Entry e;
+  e.pool = &pool;
+  e.role = role;
+  e.floor = floor;
+  e.ceiling = ceiling;
+  entries_.push_back(e);
+}
+
+const ResizablePoolSet::Entry* ResizablePoolSet::find(
+    const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.pool->name() == name) return &e;
+  }
+  return nullptr;
+}
+
+void ResizablePoolSet::add_post_resize_hook(Hook hook) {
+  hooks_.push_back(std::move(hook));
+}
+
+void ResizablePoolSet::run_hooks() {
+  for (Hook& h : hooks_) h();
+}
+
+}  // namespace softres::soft

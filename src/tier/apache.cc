@@ -3,6 +3,8 @@
 #include <cassert>
 #include <utility>
 
+#include "soft/pool_set.h"
+
 namespace softres::tier {
 
 ApacheServer::ApacheServer(sim::Simulator& sim, std::string name,
@@ -123,6 +125,10 @@ ApacheServer::TimelineSample ApacheServer::sample_window(sim::SimTime now) {
   cached_sample_time_ = now;
   cached_sample_ = s;
   return s;
+}
+
+void ApacheServer::register_soft_resources(soft::ResizablePoolSet& set) {
+  set.add(workers_, soft::PoolRole::kWebWorkers, /*floor=*/2);
 }
 
 void add_apache_timeline_probes(sim::Sampler& sampler, ApacheServer& apache) {

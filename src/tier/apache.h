@@ -55,6 +55,10 @@ class ApacheServer : public Server {
 
   void reset_window_stats() override;
 
+  /// Registers the worker pool (role kWebWorkers). A worker-pool floor of 2
+  /// keeps the accept path alive through aggressive drains.
+  void register_soft_resources(soft::ResizablePoolSet& set) override;
+
   /// One row of the Fig 7/8 timeline; resets the per-interval accumulators.
   /// Idempotent per sampling instant so independent probes may each call it.
   struct TimelineSample {

@@ -8,6 +8,10 @@
 #include "sim/stats.h"
 #include "support/prof.h"
 
+namespace softres::soft {
+class ResizablePoolSet;
+}  // namespace softres::soft
+
 namespace softres::tier {
 
 /// Common per-server accounting: every tier records, for a measurement
@@ -25,6 +29,13 @@ class Server {
 
   /// Restart window accounting (called at measurement-window start).
   virtual void reset_window_stats();
+
+  /// Register this server's live-resizable soft resources (pools plus any
+  /// consistency hooks, e.g. JVM live-thread sync) with the testbed-wide
+  /// set. The uniform hook every tier exposes so controllers (AdaptiveTuner,
+  /// core::Governor) never reach into tier-specific accessors. Default: the
+  /// server owns no resizable pools.
+  virtual void register_soft_resources(soft::ResizablePoolSet&) {}
 
   /// Which profiler subsystem this server's request counts land in; tiers
   /// tag themselves in their constructors (kCount = untagged, not counted).

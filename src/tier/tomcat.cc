@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "soft/pool_set.h"
+
 namespace softres::tier {
 
 TomcatServer::TomcatServer(sim::Simulator& sim, std::string name,
@@ -98,6 +100,14 @@ void TomcatServer::run_queries(const RequestPtr& req, int remaining,
   loop.remaining = remaining;
   loop.done = std::move(done);
   query_loop_step(req.get());
+}
+
+void TomcatServer::register_soft_resources(soft::ResizablePoolSet& set) {
+  set.add(threads_, soft::PoolRole::kAppThreads, /*floor=*/2);
+  set.add(db_conns_, soft::PoolRole::kDbConnections, /*floor=*/2);
+  set.add_post_resize_hook([this] {
+    jvm_.set_live_threads(threads_.capacity() + db_conns_.capacity());
+  });
 }
 
 void TomcatServer::query_loop_step(Request* r) {

@@ -46,6 +46,12 @@ class TomcatServer : public Server {
   /// Fraction of servlet CPU spent before the DB phase.
   static constexpr double kPreDbCpuFraction = 0.7;
 
+  /// Registers the thread pool (kAppThreads) and DB connection pool
+  /// (kDbConnections), plus a post-resize hook that keeps the JVM's
+  /// live-thread count equal to their summed capacities — growing the pools
+  /// is how the §III-B GC over-allocation cost gets charged.
+  void register_soft_resources(soft::ResizablePoolSet& set) override;
+
  private:
   void run_queries(const RequestPtr& req, int remaining, Callback done);
   // Stages of a request's residence and its query loop (state in

@@ -50,8 +50,22 @@ void ClientFarm::set_load_schedule(std::vector<LoadPhase> schedule) {
   schedule_ = std::move(schedule);
 }
 
+double ClientFarm::demand_scale(sim::SimTime t) const {
+  double scale = 1.0;
+  // Tiny sorted schedule; the last phase that has started wins.
+  for (const auto& phase : config_.demand_schedule) {
+    if (phase.start <= t) scale = phase.scale;
+  }
+  return scale;
+}
+
 void ClientFarm::start() {
   assert(!apaches_.empty());
+  // A shape carried in the config is the default schedule; an explicit
+  // set_load_schedule() call (made before start()) wins.
+  if (schedule_.empty() && !config_.load_schedule.empty()) {
+    set_load_schedule(config_.load_schedule);
+  }
   user_active_.assign(config_.users, false);
   if (schedule_.empty()) {
     // Fixed population: stagger activation uniformly across the ramp-up.
@@ -120,6 +134,14 @@ void ClientFarm::issue_page(std::size_t u) {
   tier::RequestPtr req = tier::make_request(arena_);
   req->id = next_request_id_++;
   workload_.sample_dynamic(*req, user_rngs_[u]);
+  if (!config_.demand_schedule.empty()) {
+    // Tier slowdown/recovery: scale backend demands at issue time. The RNG
+    // stream is untouched, so a scaled trial replays the same request mix.
+    const double scale = demand_scale(sim_.now());
+    req->tomcat_demand_s *= scale;
+    req->cjdbc_demand_s *= scale;
+    req->mysql_demand_s *= scale;
+  }
   req->sent_at = sim_.now();
   ++pages_started_;
   dynamic_requests_.inc();

@@ -13,6 +13,25 @@
 
 namespace softres::workload {
 
+/// One step of an elastic load profile: from `start` (absolute simulation
+/// time) onward, `active_users` sessions are active. Internet-scale workloads
+/// have peak load several times the steady state (paper, Section I); the
+/// schedule lets experiments replay such profiles.
+struct LoadPhase {
+  sim::SimTime start = 0.0;
+  std::size_t active_users = 0;
+};
+
+/// One step of a service-demand profile: from `start` onward, backend
+/// (Tomcat/C-JDBC/MySQL) per-request CPU demands are multiplied by `scale`.
+/// scale > 1 models a tier slowdown (cache loss, degraded replica); a later
+/// phase with scale = 1 models recovery. Demands are scaled at issue time, so
+/// the profile perturbs no RNG stream and trials stay bit-identical.
+struct DemandPhase {
+  sim::SimTime start = 0.0;
+  double scale = 1.0;
+};
+
 /// Closed-loop load generation parameters. The paper's trials are an 8 min
 /// ramp-up, 12 min runtime, 30 s ramp-down; the defaults here are compressed
 /// for iteration speed and widened by the experiment harness when
@@ -34,15 +53,15 @@ struct ClientConfig {
   /// kMaxTracedRequests traced requests. Benches and examples share this one
   /// switch via exp::ExperimentOptions::trace_sample_rate.
   double trace_sample_rate = 0.0;
-};
-
-/// One step of an elastic load profile: from `start` (absolute simulation
-/// time) onward, `active_users` sessions are active. Internet-scale workloads
-/// have peak load several times the steady state (paper, Section I); the
-/// schedule lets experiments replay such profiles.
-struct LoadPhase {
-  sim::SimTime start = 0.0;
-  std::size_t active_users = 0;
+  /// Optional time-varying load shape (flash crowd, diurnal wave — see
+  /// workload/load_shapes.h). When non-empty and set_load_schedule() was not
+  /// called explicitly, start() follows this profile instead of the fixed
+  /// population. Phase populations must not exceed `users`. Carried in the
+  /// config so experiment harnesses can plumb scenarios through
+  /// ExperimentOptions without touching the farm directly.
+  std::vector<LoadPhase> load_schedule;
+  /// Optional backend service-demand profile (tier slowdown/recovery).
+  std::vector<DemandPhase> demand_schedule;
 };
 
 /// Emulated RUBBoS client farm: `users` independent closed-loop sessions,
@@ -74,6 +93,10 @@ class ClientFarm {
 
   /// Sessions currently active (the elastic population).
   std::size_t active_users() const { return started_users_; }
+
+  /// Backend demand multiplier in effect at time `t` (1.0 without a
+  /// demand schedule). Exposed for tests and probes.
+  double demand_scale(sim::SimTime t) const;
 
   /// Started-user fraction of client capacity; drives the FIN-delay model.
   double client_load() const;

@@ -1,0 +1,40 @@
+#include "workload/load_shapes.h"
+
+#include <cmath>
+
+namespace softres::workload {
+
+std::vector<LoadPhase> flash_crowd_schedule(std::size_t baseline,
+                                            std::size_t peak,
+                                            sim::SimTime crowd_start,
+                                            double crowd_duration_s) {
+  return {LoadPhase{0.0, baseline}, LoadPhase{crowd_start, peak},
+          LoadPhase{crowd_start + crowd_duration_s, baseline}};
+}
+
+std::vector<LoadPhase> diurnal_schedule(std::size_t low, std::size_t high,
+                                        double period_s, double total_s,
+                                        std::size_t steps_per_period) {
+  std::vector<LoadPhase> phases;
+  if (steps_per_period == 0) steps_per_period = 1;
+  const double dt = period_s / static_cast<double>(steps_per_period);
+  const double two_pi = 6.283185307179586;
+  for (double t = 0.0; t < total_s; t += dt) {
+    // Raised cosine, trough at t = 0.
+    const double frac = 0.5 * (1.0 - std::cos(two_pi * t / period_s));
+    const auto users = static_cast<std::size_t>(std::llround(
+        static_cast<double>(low) +
+        frac * static_cast<double>(high - low)));
+    phases.push_back(LoadPhase{t, users});
+  }
+  return phases;
+}
+
+std::vector<DemandPhase> tier_slowdown_schedule(sim::SimTime slow_start,
+                                                double slow_scale,
+                                                sim::SimTime recover_at) {
+  return {DemandPhase{0.0, 1.0}, DemandPhase{slow_start, slow_scale},
+          DemandPhase{recover_at, 1.0}};
+}
+
+}  // namespace softres::workload

@@ -1,0 +1,10 @@
+// Fixture: clean — src/exp/adaptive* is a sanctioned resize path (the
+// AdaptiveTuner), so SR010 does not fire on its set_capacity calls.
+// Expected findings: none.
+struct Pool;
+
+namespace softres_fixture {
+
+void tune(Pool* pool) { pool->set_capacity(16); }
+
+}  // namespace softres_fixture

@@ -213,12 +213,36 @@ TEST(LintScanTest, CycleCountersOutsideProfilerTu) {
           .empty());
 }
 
+TEST(LintScanTest, PoolResizeOnlyInSanctionedControllers) {
+  const std::string code = "pool->set_capacity(64);\n";
+  EXPECT_EQ(rules_of(lint::scan_file("src/tier/x.cc", code)),
+            (std::vector<std::string>{"SR010"}));
+  EXPECT_EQ(rules_of(lint::scan_file("bench/x.cpp", code)),
+            (std::vector<std::string>{"SR010"}));
+  EXPECT_EQ(rules_of(lint::scan_file("examples/x.cpp", code)),
+            (std::vector<std::string>{"SR010"}));
+  // Sanctioned: the pool mechanism itself and the two controllers.
+  EXPECT_TRUE(lint::scan_file("src/soft/pool.cc", code).empty());
+  EXPECT_TRUE(lint::scan_file("src/exp/adaptive.cc", code).empty());
+  EXPECT_TRUE(lint::scan_file("src/core/governor.cc", code).empty());
+  // Near-miss identifiers and comment mentions do not fire.
+  EXPECT_TRUE(lint::scan_file("src/tier/x.cc",
+                              "// resizes go through set_capacity\n"
+                              "int set_capacity_marker = 0;\n")
+                  .empty());
+  // The escape hatch works like every other rule's.
+  EXPECT_TRUE(
+      lint::scan_file("src/tier/x.cc",
+                      "// SOFTRES_LINT_ALLOW(SR010: test-only shim)\n" + code)
+          .empty());
+}
+
 TEST(LintScanTest, RuleTableCoversAllEmittedRules) {
   std::set<std::string> ids;
   for (const auto& r : lint::rule_table()) ids.insert(r.id);
   EXPECT_EQ(ids, (std::set<std::string>{"SR001", "SR002", "SR003", "SR004",
                                         "SR005", "SR006", "SR007", "SR008",
-                                        "SR009"}));
+                                        "SR009", "SR010"}));
 }
 
 // ---- Fixture-tree scan: exact rule IDs and lines per seeded violation ----
@@ -262,6 +286,8 @@ TEST(LintFixtureTest, DetectsEverySeededViolationExactly) {
       {"src/tier/bad_rdtsc.cc", 20, "SR009"},
       {"src/tier/bad_rng_ctor.cc", 15, "SR004"},
       {"src/tier/bad_rng_ctor.cc", 19, "SR004"},
+      {"src/tier/bad_set_capacity.cc", 12, "SR010"},
+      {"src/tier/bad_set_capacity.cc", 15, "SR010"},
       {"src/tier/bad_std_function.cc", 15, "SR007"},
       {"src/tier/bad_std_function.cc", 19, "SR007"},
       {"src/tier/bad_std_function.cc", 22, "SR007"},
@@ -281,7 +307,8 @@ TEST(LintFixtureTest, DetectsEverySeededViolationExactly) {
 
 TEST(LintFixtureTest, CleanFixturesProduceNoFindings) {
   for (const char* clean : {"src/obs/ok_clock.cc", "src/exp/ok_allowed.cc",
-                            "src/exp/ok_near_miss.cc"}) {
+                            "src/exp/ok_near_miss.cc",
+                            "src/exp/adaptive_ok_resize.cc"}) {
     std::vector<std::string> errors;
     const auto fs = lint::scan_tree(SOFTRES_LINT_FIXTURE_DIR, {clean}, &errors);
     EXPECT_TRUE(errors.empty()) << clean;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <deque>
 #include <tuple>
 #include <vector>
 
@@ -103,6 +105,86 @@ TEST(PoolResizeProperty, ResizeUnderLoadConserves) {
   sim.run();
   EXPECT_EQ(completed, customers);
   EXPECT_EQ(pool.in_use(), 0u);
+  EXPECT_EQ(pool.waiting(), 0u);
+  // Every whipsaw step changed the capacity, so each is one logged epoch.
+  EXPECT_EQ(pool.capacity_epochs().size(), 10u);
+}
+
+// Reference model of the pool's resize semantics: a plain counter with a
+// FIFO queue, lazy drain, and grow-admits-waiters. The Pool must agree with
+// it on every observable after every operation.
+struct PoolOracle {
+  std::size_t cap = 0;
+  std::size_t in_use = 0;
+  std::deque<int> waiters;
+  std::uint64_t drained = 0;
+  std::vector<int> grant_order;
+
+  void acquire(int id) {
+    if (in_use < cap) {
+      ++in_use;
+      grant_order.push_back(id);
+    } else {
+      waiters.push_back(id);
+    }
+  }
+  void release() {
+    if (in_use > cap) ++drained;
+    --in_use;
+    if (!waiters.empty() && in_use < cap) {
+      ++in_use;
+      grant_order.push_back(waiters.front());
+      waiters.pop_front();
+    }
+  }
+  void set_capacity(std::size_t c) {
+    cap = c;
+    while (!waiters.empty() && in_use < cap) {
+      ++in_use;
+      grant_order.push_back(waiters.front());
+      waiters.pop_front();
+    }
+  }
+};
+
+// Oracle cross-check: a deterministic random walk of acquire / release /
+// resize operations, with the Pool and the reference model compared on
+// in_use, waiting, drain accounting and grant order after every step.
+TEST(PoolResizeProperty, MatchesOracleUnderRandomResizes) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 3);
+  PoolOracle oracle;
+  oracle.cap = 3;
+  sim::Rng rng(42);
+
+  std::vector<int> pool_grants;
+  int next_id = 0;
+  for (int step = 0; step < 2000; ++step) {
+    const double u = rng.uniform(0.0, 1.0);
+    if (u < 0.45) {
+      const int id = next_id++;
+      oracle.acquire(id);
+      pool.acquire([&pool_grants, id] { pool_grants.push_back(id); });
+    } else if (u < 0.85) {
+      if (pool.in_use() > 0) {
+        oracle.release();
+        pool.release();
+      }
+    } else {
+      const std::size_t cap = 1 + static_cast<std::size_t>(
+                                      rng.uniform(0.0, 1.0) * 12.0);
+      oracle.set_capacity(cap);
+      pool.set_capacity(cap);
+    }
+    ASSERT_EQ(pool.in_use(), oracle.in_use) << "step " << step;
+    ASSERT_EQ(pool.waiting(), oracle.waiters.size()) << "step " << step;
+    ASSERT_EQ(pool.drained_total(), oracle.drained) << "step " << step;
+    ASSERT_EQ(pool.draining(), oracle.in_use > oracle.cap) << "step " << step;
+    ASSERT_EQ(pool.drain_pending(),
+              oracle.in_use > oracle.cap ? oracle.in_use - oracle.cap : 0u)
+        << "step " << step;
+    ASSERT_EQ(pool_grants, oracle.grant_order) << "step " << step;
+  }
 }
 
 }  // namespace

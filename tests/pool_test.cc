@@ -112,6 +112,109 @@ TEST(PoolTest, ShrinkCapacityTakesEffectLazily) {
   EXPECT_EQ(granted, 1);
 }
 
+TEST(PoolTest, GrowAdmitsWaitersFifoWithWaitStats) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 1);
+  std::vector<int> order;
+  pool.acquire([&] { order.push_back(0); });  // granted at t=0, waited 0
+  for (int i = 1; i <= 3; ++i) {
+    pool.acquire([&order, i] { order.push_back(i); });
+  }
+  EXPECT_EQ(pool.waiting(), 3u);
+  sim.schedule(5.0, [&] { pool.set_capacity(3); });
+  sim.run();
+  // The grow admits exactly the two oldest waiters, in FIFO order.
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(pool.in_use(), 3u);
+  EXPECT_EQ(pool.waiting(), 1u);
+  // Wait stats cover the admitted waiters: waits 0, 5, 5.
+  EXPECT_EQ(pool.total_acquired(), 3u);
+  EXPECT_NEAR(pool.mean_wait_time(), 10.0 / 3.0, 1e-9);
+}
+
+TEST(PoolTest, LazyShrinkDrainsOneUnitPerRelease) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 4);
+  for (int i = 0; i < 4; ++i) pool.acquire([] {});
+  pool.set_capacity(2);
+  EXPECT_TRUE(pool.draining());
+  EXPECT_EQ(pool.drain_pending(), 2u);
+  EXPECT_EQ(pool.drained_total(), 0u);
+  int granted = 0;
+  pool.acquire([&] { ++granted; });  // queues behind the drain
+  EXPECT_TRUE(pool.saturated());     // over-committed + waiter: starved
+  pool.release();                    // retires a unit, does not recycle it
+  EXPECT_EQ(pool.drained_total(), 1u);
+  EXPECT_EQ(pool.in_use(), 3u);
+  EXPECT_EQ(granted, 0);
+  pool.release();                    // second drain; now at capacity
+  EXPECT_EQ(pool.drained_total(), 2u);
+  EXPECT_FALSE(pool.draining());
+  EXPECT_EQ(pool.drain_pending(), 0u);
+  EXPECT_EQ(granted, 0);  // at capacity, the waiter still holds
+  pool.release();         // below capacity: the unit recycles to the waiter
+  EXPECT_EQ(pool.drained_total(), 2u);
+  EXPECT_EQ(granted, 1);
+  EXPECT_EQ(pool.in_use(), 2u);
+}
+
+TEST(PoolTest, UtilizationClampedWhileDraining) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 4);
+  for (int i = 0; i < 4; ++i) pool.acquire([] {});
+  pool.set_capacity(2);  // in_use 4 > capacity 2
+  EXPECT_EQ(pool.utilization(), 1.0);
+  EXPECT_EQ(pool.drain_pending(), 2u);
+  pool.set_capacity(0);
+  EXPECT_EQ(pool.utilization(), 1.0);  // zero capacity never divides
+}
+
+TEST(PoolTest, SaturatedUsesOverCommitToo) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 2);
+  pool.acquire([] {});
+  pool.acquire([] {});
+  pool.acquire([] {});  // waiter
+  pool.set_capacity(1);
+  // in_use (2) exceeds capacity (1) with a queue: just as starved as an
+  // exactly-full pool. The old `==` comparison would have reported healthy.
+  EXPECT_TRUE(pool.saturated());
+}
+
+TEST(PoolTest, CapacityEpochLogRecordsRealResizes) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 4);
+  sim.schedule(1.0, [&] { pool.set_capacity(8); });
+  sim.schedule(2.0, [&] { pool.set_capacity(8); });  // no-op: not logged
+  sim.schedule(3.0, [&] { pool.set_capacity(2); });
+  sim.run();
+  const auto& epochs = pool.capacity_epochs();
+  ASSERT_EQ(epochs.size(), 2u);
+  EXPECT_EQ(epochs[0].at, 1.0);
+  EXPECT_EQ(epochs[0].from, 4u);
+  EXPECT_EQ(epochs[0].to, 8u);
+  EXPECT_EQ(epochs[1].at, 3.0);
+  EXPECT_EQ(epochs[1].from, 8u);
+  EXPECT_EQ(epochs[1].to, 2u);
+}
+
+TEST(PoolTest, ResizeAroundResetStatsKeepsOccupancyConsistent) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 4);
+  for (int i = 0; i < 3; ++i) pool.acquire([] {});  // 3 in use from t=0
+  sim.schedule(2.0, [&] {
+    pool.reset_stats(2.0);
+    pool.set_capacity(1);  // shrink mid-window; occupancy must not jump
+  });
+  sim.schedule(6.0, [&] { pool.release(); });  // drains one: 3 -> 2
+  sim.run();
+  sim.run_until(10.0);
+  // From the reset at t=2: 3 in use over [2,6], 2 over [6,10] -> 2.5 mean.
+  EXPECT_NEAR(pool.average_in_use(10.0), 2.5, 1e-9);
+  EXPECT_EQ(pool.drained_total(), 1u);
+  EXPECT_TRUE(pool.draining());  // 2 in use > capacity 1
+}
+
 TEST(PoolTest, AverageInUseTimeWeighted) {
   sim::Simulator sim;
   Pool pool(sim, "p", 2);

@@ -46,6 +46,11 @@ const std::vector<RuleInfo>& rule_table() {
        "cycle-counter intrinsics (rdtsc and friends) or std::chrono timing "
        "outside the profiler TU (src/support/prof.h) and src/obs; measure "
        "through obs::Profiler so the timing axis stays in one place"},
+      {"SR010", "direct-pool-resize",
+       "Pool::set_capacity called outside src/soft, the AdaptiveTuner "
+       "(src/exp/adaptive*) and the Governor (src/core/governor*); live "
+       "resizes flow through a registered soft::ResizablePoolSet controller "
+       "so drain accounting, capacity epochs and resize hooks stay coherent"},
   };
   return kRules;
 }
@@ -287,6 +292,9 @@ std::vector<Finding> scan_file(const std::string& rel_path,
   const bool rng_ctor_exempt = under(rel_path, "src/sim/") ||
                                rel_path == "src/exp/run_context.cc" ||
                                rel_path == "src/exp/run_context.h";
+  const bool resize_sanctioned = under(rel_path, "src/soft/") ||
+                                 under(rel_path, "src/exp/adaptive") ||
+                                 under(rel_path, "src/core/governor");
 
   // Pass 1: split lines, strip comments/strings, harvest allow annotations
   // and names of unordered-container variables declared in this file.
@@ -480,6 +488,18 @@ std::vector<Finding> scan_file(const std::string& rel_path,
           }
         }
       }
+    }
+
+    // SR010 — direct pool resizes outside the sanctioned controllers. A
+    // live resize must flow through soft::ResizablePoolSet (the Governor or
+    // the AdaptiveTuner) so drain accounting, capacity epochs and the
+    // JVM-sync hooks stay coherent; src/soft owns the mechanism itself.
+    if (!resize_sanctioned && contains_token(code, "set_capacity")) {
+      add(n, "SR010",
+          "direct Pool::set_capacity outside src/soft, src/exp/adaptive* and "
+          "src/core/governor*: route resizes through a registered "
+          "soft::ResizablePoolSet controller so drain accounting and resize "
+          "hooks stay coherent");
     }
 
     // SR006 — sim-reachable src/ domains.

@@ -34,6 +34,10 @@
 //   SR009 cycle-counter      rdtsc-family intrinsics or std::chrono timing
 //                            outside the profiler TU (src/support/prof.h)
 //                            and src/obs; obs::Profiler owns machine timing
+//   SR010 direct-pool-resize Pool::set_capacity outside src/soft, the
+//                            AdaptiveTuner (src/exp/adaptive*) and the
+//                            Governor (src/core/governor*); live resizes
+//                            flow through soft::ResizablePoolSet controllers
 //
 // Escape hatch: a line (or the line immediately above it) containing
 // `SOFTRES_LINT_ALLOW(SRnnn: reason)` suppresses rule SRnnn there. Legitimate
