@@ -1,0 +1,84 @@
+#pragma once
+
+#include "soft/pool.h"
+
+namespace softres::soft {
+
+/// Move-only RAII holder for one granted Pool unit. Pool::acquire is
+/// callback-based — the grant fires inside the pool, possibly synchronously
+/// — so the guard cannot *perform* the acquire; instead the grant callback
+/// `adopt`s the unit into a guard parked where the in-flight state lives
+/// (the Request visit blocks, see tier/request.h). From then on every exit
+/// path — explicit release, early return, exception, teardown — pays the
+/// unit back exactly once, which is the acquire/release bracket softres-lint
+/// SR012 enforces outside src/soft.
+///
+/// `detach()` is the sanctioned escape for units that outlive their owner:
+/// the web tier's lingering close keeps a worker bound after the request is
+/// recycled, and RequestArena's destructor detaches parked guards because
+/// the pools (owned by the Testbed) are destroyed before the arena drains.
+/// A detached unit must be released manually — softres-lint flags that raw
+/// release, and the call site carries a SOFTRES_LINT_ALLOW(SR012: ...)
+/// explaining why RAII cannot hold it.
+///
+/// One pointer wide; the hot tier paths hold these inside Request blocks, so
+/// adopt/release inline next to Pool's own inline fast paths.
+class PoolGuard {
+ public:
+  PoolGuard() noexcept = default;
+  PoolGuard(const PoolGuard&) = delete;
+  PoolGuard& operator=(const PoolGuard&) = delete;
+  PoolGuard(PoolGuard&& o) noexcept : pool_(o.pool_) { o.pool_ = nullptr; }
+  PoolGuard& operator=(PoolGuard&& o) noexcept {
+    if (this != &o) {
+      release();
+      pool_ = o.pool_;
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  ~PoolGuard() { release(); }
+
+  /// Take ownership of a unit of `pool` that the grant callback just
+  /// received. A guard already holding a unit releases it first — adopting
+  /// a fresh grant of the same pool is a release+own, not a merge.
+  void adopt(Pool& pool) {
+    release();
+    pool_ = &pool;
+  }
+
+  /// Return the held unit (no-op when empty). The guard empties itself
+  /// *before* calling into the pool: Pool::release grants the oldest waiter
+  /// synchronously, and that continuation may re-enter the code that owns
+  /// this guard.
+  void release() {
+    if (pool_ != nullptr) {
+      Pool* p = pool_;
+      pool_ = nullptr;
+      p->release();
+    }
+  }
+
+  /// Give up ownership without releasing; returns the pool (nullptr when
+  /// empty). The caller takes over the release obligation.
+  Pool* detach() noexcept {
+    Pool* p = pool_;
+    pool_ = nullptr;
+    return p;
+  }
+
+  /// Non-blocking acquire: an engaged guard on success, empty on failure.
+  static PoolGuard try_acquire(Pool& pool) {
+    PoolGuard g;
+    if (pool.try_acquire()) g.pool_ = &pool;
+    return g;
+  }
+
+  explicit operator bool() const noexcept { return pool_ != nullptr; }
+  Pool* pool() const noexcept { return pool_; }
+
+ private:
+  Pool* pool_ = nullptr;
+};
+
+}  // namespace softres::soft

@@ -29,7 +29,13 @@ void ApacheServer::handle(const RequestPtr& req, Callback responded) {
   v.arrived = sim().now();
   v.responded = std::move(responded);
   Request* r = req.get();
-  workers_.acquire([r] { on_worker(r); });
+  workers_.acquire([r] {
+    // Adopt the grant into the request's guard before anything can exit:
+    // from here every path pays the worker back exactly once (SR012).
+    auto& av = r->apache_visit;
+    av.worker.adopt(av.server->workers_);
+    on_worker(r);
+  });
 }
 
 void ApacheServer::on_worker(Request* r) {
@@ -82,20 +88,26 @@ void ApacheServer::respond(Request* r) {
     const double queue_s = v.worker_started - v.arrived;
     Callback responded = std::move(v.responded);
     RequestPtr keep = std::move(v.self);  // alive until the span is recorded
+    // Lingering close: the worker stays bound to the connection until the
+    // client FINs — it outlives the request, which is recycled as soon as
+    // `keep` drops. The guard therefore cannot ride in the FIN closure;
+    // detach the unit and pay it back manually when the timer fires.
+    soft::Pool* workers = v.worker.detach();
     s->to_client_.send(r->response_bytes, std::move(responded));
     s->job_left(entered);
     ++s->win_processed_;
-    // Lingering close: the worker stays bound to the connection until the
-    // client FINs; under loaded clients this dominates worker busy time.
     const double fin_delay = s->tcp_.sample_fin_delay(s->client_load_());
     r->record_span(s->name(), entered, s->sim().now(), queue_s,
                    /*conn_queue_s=*/0.0, /*gc_s=*/0.0, fin_delay);
-    s->sim().schedule(fin_delay, [s, worker_started] {
+    s->sim().schedule(fin_delay, [s, worker_started, workers] {
       const double busy = s->sim().now() - worker_started;
       s->win_busy_sum_s_ += busy;
       ++s->win_busy_n_;
       s->window_busy_stats_.add(busy);
-      s->workers_.release();
+      // The unit was detached from the request's PoolGuard in respond();
+      // horizon teardown deliberately abandons units still inside the delay.
+      // SOFTRES_LINT_ALLOW(SR012: lingering-close FIN release of a detached unit)
+      workers->release();
     });
   });
 }

@@ -10,6 +10,7 @@
 
 #include "sim/inline_callback.h"
 #include "sim/sim_time.h"
+#include "soft/pool_guard.h"
 #include "support/prof.h"
 
 namespace softres::tier {
@@ -182,6 +183,10 @@ struct Request {
     sim::SimTime worker_started = 0.0;
     sim::SimTime conn_started = 0.0;
     sim::InlineCallback responded;
+    // The worker unit, adopted inside the acquire grant callback and
+    // detached when the response leaves (lingering close keeps the worker
+    // bound past the request's life; apache.cc releases it on FIN).
+    soft::PoolGuard worker;
   } apache_visit;
   struct TomcatVisitState {  // one page's Tomcat residence
     RequestPtr self;
@@ -192,6 +197,11 @@ struct Request {
     double conn_queue_s = 0.0;
     double gc0 = 0.0;
     sim::InlineCallback done;
+    // The servlet thread and (for query-bearing requests) the DB
+    // connection, adopted in their grant callbacks and released where the
+    // corresponding phase ends (tomcat.cc).
+    soft::PoolGuard thread;
+    soft::PoolGuard db_conn;
   } tomcat_visit;
   struct QueryLoopState {  // Tomcat's per-request query loop
     RequestPtr self;
@@ -243,7 +253,9 @@ struct Request {
     // blocks; a populated one here means a tier leaked its in-flight state.
     assert(!client_hold.self);
     assert(!apache_visit.self && !apache_visit.responded);
+    assert(!apache_visit.worker);
     assert(!tomcat_visit.self && !tomcat_visit.done);
+    assert(!tomcat_visit.thread && !tomcat_visit.db_conn);
     assert(!query_loop.self && !query_loop.done);
     assert(!cjdbc_visit.self && !cjdbc_visit.done);
     assert(!mysql_visit.self && !mysql_visit.done);
@@ -285,6 +297,13 @@ class RequestArena {
     std::vector<RequestPtr> keeps;
     std::vector<sim::InlineCallback> dones;
     for (Request& r : slab_) {
+      // Parked pool units are detached, not released: the pools live in the
+      // Testbed, which the run tears down before this arena, and a release
+      // would also synchronously grant a waiter mid-teardown. A trial that
+      // stops at its horizon deliberately abandons these units.
+      r.apache_visit.worker.detach();
+      r.tomcat_visit.thread.detach();
+      r.tomcat_visit.db_conn.detach();
       keeps.push_back(std::move(r.client_hold.self));
       keeps.push_back(std::move(r.apache_visit.self));
       keeps.push_back(std::move(r.tomcat_visit.self));

@@ -31,7 +31,13 @@ void TomcatServer::submit(const RequestPtr& req, Callback done) {
   v.arrived = sim().now();
   v.done = std::move(done);
   Request* r = req.get();
-  threads_.acquire([r] { on_thread(r); });
+  threads_.acquire([r] {
+    // Adopt the grant into the request's guard before anything can exit:
+    // from here every path pays the thread back exactly once (SR012).
+    auto& tv = r->tomcat_visit;
+    tv.thread.adopt(tv.server->threads_);
+    on_thread(r);
+  });
 }
 
 void TomcatServer::on_thread(Request* r) {
@@ -57,9 +63,10 @@ void TomcatServer::on_thread(Request* r) {
     s->db_conns_.acquire([r] {
       auto& cv = r->tomcat_visit;
       TomcatServer* cs = cv.server;
+      cv.db_conn.adopt(cs->db_conns_);
       cv.conn_queue_s = cs->sim().now() - cv.conn_wait_started;
       cs->run_queries(RequestPtr(r), r->num_queries, [r] {
-        r->tomcat_visit.server->db_conns_.release();
+        r->tomcat_visit.db_conn.release();
         finish_visit(r);
       });
     });
@@ -81,7 +88,7 @@ void TomcatServer::finish_visit(Request* r) {
                      fv.entered - fv.arrived, fv.conn_queue_s,
                      s->jvm_.total_gc_seconds() - fv.gc0);
     }
-    s->threads_.release();
+    fv.thread.release();
     Callback done = std::move(fv.done);
     RequestPtr keep = std::move(fv.self);  // alive until done() returns
     done();

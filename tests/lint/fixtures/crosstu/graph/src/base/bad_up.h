@@ -1,0 +1,7 @@
+#pragma once
+
+#include "top/top.h"
+
+namespace fix {
+inline int bad_up_value() { return top_value() + 1; }
+}  // namespace fix

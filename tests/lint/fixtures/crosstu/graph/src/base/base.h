@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fix {
+inline int base_value() { return 1; }
+}  // namespace fix

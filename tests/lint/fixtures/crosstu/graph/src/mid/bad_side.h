@@ -1,0 +1,7 @@
+#pragma once
+
+#include "side/side.h"
+
+namespace fix {
+inline int bad_side_value() { return side_value() + 1; }
+}  // namespace fix

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "mid/cycle_b.h"
+
+namespace fix {
+inline int cycle_a_value() { return 1; }
+}  // namespace fix

@@ -1,0 +1,7 @@
+#pragma once
+
+#include "mid/cycle_a.h"
+
+namespace fix {
+inline int cycle_b_value() { return 2; }
+}  // namespace fix

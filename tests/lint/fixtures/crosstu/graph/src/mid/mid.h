@@ -1,0 +1,7 @@
+#pragma once
+
+#include "base/base.h"
+
+namespace fix {
+inline int mid_value() { return base_value() + 1; }
+}  // namespace fix

@@ -1,0 +1,5 @@
+#pragma once
+
+namespace fix {
+inline int side_value() { return 2; }
+}  // namespace fix

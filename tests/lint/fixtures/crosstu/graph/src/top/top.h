@@ -1,0 +1,7 @@
+#pragma once
+
+#include "mid/mid.h"
+
+namespace fix {
+inline int top_value() { return mid_value() + 1; }
+}  // namespace fix

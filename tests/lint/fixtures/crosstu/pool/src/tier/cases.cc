@@ -1,0 +1,60 @@
+// SR012 fixture: one leaked grant, one early return while holding, one raw
+// release with no acquire in scope; the ok cases must stay silent.
+
+namespace fix {
+
+struct Pool {
+  void acquire(int cb);
+  void release();
+};
+
+struct Guard {
+  void adopt(Pool& p);
+};
+
+struct Req {
+  bool bad = false;
+  Guard guard;
+};
+
+void use(Req* r);
+int make_cb();
+
+void leak_case(Pool& workers, Req* r) {
+  workers.acquire([r] {
+    use(r);
+  });
+}
+
+void early_return_case(Pool& threads, Req* r) {
+  threads.acquire([r, &threads] {
+    if (r->bad) {
+      return;
+    }
+    threads.release();
+  });
+}
+
+void raw_release_case(Pool& conns) {
+  conns.release();
+}
+
+void ok_adopt_case(Pool& workers, Req* r) {
+  workers.acquire([r, &workers] {
+    r->guard.adopt(workers);
+    use(r);
+  });
+}
+
+void ok_release_case(Pool& workers, Req* r) {
+  workers.acquire([r, &workers] {
+    use(r);
+    workers.release();
+  });
+}
+
+void ok_non_lambda_case(Pool& workers) {
+  workers.acquire(make_cb());
+}
+
+}  // namespace fix

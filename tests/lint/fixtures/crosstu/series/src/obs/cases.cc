@@ -1,0 +1,31 @@
+// SR013 fixture: one typo'd lookup, one orphan registration; the exact and
+// fragment-compatible lookups must stay silent.
+
+namespace fix {
+
+struct Str {
+  Str(const char* s);
+};
+Str operator+(const Str& a, const char* b);
+
+struct Sampler {
+  void add_probe(const Str& name, int fn);
+};
+struct Registry {
+  void counter(const Str& name);
+};
+struct Timeline {
+  void reader(const Str& name);
+  void track(const Str& name);
+};
+
+void wire(Sampler& sampler, Registry& reg, Timeline& tl, const Str& prefix) {
+  sampler.add_probe("cpu_util_pct", 0);
+  sampler.add_probe(prefix + ".processed", 1);
+  reg.counter("orphan.series");
+  tl.reader("cpu_util_pct");
+  tl.track("node0.processed");
+  tl.track("cpu_util_pc");
+}
+
+}  // namespace fix

@@ -4,7 +4,10 @@
 //    string stripping, the SOFTRES_LINT_ALLOW escape hatch;
 //  * scan_tree over tests/lint/fixtures (a miniature repository layout,
 //    SOFTRES_LINT_FIXTURE_DIR) — exact rule IDs and line numbers per seeded
-//    violation, and zero findings on the clean fixtures.
+//    violation, and zero findings on the clean fixtures;
+//  * analyze_tree over tests/lint/fixtures/crosstu/{graph,pool,series} —
+//    golden (file, line, rule) triples for the cross-TU passes SR011-SR013,
+//    plus the SARIF/markdown renderings of those analyses.
 // The real tree's cleanliness is enforced separately by the
 // softres_lint_clean ctest (tools/lint/CMakeLists.txt).
 
@@ -39,8 +42,24 @@ TEST(LintClassifyTest, DomainFromPath) {
             lint::Domain::kDriver);
   EXPECT_EQ(lint::classify_path("examples/quickstart.cpp"),
             lint::Domain::kDriver);
-  EXPECT_EQ(lint::classify_path("tests/rng_test.cc"), lint::Domain::kExempt);
-  EXPECT_EQ(lint::classify_path("tools/lint/lint.cc"), lint::Domain::kExempt);
+  EXPECT_EQ(lint::classify_path("tests/rng_test.cc"), lint::Domain::kTest);
+  EXPECT_EQ(lint::classify_path("tools/lint/lint.cc"), lint::Domain::kTool);
+  EXPECT_EQ(lint::classify_path("third_party/x.cc"), lint::Domain::kExempt);
+}
+
+TEST(LintScanTest, ToolAndTestDomainsKeepDeterminismRulesOnly) {
+  // The entropy ban binds everywhere, harness code included...
+  EXPECT_EQ(rules_of(lint::scan_file("tools/lint/x.cc",
+                                     "#include <random>\n")),
+            (std::vector<std::string>{"SR001"}));
+  EXPECT_EQ(rules_of(lint::scan_file("tests/x_test.cc",
+                                     "std::mt19937 gen(1);\n")),
+            (std::vector<std::string>{"SR001"}));
+  // ...but tests construct Rng streams and resize pools by design.
+  EXPECT_TRUE(lint::scan_file("tests/x_test.cc", "sim::Rng r(123);\n").empty());
+  EXPECT_TRUE(lint::scan_file("tools/x.cc", "sim::Rng r(123);\n").empty());
+  EXPECT_TRUE(
+      lint::scan_file("tests/x_test.cc", "pool->set_capacity(64);\n").empty());
 }
 
 TEST(LintScanTest, BannedRngTokens) {
@@ -66,6 +85,13 @@ TEST(LintScanTest, CommentsAndStringsAreStripped) {
                               "/* system_clock in a block\n"
                               "   spanning lines */\n"
                               "const char* s = \"std::rand()\";\n")
+                  .empty());
+  // Raw string bodies are stripped too, across lines and with a delimiter.
+  EXPECT_TRUE(lint::scan_file("src/sim/x.cc",
+                              "const char* r = R\"(std::mt19937 g;)\";\n"
+                              "const char* d = R\"x(\n"
+                              "  std::random_device rd;\n"
+                              ")x\";\n")
                   .empty());
 }
 
@@ -242,7 +268,8 @@ TEST(LintScanTest, RuleTableCoversAllEmittedRules) {
   for (const auto& r : lint::rule_table()) ids.insert(r.id);
   EXPECT_EQ(ids, (std::set<std::string>{"SR001", "SR002", "SR003", "SR004",
                                         "SR005", "SR006", "SR007", "SR008",
-                                        "SR009", "SR010"}));
+                                        "SR009", "SR010", "SR011", "SR012",
+                                        "SR013", "SR014"}));
 }
 
 // ---- Fixture-tree scan: exact rule IDs and lines per seeded violation ----
@@ -328,4 +355,139 @@ TEST(LintFixtureTest, FormatFindingIsClickable) {
   const std::string text = lint::format_finding(f);
   EXPECT_NE(text.find("src/sim/bad_rng.cc:8: [SR001]"), std::string::npos);
   EXPECT_NE(text.find("std::random_device rd;"), std::string::npos);
+  f.severity = lint::Severity::kNote;
+  EXPECT_NE(lint::format_finding(f).find("[note SR001]"), std::string::npos);
+}
+
+// ---- Cross-TU passes: golden triples over the crosstu fixture trees ----
+
+namespace {
+
+struct Expected {
+  const char* file;
+  int line;
+  const char* rule;
+};
+
+void expect_triples(const std::vector<lint::Finding>& fs,
+                    const std::vector<Expected>& expected) {
+  ASSERT_EQ(fs.size(), expected.size()) << [&] {
+    std::string got;
+    for (const auto& f : fs) got += lint::format_finding(f) + "\n";
+    return got;
+  }();
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(fs[i].file, expected[i].file) << "finding " << i;
+    EXPECT_EQ(fs[i].line, expected[i].line) << "finding " << i;
+    EXPECT_EQ(fs[i].rule, expected[i].rule) << "finding " << i;
+  }
+}
+
+}  // namespace
+
+TEST(LintCrossTuTest, IncludeGraphGolden) {
+  lint::Options opt;
+  opt.layers_file = SOFTRES_LINT_FIXTURE_DIR "/crosstu/graph/layers.txt";
+  const auto a = lint::analyze_tree(SOFTRES_LINT_FIXTURE_DIR "/crosstu/graph",
+                                    {"src"}, opt);
+  EXPECT_TRUE(a.errors.empty());
+  expect_triples(a.findings, {
+                                 {"src/base/bad_up.h", 3, "SR011"},
+                                 {"src/mid/bad_side.h", 3, "SR011"},
+                                 {"src/mid/cycle_b.h", 3, "SR011"},
+                             });
+  ASSERT_EQ(a.findings.size(), 3u);
+  EXPECT_NE(a.findings[0].message.find("upward include"), std::string::npos);
+  EXPECT_NE(a.findings[1].message.find("sideways include"), std::string::npos);
+  EXPECT_NE(a.findings[2].message.find(
+                "include cycle: src/mid/cycle_a.h -> src/mid/cycle_b.h -> "
+                "src/mid/cycle_a.h"),
+            std::string::npos);
+  EXPECT_TRUE(a.notes.empty());
+}
+
+TEST(LintCrossTuTest, PoolContractGolden) {
+  const auto a = lint::analyze_tree(SOFTRES_LINT_FIXTURE_DIR "/crosstu/pool",
+                                    {"src"});
+  EXPECT_TRUE(a.errors.empty());
+  expect_triples(a.findings, {
+                                 {"src/tier/cases.cc", 24, "SR012"},  // leak
+                                 {"src/tier/cases.cc", 32, "SR012"},  // return
+                                 {"src/tier/cases.cc", 39, "SR012"},  // raw
+                             });
+  ASSERT_EQ(a.findings.size(), 3u);
+  EXPECT_NE(a.findings[0].message.find("leaks from the grant callback"),
+            std::string::npos);
+  EXPECT_NE(a.findings[1].message.find("early return"), std::string::npos);
+  EXPECT_NE(a.findings[2].message.find("raw Pool::release"),
+            std::string::npos);
+}
+
+TEST(LintCrossTuTest, SeriesXrefGolden) {
+  const auto a = lint::analyze_tree(SOFTRES_LINT_FIXTURE_DIR "/crosstu/series",
+                                    {"src"});
+  EXPECT_TRUE(a.errors.empty());
+  // The typo'd lookup is the only finding: the exact lookup matches its
+  // registration and the runtime-prefixed probe matches by suffix.
+  expect_triples(a.findings, {{"src/obs/cases.cc", 28, "SR013"}});
+  ASSERT_EQ(a.findings.size(), 1u);
+  EXPECT_NE(a.findings[0].message.find("cpu_util_pc"), std::string::npos);
+  // The never-read exact registration is a note, not a gate.
+  expect_triples(a.notes, {{"src/obs/cases.cc", 25, "SR013"}});
+  ASSERT_EQ(a.notes.size(), 1u);
+  EXPECT_EQ(a.notes[0].severity, lint::Severity::kNote);
+  // Passed through a variable: a literal inside `.find(` would look like a
+  // series lookup to SR013 itself.
+  const std::string orphan = std::string("orphan") + ".series";
+  EXPECT_NE(a.notes[0].message.find(orphan), std::string::npos);
+}
+
+TEST(LintCrossTuTest, ExcludePrefixSkipsFiles) {
+  lint::Options opt;
+  opt.exclude_prefixes = {"src/tier"};
+  const auto a = lint::analyze_tree(SOFTRES_LINT_FIXTURE_DIR "/crosstu/pool",
+                                    {"src"}, opt);
+  EXPECT_EQ(a.files_scanned, 0u);
+  EXPECT_TRUE(a.findings.empty());
+}
+
+TEST(LintOutputTest, SarifRendering) {
+  const auto a = lint::analyze_tree(SOFTRES_LINT_FIXTURE_DIR "/crosstu/pool",
+                                    {"src"});
+  const std::string sarif = lint::to_sarif(a);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\": \"softres-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"SR012\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"uriBaseId\": \"SRCROOT\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\": 24"), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\": \"warning\""), std::string::npos);
+  // Every rule rides along as a reportingDescriptor.
+  for (const auto& r : lint::rule_table()) {
+    EXPECT_NE(sarif.find("\"id\": \"" + r.id + "\""), std::string::npos)
+        << r.id;
+  }
+  // Notes render at note level (series fixture has one).
+  const auto s = lint::analyze_tree(SOFTRES_LINT_FIXTURE_DIR "/crosstu/series",
+                                    {"src"});
+  EXPECT_NE(lint::to_sarif(s).find("\"level\": \"note\""), std::string::npos);
+}
+
+TEST(LintOutputTest, MarkdownRendering) {
+  const auto a = lint::analyze_tree(SOFTRES_LINT_FIXTURE_DIR "/crosstu/series",
+                                    {"src"});
+  const std::string md = lint::to_markdown(a);
+  EXPECT_NE(md.find("### softres-lint"), std::string::npos);
+  EXPECT_NE(md.find("| `src/obs/cases.cc` | 28 | SR013 |"),
+            std::string::npos);
+  lint::Analysis clean;
+  EXPECT_NE(lint::to_markdown(clean).find(":white_check_mark:"),
+            std::string::npos);
+}
+
+TEST(LintOutputTest, DefaultScanSet) {
+  EXPECT_EQ(lint::default_paths(),
+            (std::vector<std::string>{"src", "bench", "examples", "tools",
+                                      "tests"}));
+  const auto& ex = lint::default_excludes();
+  EXPECT_NE(std::find(ex.begin(), ex.end(), "tests/lint/fixtures"), ex.end());
 }

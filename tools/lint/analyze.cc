@@ -1,0 +1,183 @@
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+#include "passes.h"
+
+namespace softres::lint {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool is_source(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
+         ext == ".cxx";
+}
+
+bool excluded(const std::string& rel,
+              const std::vector<std::string>& prefixes) {
+  for (const auto& p : prefixes) {
+    if (path_under(rel, p)) return true;
+  }
+  return false;
+}
+
+/// Read + lex every source file under `paths`. The lex is shared by the
+/// per-file rules and all cross-TU passes — each file is read exactly once.
+std::vector<SourceFile> collect_files(const std::string& root,
+                                      const std::vector<std::string>& paths,
+                                      const Options& options,
+                                      std::vector<std::string>* errors) {
+  std::vector<SourceFile> files;
+  auto note_error = [errors](const std::string& msg) {
+    if (errors != nullptr) errors->push_back(msg);
+  };
+  auto load_one = [&](const fs::path& abs, const std::string& rel) {
+    if (excluded(rel, options.exclude_prefixes)) return;
+    std::ifstream in(abs, std::ios::binary);
+    if (!in) {
+      note_error("cannot read " + abs.string());
+      return;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile sf;
+    sf.rel_path = rel;
+    sf.domain = classify_path(rel);
+    sf.lex = lex_file(buf.str());
+    files.push_back(std::move(sf));
+  };
+
+  const fs::path root_path(root);
+  for (const auto& p : paths) {
+    const fs::path abs = root_path / p;
+    std::error_code ec;
+    if (fs::is_directory(abs, ec)) {
+      for (fs::recursive_directory_iterator it(abs, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (!it->is_regular_file() || !is_source(it->path())) continue;
+        const std::string rel =
+            fs::relative(it->path(), root_path, ec).generic_string();
+        load_one(it->path(), rel);
+      }
+      if (ec) note_error("walking " + abs.string() + ": " + ec.message());
+    } else if (fs::is_regular_file(abs, ec)) {
+      load_one(abs, fs::path(p).generic_string());
+    } else {
+      note_error("no such file or directory: " + abs.string());
+    }
+  }
+  // Directory iteration order is filesystem-dependent; the analysis must
+  // not be (the checker holds itself to its own contract).
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.rel_path < b.rel_path;
+            });
+  return files;
+}
+
+void sort_findings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+}  // namespace
+
+void apply_allow(const std::map<std::string, const FileLex*>& lex_by_file,
+                 std::vector<Finding>* findings) {
+  auto suppressed = [&lex_by_file](const Finding& f) {
+    auto it = lex_by_file.find(f.file);
+    if (it == lex_by_file.end()) return false;
+    auto line = it->second->allowed.find(f.line);
+    return line != it->second->allowed.end() &&
+           line->second.count(f.rule) > 0;
+  };
+  findings->erase(
+      std::remove_if(findings->begin(), findings->end(), suppressed),
+      findings->end());
+}
+
+Analysis analyze_tree(const std::string& root,
+                      const std::vector<std::string>& paths,
+                      const Options& options) {
+  Analysis a;
+  const std::vector<SourceFile> files =
+      collect_files(root, paths, options, &a.errors);
+  a.files_scanned = files.size();
+
+  for (const SourceFile& sf : files) {
+    std::vector<Finding> file_findings = scan_lexed_file(sf.rel_path, sf.lex);
+    a.findings.insert(a.findings.end(),
+                      std::make_move_iterator(file_findings.begin()),
+                      std::make_move_iterator(file_findings.end()));
+  }
+
+  if (options.cross_tu) {
+    std::vector<Finding> cross;
+
+    // SR011 — layer DAG + include cycles. The layers file is part of the
+    // analysis input; a missing file skips the pass (fixture trees opt in
+    // by shipping their own layers.txt).
+    std::string layers_path = options.layers_file;
+    if (layers_path.empty()) {
+      const fs::path def = fs::path(root) / "tools" / "lint" / "layers.txt";
+      std::error_code ec;
+      if (fs::is_regular_file(def, ec)) layers_path = def.string();
+    }
+    if (!layers_path.empty()) {
+      std::ifstream in(layers_path, std::ios::binary);
+      if (!in) {
+        a.errors.push_back("cannot read layers file " + layers_path);
+      } else {
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        const LayerSpec layers = parse_layers(buf.str());
+        if (!layers.empty()) check_include_graph(files, layers, &cross);
+      }
+    }
+
+    check_pool_contract(files, &cross);
+    check_series_xref(files, &cross, &a.notes);
+
+    // Cross-TU passes run before suppression so one ALLOW map covers every
+    // rule the same way.
+    std::map<std::string, const FileLex*> lex_by_file;
+    for (const SourceFile& sf : files) lex_by_file[sf.rel_path] = &sf.lex;
+    apply_allow(lex_by_file, &cross);
+    apply_allow(lex_by_file, &a.notes);
+
+    a.findings.insert(a.findings.end(),
+                      std::make_move_iterator(cross.begin()),
+                      std::make_move_iterator(cross.end()));
+  }
+
+  sort_findings(&a.findings);
+  sort_findings(&a.notes);
+  return a;
+}
+
+std::vector<Finding> scan_tree(const std::string& root,
+                               const std::vector<std::string>& paths,
+                               std::vector<std::string>* errors) {
+  Options opt;
+  opt.cross_tu = false;
+  Analysis a = analyze_tree(root, paths, opt);
+  if (errors != nullptr) {
+    errors->insert(errors->end(), a.errors.begin(), a.errors.end());
+  }
+  return std::move(a.findings);
+}
+
+}  // namespace softres::lint

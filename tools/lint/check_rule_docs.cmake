@@ -1,0 +1,47 @@
+# Doc-sync check: the README's lint rule listing must be exactly the output
+# of `softres-lint --list-rules`, fenced between the lint-rules markers.
+# Regenerate with:
+#   ./build/tools/lint/softres-lint --list-rules   (paste between markers)
+#
+# Invoked by the softres_lint_docs ctest with -DLINT_BIN=... -DREADME=...
+
+execute_process(
+  COMMAND ${LINT_BIN} --list-rules
+  OUTPUT_VARIABLE live
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "softres-lint --list-rules failed (rc=${rc})")
+endif()
+
+file(READ ${README} readme)
+string(FIND "${readme}" "<!-- lint-rules:begin -->" begin_pos)
+string(FIND "${readme}" "<!-- lint-rules:end -->" end_pos)
+if(begin_pos EQUAL -1 OR end_pos EQUAL -1)
+  message(FATAL_ERROR
+    "README.md is missing the <!-- lint-rules:begin/end --> markers")
+endif()
+
+math(EXPR block_len "${end_pos} - ${begin_pos}")
+string(SUBSTRING "${readme}" ${begin_pos} ${block_len} block)
+# The block holds the marker line, a ``` fence, the listing, and a closing
+# fence. Extract what sits between the fences.
+string(FIND "${block}" "```\n" fence_open)
+if(fence_open EQUAL -1)
+  message(FATAL_ERROR "lint-rules block has no opening ``` fence")
+endif()
+math(EXPR content_start "${fence_open} + 4")
+string(SUBSTRING "${block}" ${content_start} -1 rest)
+string(FIND "${rest}" "```" fence_close)
+if(fence_close EQUAL -1)
+  message(FATAL_ERROR "lint-rules block has no closing ``` fence")
+endif()
+string(SUBSTRING "${rest}" 0 ${fence_close} documented)
+
+if(NOT documented STREQUAL live)
+  message(FATAL_ERROR
+    "README lint rule table is out of date.\n"
+    "Regenerate with `softres-lint --list-rules` and paste between the\n"
+    "<!-- lint-rules:begin/end --> markers.\n"
+    "---- documented ----\n${documented}\n"
+    "---- live ----\n${live}")
+endif()

@@ -1,0 +1,220 @@
+// SR011 — include-graph layering. Two checks over the quoted #include
+// edges of src/:
+//   1. every edge must point at the same layer or a strictly lower rank in
+//      the DAG declared in tools/lint/layers.txt (upward and sideways edges
+//      are violations);
+//   2. the file-level include graph must be acyclic (a cycle is a layering
+//      bug even when every edge individually looks same-layer).
+// Angled includes are system headers and out of scope; quoted includes in
+// this repository are always written relative to src/ (enforced here by
+// resolution: a target that resolves neither against src/ nor against the
+// includer's directory is skipped, not guessed at).
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+#include "passes.h"
+
+namespace softres::lint {
+
+namespace {
+
+/// "src/tier/apache.cc" -> "tier"; "" when not a two-level src path.
+std::string layer_of(const std::string& rel_path) {
+  if (rel_path.rfind("src/", 0) != 0) return "";
+  const std::size_t next = rel_path.find('/', 4);
+  if (next == std::string::npos) return "";
+  return rel_path.substr(4, next - 4);
+}
+
+std::string dir_of(const std::string& rel_path) {
+  const std::size_t slash = rel_path.rfind('/');
+  return slash == std::string::npos ? "" : rel_path.substr(0, slash);
+}
+
+struct Graph {
+  // node -> (target node -> include line); ordered maps keep every
+  // traversal deterministic.
+  std::map<std::string, std::map<std::string, int>> edges;
+};
+
+}  // namespace
+
+LayerSpec parse_layers(const std::string& contents) {
+  LayerSpec spec;
+  int rank = 0;
+  std::size_t start = 0;
+  while (start <= contents.size()) {
+    std::size_t end = contents.find('\n', start);
+    if (end == std::string::npos) end = contents.size();
+    std::string line = contents.substr(start, end - start);
+    start = end + 1;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::vector<std::string> names;
+    std::string cur;
+    for (char c : line + " ") {
+      if (c == ' ' || c == '\t' || c == '\r') {
+        if (!cur.empty()) names.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    if (names.empty()) continue;
+    for (const auto& n : names) spec.rank[n] = rank;
+    spec.rows.push_back(names);
+    ++rank;
+    if (start > contents.size()) break;
+  }
+  return spec;
+}
+
+void check_include_graph(const std::vector<SourceFile>& files,
+                         const LayerSpec& layers,
+                         std::vector<Finding>* findings) {
+  std::set<std::string> known;
+  for (const SourceFile& sf : files) known.insert(sf.rel_path);
+
+  auto resolve = [&known](const std::string& includer,
+                          const std::string& target) -> std::string {
+    const std::string from_src = "src/" + target;
+    if (known.count(from_src) > 0) return from_src;
+    const std::string dir = dir_of(includer);
+    if (!dir.empty()) {
+      const std::string sibling = dir + "/" + target;
+      if (known.count(sibling) > 0) return sibling;
+    }
+    return "";
+  };
+
+  Graph g;
+  for (const SourceFile& sf : files) {
+    if (sf.rel_path.rfind("src/", 0) != 0) continue;
+    const std::string self_layer = layer_of(sf.rel_path);
+    auto self_rank = layers.rank.find(self_layer);
+    for (const IncludeDirective& inc : sf.lex.includes) {
+      if (inc.angled) continue;
+      const std::string target = resolve(sf.rel_path, inc.target);
+      if (target.empty() || target.rfind("src/", 0) != 0) continue;
+      auto [it, fresh] = g.edges[sf.rel_path].emplace(target, inc.line);
+      (void)it;
+      (void)fresh;
+
+      const std::string target_layer = layer_of(target);
+      if (self_layer.empty() || target_layer.empty() ||
+          self_layer == target_layer)
+        continue;
+      auto target_rank = layers.rank.find(target_layer);
+      if (self_rank == layers.rank.end() ||
+          target_rank == layers.rank.end()) {
+        Finding f;
+        f.file = sf.rel_path;
+        f.line = inc.line;
+        f.rule = "SR011";
+        f.message = "layer '" +
+                    (self_rank == layers.rank.end() ? self_layer
+                                                    : target_layer) +
+                    "' is not declared in the layer DAG "
+                    "(tools/lint/layers.txt); add it at the right rank";
+        f.excerpt = trim(sf.lex.raw_lines[inc.line - 1]);
+        findings->push_back(std::move(f));
+        continue;
+      }
+      if (target_rank->second > self_rank->second) {
+        Finding f;
+        f.file = sf.rel_path;
+        f.line = inc.line;
+        f.rule = "SR011";
+        f.message = "upward include: layer '" + self_layer + "' (rank " +
+                    std::to_string(self_rank->second) +
+                    ") must not depend on higher layer '" + target_layer +
+                    "' (rank " + std::to_string(target_rank->second) +
+                    "); invert the dependency or move the shared piece down";
+        f.excerpt = trim(sf.lex.raw_lines[inc.line - 1]);
+        findings->push_back(std::move(f));
+      } else if (target_rank->second == self_rank->second) {
+        Finding f;
+        f.file = sf.rel_path;
+        f.line = inc.line;
+        f.rule = "SR011";
+        f.message = "sideways include: layers '" + self_layer + "' and '" +
+                    target_layer +
+                    "' share a rank and must stay independent; route the "
+                    "dependency through a lower layer";
+        f.excerpt = trim(sf.lex.raw_lines[inc.line - 1]);
+        findings->push_back(std::move(f));
+      }
+    }
+  }
+
+  // Cycle detection: iterative DFS with tri-color marking over the sorted
+  // node set. A back edge closes a cycle; it is reported once, at the edge
+  // that closes it, with the full path spelled out.
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack_path;
+  std::set<std::string> reported_cycles;
+
+  struct Frame {
+    std::string node;
+    std::map<std::string, int>::const_iterator next, end;
+  };
+
+  for (const auto& [start, _] : g.edges) {
+    if (color[start] != 0) continue;
+    std::vector<Frame> stack;
+    stack.push_back({start, g.edges[start].cbegin(), g.edges[start].cend()});
+    color[start] = 1;
+    stack_path.push_back(start);
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      if (fr.next == fr.end) {
+        color[fr.node] = 2;
+        stack_path.pop_back();
+        stack.pop_back();
+        continue;
+      }
+      const std::string target = fr.next->first;
+      const int line = fr.next->second;
+      ++fr.next;
+      const int c = color[target];
+      if (c == 1) {
+        // Back edge: fr.node -> target closes a cycle through stack_path.
+        auto at = std::find(stack_path.begin(), stack_path.end(), target);
+        std::vector<std::string> cycle(at, stack_path.end());
+        // Canonical form (rotation starting at the smallest member) so the
+        // same cycle found from different roots is reported once.
+        auto min_it = std::min_element(cycle.begin(), cycle.end());
+        std::rotate(cycle.begin(), min_it, cycle.end());
+        std::string key;
+        for (const auto& n : cycle) key += n + ";";
+        if (!reported_cycles.insert(key).second) continue;
+        std::string path;
+        for (const auto& n : cycle) path += n + " -> ";
+        path += cycle.front();
+        Finding f;
+        f.file = fr.node;
+        f.line = line;
+        f.rule = "SR011";
+        f.message = "include cycle: " + path;
+        findings->push_back(std::move(f));
+        continue;
+      }
+      if (c == 0 && g.edges.count(target) > 0) {
+        color[target] = 1;
+        stack_path.push_back(target);
+        stack.push_back(
+            {target, g.edges[target].cbegin(), g.edges[target].cend()});
+      } else if (c == 0) {
+        color[target] = 2;  // leaf header with no outgoing edges
+      }
+    }
+  }
+}
+
+}  // namespace softres::lint

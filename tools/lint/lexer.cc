@@ -1,0 +1,363 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace softres::lint {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool contains_token(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t");
+  return s.substr(b, e - b + 1);
+}
+
+namespace {
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+/// Raw-string literal prefixes: the '"' that follows one of these with no
+/// gap opens R"delim(...)delim".
+bool is_raw_prefix(const std::string& ident) {
+  return ident == "R" || ident == "LR" || ident == "uR" || ident == "UR" ||
+         ident == "u8R";
+}
+
+/// Harvest SOFTRES_LINT_ALLOW(SRnnn[, SRnnn...]: reason) rule ids from a raw
+/// source line (the annotation usually sits in a comment, so this runs on
+/// the un-stripped text).
+std::set<std::string> parse_allow(const std::string& raw_line) {
+  std::set<std::string> out;
+  static const std::string kMarker = "SOFTRES_LINT_ALLOW";
+  std::size_t pos = 0;
+  while ((pos = raw_line.find(kMarker, pos)) != std::string::npos) {
+    std::size_t i = pos + kMarker.size();
+    pos = i;
+    while (i < raw_line.size() && (raw_line[i] == ' ' || raw_line[i] == '\t'))
+      ++i;
+    if (i >= raw_line.size() || raw_line[i] != '(') continue;
+    const std::size_t close = raw_line.find(')', i);
+    const std::string body =
+        raw_line.substr(i + 1, close == std::string::npos ? std::string::npos
+                                                          : close - i - 1);
+    for (std::size_t j = 0; j + 4 < body.size(); ++j) {
+      if (body[j] == 'S' && body[j + 1] == 'R' && is_digit(body[j + 2]) &&
+          is_digit(body[j + 3]) && is_digit(body[j + 4])) {
+        out.insert(body.substr(j, 5));
+        j += 4;
+      }
+    }
+  }
+  return out;
+}
+
+/// Parse `#include <target>` / `#include "target"` from a raw line.
+bool parse_include(const std::string& raw, IncludeDirective* out) {
+  std::size_t i = 0;
+  while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+  if (i >= raw.size() || raw[i] != '#') return false;
+  ++i;
+  while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+  if (raw.compare(i, 7, "include") != 0) return false;
+  i += 7;
+  while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t')) ++i;
+  if (i >= raw.size()) return false;
+  char close;
+  if (raw[i] == '<') {
+    close = '>';
+    out->angled = true;
+  } else if (raw[i] == '"') {
+    close = '"';
+    out->angled = false;
+  } else {
+    return false;
+  }
+  const std::size_t end = raw.find(close, i + 1);
+  if (end == std::string::npos) return false;
+  out->target = raw.substr(i + 1, end - i - 1);
+  return true;
+}
+
+/// The whole lexer as a per-line state machine: block comments and raw
+/// strings carry state across lines; everything else is line-local (ordinary
+/// string/char literals do not span lines in practice, and an unterminated
+/// one consumes the rest of its line — same degradation the previous
+/// regex-based scanner had).
+class Lexer {
+ public:
+  explicit Lexer(FileLex* out) : out_(out) {}
+
+  void feed_line(const std::string& raw, int line_no) {
+    line_ = &raw;
+    line_no_ = line_no;
+    code_.clear();
+    token_end_in_code_ = std::string::npos;
+    i_ = 0;
+    if (in_raw_) continue_raw_string();
+    while (i_ < raw.size()) {
+      if (in_block_) {
+        skip_block_comment();
+        continue;
+      }
+      const char c = raw[i_];
+      if (c == '/' && i_ + 1 < raw.size() && raw[i_ + 1] == '/') break;
+      if (c == '/' && i_ + 1 < raw.size() && raw[i_ + 1] == '*') {
+        in_block_ = true;
+        i_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        begin_string();
+        continue;
+      }
+      if (c == '\'') {
+        scan_char_literal();
+        continue;
+      }
+      if (is_ident_start(c)) {
+        scan_ident();
+        continue;
+      }
+      if (is_digit(c)) {
+        scan_number();
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r') {
+        code_.push_back(c);
+        ++i_;
+        continue;
+      }
+      scan_punct();
+    }
+    out_->code_lines.push_back(code_);
+  }
+
+ private:
+  void emit(Token::Kind kind, std::string text) {
+    out_->tokens.push_back(Token{kind, std::move(text), line_no_});
+    token_end_in_code_ = code_.size();
+  }
+
+  void skip_block_comment() {
+    const std::string& raw = *line_;
+    while (i_ < raw.size()) {
+      if (raw[i_] == '*' && i_ + 1 < raw.size() && raw[i_ + 1] == '/') {
+        in_block_ = false;
+        i_ += 2;
+        return;
+      }
+      ++i_;
+    }
+  }
+
+  void scan_ident() {
+    const std::string& raw = *line_;
+    const std::size_t start = i_;
+    while (i_ < raw.size() && is_word_char(raw[i_])) ++i_;
+    const std::string ident = raw.substr(start, i_ - start);
+    code_.append(ident);
+    emit(Token::Kind::kIdent, ident);
+  }
+
+  // pp-number-ish: digits, word chars (0x1f, 1e9f), '.', and digit
+  // separators. An exponent sign after e/E/p/P stays in the token.
+  void scan_number() {
+    const std::string& raw = *line_;
+    const std::size_t start = i_;
+    while (i_ < raw.size()) {
+      const char c = raw[i_];
+      if (is_word_char(c) || c == '.') {
+        ++i_;
+        continue;
+      }
+      if (c == '\'' && i_ + 1 < raw.size() && is_word_char(raw[i_ + 1])) {
+        i_ += 2;  // digit separator
+        continue;
+      }
+      if ((c == '+' || c == '-') && i_ > start &&
+          (raw[i_ - 1] == 'e' || raw[i_ - 1] == 'E' || raw[i_ - 1] == 'p' ||
+           raw[i_ - 1] == 'P')) {
+        ++i_;
+        continue;
+      }
+      break;
+    }
+    const std::string num = raw.substr(start, i_ - start);
+    code_.append(num);
+    emit(Token::Kind::kNumber, num);
+  }
+
+  void scan_punct() {
+    const std::string& raw = *line_;
+    const char c = raw[i_];
+    if (c == ':' && i_ + 1 < raw.size() && raw[i_ + 1] == ':') {
+      code_.append("::");
+      emit(Token::Kind::kPunct, "::");
+      i_ += 2;
+      return;
+    }
+    if (c == '-' && i_ + 1 < raw.size() && raw[i_ + 1] == '>') {
+      code_.append("->");
+      emit(Token::Kind::kPunct, "->");
+      i_ += 2;
+      return;
+    }
+    code_.push_back(c);
+    emit(Token::Kind::kPunct, std::string(1, c));
+    ++i_;
+  }
+
+  // A '"' opens either an ordinary string or — when glued to a raw-string
+  // prefix identifier we just emitted — a raw string. In the raw case the
+  // prefix is part of the literal: un-emit it from both streams.
+  void begin_string() {
+    if (!out_->tokens.empty() && token_end_in_code_ == code_.size()) {
+      const Token& prev = out_->tokens.back();
+      if (prev.kind == Token::Kind::kIdent && prev.text.size() <= 2 + 1 &&
+          is_raw_prefix(prev.text) && prev.line == line_no_ &&
+          prev.text.size() <= code_.size()) {
+        code_.erase(code_.size() - prev.text.size());
+        out_->tokens.pop_back();
+        begin_raw_string();
+        return;
+      }
+    }
+    const std::string& raw = *line_;
+    ++i_;  // opening quote
+    std::string content;
+    while (i_ < raw.size()) {
+      if (raw[i_] == '\\' && i_ + 1 < raw.size()) {
+        content.append(raw, i_, 2);
+        i_ += 2;
+        continue;
+      }
+      if (raw[i_] == '"') break;
+      content.push_back(raw[i_]);
+      ++i_;
+    }
+    ++i_;  // closing quote (or one past end when unterminated)
+    code_.append("\"\"");
+    emit(Token::Kind::kString, std::move(content));
+  }
+
+  void begin_raw_string() {
+    const std::string& raw = *line_;
+    ++i_;  // the '"' after the prefix
+    raw_delim_.clear();
+    while (i_ < raw.size() && raw[i_] != '(') raw_delim_.push_back(raw[i_++]);
+    if (i_ < raw.size()) ++i_;  // '('
+    in_raw_ = true;
+    raw_content_.clear();
+    raw_open_line_ = line_no_;
+    continue_raw_string();
+  }
+
+  void continue_raw_string() {
+    const std::string& raw = *line_;
+    const std::string close = ")" + raw_delim_ + "\"";
+    const std::size_t end = raw.find(close, i_);
+    if (end == std::string::npos) {
+      raw_content_.append(raw, i_, std::string::npos);
+      raw_content_.push_back('\n');
+      i_ = raw.size();
+      return;
+    }
+    raw_content_.append(raw, i_, end - i_);
+    i_ = end + close.size();
+    in_raw_ = false;
+    code_.append("\"\"");
+    out_->tokens.push_back(
+        Token{Token::Kind::kString, std::move(raw_content_), raw_open_line_});
+    token_end_in_code_ = code_.size();
+    raw_content_.clear();
+  }
+
+  void scan_char_literal() {
+    const std::string& raw = *line_;
+    ++i_;  // opening quote
+    std::string content;
+    while (i_ < raw.size()) {
+      if (raw[i_] == '\\' && i_ + 1 < raw.size()) {
+        content.append(raw, i_, 2);
+        i_ += 2;
+        continue;
+      }
+      if (raw[i_] == '\'') break;
+      content.push_back(raw[i_]);
+      ++i_;
+    }
+    ++i_;
+    code_.append("''");
+    emit(Token::Kind::kChar, std::move(content));
+  }
+
+  FileLex* out_;
+  const std::string* line_ = nullptr;
+  int line_no_ = 0;
+  std::size_t i_ = 0;
+  std::string code_;
+  // Position in code_ right after the last emitted token; used to detect a
+  // raw-string prefix glued to the '"' that follows it.
+  std::size_t token_end_in_code_ = std::string::npos;
+  bool in_block_ = false;
+  bool in_raw_ = false;
+  std::string raw_delim_;
+  std::string raw_content_;
+  int raw_open_line_ = 0;
+};
+
+}  // namespace
+
+FileLex lex_file(const std::string& contents) {
+  FileLex fl;
+  {
+    std::size_t start = 0;
+    while (start <= contents.size()) {
+      std::size_t end = contents.find('\n', start);
+      if (end == std::string::npos) {
+        if (start < contents.size())
+          fl.raw_lines.push_back(contents.substr(start));
+        break;
+      }
+      fl.raw_lines.push_back(contents.substr(start, end - start));
+      start = end + 1;
+    }
+  }
+  Lexer lx(&fl);
+  for (std::size_t i = 0; i < fl.raw_lines.size(); ++i) {
+    const int n = static_cast<int>(i) + 1;
+    lx.feed_line(fl.raw_lines[i], n);
+    IncludeDirective inc;
+    if (parse_include(fl.raw_lines[i], &inc)) {
+      inc.line = n;
+      fl.includes.push_back(inc);
+    }
+    const std::set<std::string> rules = parse_allow(fl.raw_lines[i]);
+    if (!rules.empty()) {
+      fl.allowed[n].insert(rules.begin(), rules.end());
+      fl.allowed[n + 1].insert(rules.begin(), rules.end());
+    }
+  }
+  return fl;
+}
+
+}  // namespace softres::lint

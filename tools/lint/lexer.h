@@ -1,0 +1,69 @@
+#pragma once
+
+// Shared lexer for softres-lint. One pass over a translation unit produces
+// everything the rule passes consume:
+//   * code_lines  — the source with comments removed and string/char literal
+//                   bodies stripped (quotes kept), line structure preserved,
+//                   so line-oriented token rules report exact line numbers;
+//   * tokens      — a flat identifier/number/string/char/punct stream for the
+//                   structural passes (include graph, pool contract, series
+//                   cross-reference);
+//   * includes    — every #include directive with its target and form;
+//   * allowed     — SOFTRES_LINT_ALLOW(SRnnn: reason) annotations, mapped to
+//                   the lines they cover (their own and the next).
+//
+// The lexer understands line and block comments, string/char literals with
+// escapes, raw strings (R"delim(...)delim", including multi-line bodies),
+// and digit separators (1'000'000). It deliberately does not preprocess:
+// softres-lint checks the text developers read, not the expansion.
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace softres::lint {
+
+struct Token {
+  enum class Kind {
+    kIdent,   // identifiers and keywords
+    kNumber,  // pp-number-ish: 0x1f, 1.5, 1'000'000
+    kString,  // text = literal content without quotes (escapes kept verbatim)
+    kChar,    // text = literal content without quotes
+    kPunct,   // one punctuator; "::" and "->" are emitted as single tokens
+  };
+  Kind kind = Kind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based; multi-line raw strings report their opening line
+};
+
+struct IncludeDirective {
+  int line = 0;        // 1-based
+  std::string target;  // "sim/simulator.h" or "random"
+  bool angled = false;
+};
+
+struct FileLex {
+  std::vector<std::string> raw_lines;
+  std::vector<std::string> code_lines;
+  std::vector<Token> tokens;
+  std::vector<IncludeDirective> includes;
+  std::map<int, std::set<std::string>> allowed;  // line -> suppressed rules
+};
+
+/// Lex one file's contents. Never fails: malformed input degrades to
+/// best-effort tokens (an unterminated literal consumes the rest of its
+/// line), matching what a human reading the same text would assume.
+FileLex lex_file(const std::string& contents);
+
+// ---- helpers shared by the rule passes ----
+
+bool is_word_char(char c);
+
+/// Word-boundary token search ("thread" matches `std::thread` and
+/// `<thread>`, not `threads_` or `thread_exponent`).
+bool contains_token(const std::string& line, const std::string& token);
+
+std::string trim(const std::string& s);
+
+}  // namespace softres::lint

@@ -1,17 +1,14 @@
 #include "lint.h"
 
-#include <algorithm>
-#include <cctype>
-#include <filesystem>
-#include <fstream>
-#include <map>
-#include <regex>
 #include <set>
 #include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "passes.h"
 
 namespace softres::lint {
-
-namespace fs = std::filesystem;
 
 const std::vector<RuleInfo>& rule_table() {
   static const std::vector<RuleInfo> kRules = {
@@ -51,6 +48,24 @@ const std::vector<RuleInfo>& rule_table() {
        "(src/exp/adaptive*) and the Governor (src/core/governor*); live "
        "resizes flow through a registered soft::ResizablePoolSet controller "
        "so drain accounting, capacity epochs and resize hooks stay coherent"},
+      {"SR011", "layer-violation",
+       "#include edge that points up or sideways in the layer DAG "
+       "(tools/lint/layers.txt), or an include cycle between files; the "
+       "layering keeps simulation-reachable code independent of the "
+       "observation and driver layers above it"},
+      {"SR012", "pool-unit-leak",
+       "Pool::acquire grant that escapes its callback without being adopted "
+       "into a soft::PoolGuard or released, an early return/throw while "
+       "holding a unit, or a raw Pool::release with no acquire in lexical "
+       "scope; unit accounting backs every pathology signal, so ownership "
+       "must be explicit"},
+      {"SR013", "unknown-series",
+       "registry/timeline lookup of a series name that no registration site "
+       "can produce — the silent-dead-detector class; never-read "
+       "registrations are reported as notes"},
+      {"SR014", "sarif-output",
+       "meta-rule: findings export as SARIF 2.1.0 (--sarif out.sarif) so the "
+       "static-analysis CI job can annotate PR diffs; never fires on source"},
   };
   return kRules;
 }
@@ -65,98 +80,12 @@ Domain classify_path(const std::string& rel_path) {
   if (has_prefix("src/support/")) return Domain::kExempt;
   if (has_prefix("src/")) return Domain::kSim;
   if (has_prefix("bench/") || has_prefix("examples/")) return Domain::kDriver;
+  if (has_prefix("tools/")) return Domain::kTool;
+  if (has_prefix("tests/")) return Domain::kTest;
   return Domain::kExempt;
 }
 
 namespace {
-
-/// Strips // and /* */ comments and the contents of string/char literals
-/// (keeping quotes) from source lines, preserving line structure so finding
-/// line numbers stay exact. `in_block` carries block-comment state between
-/// lines of one file.
-std::string strip_code_line(const std::string& line, bool& in_block) {
-  std::string out;
-  out.reserve(line.size());
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    if (in_block) {
-      if (line[i] == '*' && i + 1 < line.size() && line[i + 1] == '/') {
-        in_block = false;
-        ++i;
-      }
-      continue;
-    }
-    const char c = line[i];
-    if (c == '/' && i + 1 < line.size()) {
-      if (line[i + 1] == '/') break;  // rest of line is a comment
-      if (line[i + 1] == '*') {
-        in_block = true;
-        ++i;
-        continue;
-      }
-    }
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      out.push_back(quote);
-      ++i;
-      while (i < line.size()) {
-        if (line[i] == '\\') {
-          i += 2;
-          continue;
-        }
-        if (line[i] == quote) break;
-        ++i;
-      }
-      out.push_back(quote);
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
-bool is_word_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-/// Word-boundary token search ("thread" matches `std::thread` and
-/// `<thread>`, not `threads_` or `thread_exponent`).
-bool contains_token(const std::string& line, const std::string& token) {
-  std::size_t pos = 0;
-  while ((pos = line.find(token, pos)) != std::string::npos) {
-    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
-    const std::size_t end = pos + token.size();
-    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
-    if (left_ok && right_ok) return true;
-    pos = end;
-  }
-  return false;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t b = s.find_first_not_of(" \t");
-  if (b == std::string::npos) return "";
-  std::size_t e = s.find_last_not_of(" \t");
-  return s.substr(b, e - b + 1);
-}
-
-/// Rules suppressed by SOFTRES_LINT_ALLOW(SRnnn[,SRnnn...]: reason) on this
-/// line. The annotation also covers the next line so it can sit on its own
-/// comment line above the allowed use.
-std::set<std::string> parse_allow(const std::string& raw_line) {
-  std::set<std::string> out;
-  static const std::regex kAllow(R"(SOFTRES_LINT_ALLOW\s*\(\s*([^)]*)\))");
-  auto begin =
-      std::sregex_iterator(raw_line.begin(), raw_line.end(), kAllow);
-  for (auto it = begin; it != std::sregex_iterator(); ++it) {
-    const std::string body = (*it)[1].str();
-    static const std::regex kId(R"(SR\d{3})");
-    auto ids = std::sregex_iterator(body.begin(), body.end(), kId);
-    for (auto id = ids; id != std::sregex_iterator(); ++id) {
-      out.insert(id->str());
-    }
-  }
-  return out;
-}
 
 struct TokenRule {
   const char* rule;
@@ -262,6 +191,10 @@ constexpr TokenRule kDriverTiming[] = {
     {"SR009", "chrono", "std::chrono timing"},
 };
 
+// SR008 stream headers; SR001 bans <random> the same way.
+constexpr const char* kStreamHeaders[] = {"iostream",  "ostream", "sstream",
+                                          "fstream",   "iomanip", "print"};
+
 bool under(const std::string& rel_path, const char* prefix) {
   return rel_path.rfind(prefix, 0) == 0;
 }
@@ -276,10 +209,158 @@ bool is_detector_file(const std::string& rel_path) {
   return base.rfind("diagnoser", 0) == 0 || base.rfind("timeline", 0) == 0;
 }
 
+bool is_ident(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kIdent && t.text == text;
+}
+
+bool is_punct(const Token& t, const char* text) {
+  return t.kind == Token::Kind::kPunct && t.text == text;
+}
+
+bool is_unordered_name(const std::string& s) {
+  return s == "unordered_map" || s == "unordered_set" ||
+         s == "unordered_multimap" || s == "unordered_multiset";
+}
+
+/// Token-structural matchers that replaced the per-line regexes of lint v1.
+/// Each works on the flat token stream of one file; the lexer guarantees
+/// "::" and "->" are single tokens, so lookbehind is one index, not a
+/// character-class dance.
+class TokenScanner {
+ public:
+  explicit TokenScanner(const std::vector<Token>& toks) : toks_(toks) {}
+
+  std::size_t size() const { return toks_.size(); }
+  const Token& at(std::size_t i) const { return toks_[i]; }
+
+  /// Names of variables declared with an unordered container type anywhere
+  /// in the file: `unordered_map<...> name {;={(}`. The template argument
+  /// list is matched by angle-bracket balance; a ';' or '{' inside it means
+  /// we mis-parsed a comparison, so bail on that candidate.
+  std::set<std::string> unordered_vars() const {
+    std::set<std::string> out;
+    for (std::size_t i = 0; i + 1 < toks_.size(); ++i) {
+      if (toks_[i].kind != Token::Kind::kIdent ||
+          !is_unordered_name(toks_[i].text) || !is_punct(toks_[i + 1], "<"))
+        continue;
+      int depth = 1;
+      std::size_t j = i + 2;
+      for (; j < toks_.size() && depth > 0; ++j) {
+        if (is_punct(toks_[j], "<")) ++depth;
+        else if (is_punct(toks_[j], ">")) --depth;
+        else if (is_punct(toks_[j], ";") || is_punct(toks_[j], "{")) break;
+      }
+      if (depth != 0 || j + 1 >= toks_.size()) continue;
+      const Token& name = toks_[j];
+      const Token& after = toks_[j + 1];
+      if (name.kind == Token::Kind::kIdent &&
+          (is_punct(after, ";") || is_punct(after, "=") ||
+           is_punct(after, "{") || is_punct(after, "("))) {
+        out.insert(name.text);
+      }
+    }
+    return out;
+  }
+
+  /// `for (... : var)` — range-for over `var`. Returns the line or 0.
+  int range_for_over(const std::set<std::string>& vars, std::size_t i) const {
+    if (!is_ident(toks_[i], "for") || i + 1 >= toks_.size() ||
+        !is_punct(toks_[i + 1], "("))
+      return 0;
+    for (std::size_t j = i + 2; j < toks_.size(); ++j) {
+      if (is_punct(toks_[j], ";") || is_punct(toks_[j], ")")) return 0;
+      if (is_punct(toks_[j], ":") && j + 1 < toks_.size() &&
+          toks_[j + 1].kind == Token::Kind::kIdent &&
+          vars.count(toks_[j + 1].text) > 0) {
+        return toks_[j + 1].line;
+      }
+    }
+    return 0;
+  }
+
+  /// `var.begin(` / `var.cbegin(` on an unordered variable.
+  bool begin_call_on(const std::set<std::string>& vars, std::size_t i,
+                     std::string* var) const {
+    if (toks_[i].kind != Token::Kind::kIdent || vars.count(toks_[i].text) == 0)
+      return false;
+    if (i + 3 >= toks_.size() || !is_punct(toks_[i + 1], ".")) return false;
+    const Token& m = toks_[i + 2];
+    if (!(is_ident(m, "begin") || is_ident(m, "cbegin"))) return false;
+    if (!is_punct(toks_[i + 3], "(")) return false;
+    *var = toks_[i].text;
+    return true;
+  }
+
+  /// `Rng(...)` or `Rng name(...)` / `Rng name{...}` — a construction, not a
+  /// reference parameter (`Rng& rng`) or a bare declaration (`Rng* p;`).
+  bool rng_construction(std::size_t i) const {
+    if (!is_ident(toks_[i], "Rng")) return false;
+    if (i + 1 < toks_.size() && is_punct(toks_[i + 1], "(")) return true;
+    if (i + 2 < toks_.size() && toks_[i + 1].kind == Token::Kind::kIdent &&
+        (is_punct(toks_[i + 2], "(") || is_punct(toks_[i + 2], "{")))
+      return true;
+    return false;
+  }
+
+  /// `time(` / `clock(` as a free or std:: call — not a member (`x.time(`,
+  /// `p->time(`) and not another namespace's (`ns::time(`).
+  bool clock_call(std::size_t i, const char* name) const {
+    if (!is_ident(toks_[i], name) || i + 1 >= toks_.size() ||
+        !is_punct(toks_[i + 1], "("))
+      return false;
+    if (i == 0) return true;
+    const Token& prev = toks_[i - 1];
+    if (is_punct(prev, ".") || is_punct(prev, "->")) return false;
+    if (is_punct(prev, "::"))
+      return i >= 2 && is_ident(toks_[i - 2], "std");
+    return true;
+  }
+
+  /// `reinterpret_cast<[std::]Xintptr_t` or `std::hash<...*...>`.
+  bool ptr_hash(std::size_t i) const {
+    if (is_ident(toks_[i], "reinterpret_cast") && i + 2 < toks_.size() &&
+        is_punct(toks_[i + 1], "<")) {
+      std::size_t j = i + 2;
+      if (j + 1 < toks_.size() && is_ident(toks_[j], "std") &&
+          is_punct(toks_[j + 1], "::"))
+        j += 2;
+      if (j < toks_.size() && (is_ident(toks_[j], "intptr_t") ||
+                               is_ident(toks_[j], "uintptr_t")))
+        return true;
+    }
+    if (is_ident(toks_[i], "std") && i + 3 < toks_.size() &&
+        is_punct(toks_[i + 1], "::") && is_ident(toks_[i + 2], "hash") &&
+        is_punct(toks_[i + 3], "<")) {
+      for (std::size_t j = i + 4; j < toks_.size(); ++j) {
+        if (is_punct(toks_[j], ">") || is_punct(toks_[j], ";")) break;
+        if (is_punct(toks_[j], "*")) return true;
+      }
+    }
+    return false;
+  }
+
+  /// `std::function<`.
+  bool std_function(std::size_t i) const {
+    return is_ident(toks_[i], "std") && i + 3 < toks_.size() &&
+           is_punct(toks_[i + 1], "::") && is_ident(toks_[i + 2], "function") &&
+           is_punct(toks_[i + 3], "<");
+  }
+
+ private:
+  const std::vector<Token>& toks_;
+};
+
 }  // namespace
 
-std::vector<Finding> scan_file(const std::string& rel_path,
-                               const std::string& contents) {
+bool path_under(const std::string& rel_path, const std::string& prefix) {
+  if (rel_path.rfind(prefix, 0) != 0) return false;
+  if (rel_path.size() == prefix.size()) return true;
+  return prefix.empty() || prefix.back() == '/' ||
+         rel_path[prefix.size()] == '/';
+}
+
+std::vector<Finding> scan_lexed_file(const std::string& rel_path,
+                                     const FileLex& lex) {
   const Domain domain = classify_path(rel_path);
   std::vector<Finding> findings;
   if (domain == Domain::kExempt) return findings;
@@ -291,46 +372,18 @@ std::vector<Finding> scan_file(const std::string& rel_path,
       under(rel_path, "src/sim/") || under(rel_path, "src/tier/");
   const bool rng_ctor_exempt = under(rel_path, "src/sim/") ||
                                rel_path == "src/exp/run_context.cc" ||
-                               rel_path == "src/exp/run_context.h";
+                               rel_path == "src/exp/run_context.h" ||
+                               domain == Domain::kTool ||
+                               domain == Domain::kTest;
   const bool resize_sanctioned = under(rel_path, "src/soft/") ||
                                  under(rel_path, "src/exp/adaptive") ||
-                                 under(rel_path, "src/core/governor");
+                                 under(rel_path, "src/core/governor") ||
+                                 domain == Domain::kTool ||
+                                 domain == Domain::kTest;
 
-  // Pass 1: split lines, strip comments/strings, harvest allow annotations
-  // and names of unordered-container variables declared in this file.
-  std::vector<std::string> raw_lines;
-  {
-    std::istringstream is(contents);
-    std::string line;
-    while (std::getline(is, line)) raw_lines.push_back(line);
-  }
-  std::vector<std::string> code_lines;
-  code_lines.reserve(raw_lines.size());
-  std::map<int, std::set<std::string>> allowed;  // line (1-based) -> rules
-  bool in_block = false;
-  for (std::size_t i = 0; i < raw_lines.size(); ++i) {
-    code_lines.push_back(strip_code_line(raw_lines[i], in_block));
-    const std::set<std::string> rules = parse_allow(raw_lines[i]);
-    if (!rules.empty()) {
-      const int n = static_cast<int>(i) + 1;
-      allowed[n].insert(rules.begin(), rules.end());
-      allowed[n + 1].insert(rules.begin(), rules.end());
-    }
-  }
-
-  static const std::regex kUnorderedDecl(
-      R"(\bunordered_(?:multi)?(?:map|set)\s*<[^;{]*>\s+(\w+)\s*[;={(])");
-  std::set<std::string> unordered_vars;
-  for (const auto& code : code_lines) {
-    auto begin = std::sregex_iterator(code.begin(), code.end(), kUnorderedDecl);
-    for (auto it = begin; it != std::sregex_iterator(); ++it) {
-      unordered_vars.insert((*it)[1].str());
-    }
-  }
-
-  auto is_allowed = [&allowed](int line, const char* rule) {
-    auto it = allowed.find(line);
-    return it != allowed.end() && it->second.count(rule) > 0;
+  auto is_allowed = [&lex](int line, const char* rule) {
+    auto it = lex.allowed.find(line);
+    return it != lex.allowed.end() && it->second.count(rule) > 0;
   };
   auto add = [&](int line, const char* rule, std::string message) {
     if (is_allowed(line, rule)) return;
@@ -339,22 +392,35 @@ std::vector<Finding> scan_file(const std::string& rel_path,
     f.line = line;
     f.rule = rule;
     f.message = std::move(message);
-    f.excerpt = trim(raw_lines[static_cast<std::size_t>(line) - 1]);
+    if (line >= 1 && static_cast<std::size_t>(line) <= lex.raw_lines.size())
+      f.excerpt = trim(lex.raw_lines[static_cast<std::size_t>(line) - 1]);
     findings.push_back(std::move(f));
   };
 
-  static const std::regex kRngCtor(R"(\bRng\s*\(|\bRng\s+\w+\s*[({])");
-  static const std::regex kTimeCall(R"((?:^|[^\w.:>])(?:std::)?time\s*\()");
-  static const std::regex kClockCall(R"((?:^|[^\w.:>])(?:std::)?clock\s*\()");
-  static const std::regex kPtrHash(
-      R"(reinterpret_cast\s*<\s*(?:std::)?u?intptr_t|std::hash\s*<[^>]*\*)");
-  static const std::regex kRandomInclude(R"(#\s*include\s*<random>)");
-  static const std::regex kStdFunction(R"(\bstd\s*::\s*function\s*<)");
-  static const std::regex kStreamInclude(
-      R"(#\s*include\s*<(?:iostream|ostream|sstream|fstream|iomanip|print)>)");
+  // ---- include-directive rules ----
+  for (const IncludeDirective& inc : lex.includes) {
+    if (!inc.angled) continue;
+    if (inc.target == "random") {
+      add(inc.line, "SR001",
+          "<random> must not be included in sim-reachable code; sim::Rng "
+          "provides every needed distribution");
+    }
+    if (in_detector) {
+      for (const char* hdr : kStreamHeaders) {
+        if (inc.target == hdr) {
+          add(inc.line, "SR008",
+              "stream header included in detector code: rendering belongs in "
+              "obs/report.h (snprintf into buffers is fine for labels)");
+          break;
+        }
+      }
+    }
+  }
 
-  for (std::size_t i = 0; i < code_lines.size(); ++i) {
-    const std::string& code = code_lines[i];
+  // ---- line-oriented token-list rules (word-boundary search over the
+  // comment- and literal-stripped code lines) ----
+  for (std::size_t i = 0; i < lex.code_lines.size(); ++i) {
+    const std::string& code = lex.code_lines[i];
     if (code.empty()) continue;
     const int n = static_cast<int>(i) + 1;
 
@@ -366,11 +432,6 @@ std::vector<Finding> scan_file(const std::string& rel_path,
                            "via RunContext::derive_seed");
         break;
       }
-    }
-    if (std::regex_search(code, kRandomInclude)) {
-      add(n, "SR001",
-          "<random> must not be included in sim-reachable code; sim::Rng "
-          "provides every needed distribution");
     }
 
     // SR002 — src/ outside src/obs.
@@ -384,37 +445,6 @@ std::vector<Finding> scan_file(const std::string& rel_path,
           break;
         }
       }
-      if (std::regex_search(code, kTimeCall)) {
-        add(n, "SR002",
-            "time() reads the wall clock: use sim::SimTime or move the "
-            "export to src/obs");
-      } else if (std::regex_search(code, kClockCall)) {
-        add(n, "SR002",
-            "clock() reads the process clock: use sim::SimTime or move the "
-            "export to src/obs");
-      }
-    }
-
-    // SR003 — iteration over unordered containers declared in this file.
-    for (const auto& var : unordered_vars) {
-      const std::regex range_for(R"(for\s*\([^;)]*:\s*)" + var + R"(\b)");
-      const std::regex begin_call("\\b" + var + R"(\s*\.\s*c?begin\s*\()");
-      if (std::regex_search(code, range_for) ||
-          std::regex_search(code, begin_call)) {
-        add(n, "SR003",
-            "iteration over unordered container '" + var +
-                "' is hash-order-dependent: sort keys first or use an "
-                "ordered/indexed container");
-        break;
-      }
-    }
-
-    // SR004 — sim::Rng construction outside the sanctioned sites.
-    if (!rng_ctor_exempt && std::regex_search(code, kRngCtor)) {
-      add(n, "SR004",
-          "sim::Rng constructed here: every stream must be seeded through "
-          "RunContext::derive_seed (annotate with SOFTRES_LINT_ALLOW(SR004: "
-          "...) if this seed is already derived)");
     }
 
     // SR005 — src/sim and src/core only.
@@ -430,36 +460,17 @@ std::vector<Finding> scan_file(const std::string& rel_path,
       }
     }
 
-    // SR007 — src/sim and src/tier, the per-event hot paths. A
-    // std::function here heap-allocates every capture over ~16 bytes and
-    // costs an indirect call per dispatch; sim::InlineCallback holds 24
-    // bytes inline. Cold paths (setup, teardown, reporting) may opt out
-    // with SOFTRES_LINT_ALLOW(SR007: ...).
-    if (in_hot_path && std::regex_search(code, kStdFunction)) {
-      add(n, "SR007",
-          "std::function in a per-event hot path: use sim::InlineCallback "
-          "(sim/inline_callback.h), or annotate a cold path with "
-          "SOFTRES_LINT_ALLOW(SR007: why)");
-    }
-
     // SR008 — the src/obs diagnoser/timeline files. Detector output is
     // structured data; rendering goes through obs/report.h.
     if (in_detector) {
-      bool flagged = false;
       for (const auto& r : kStreamWrites) {
         if (contains_token(code, r.token)) {
           add(n, r.rule,
               std::string(r.what) +
                   " in detector code: return structured Diagnosis data and "
                   "render it through obs/report.h");
-          flagged = true;
           break;
         }
-      }
-      if (!flagged && std::regex_search(code, kStreamInclude)) {
-        add(n, "SR008",
-            "stream header included in detector code: rendering belongs in "
-            "obs/report.h (snprintf into buffers is fine for labels)");
       }
     }
 
@@ -502,7 +513,7 @@ std::vector<Finding> scan_file(const std::string& rel_path,
           "hooks stay coherent");
     }
 
-    // SR006 — sim-reachable src/ domains.
+    // SR006 (token half) — sim-reachable src/ domains.
     if (domain == Domain::kSim || domain == Domain::kObs) {
       for (const auto& r : kAddressDependent) {
         if (contains_token(code, r.token)) {
@@ -512,75 +523,95 @@ std::vector<Finding> scan_file(const std::string& rel_path,
           break;
         }
       }
-      if (std::regex_search(code, kPtrHash)) {
-        add(n, "SR006",
-            "pointer-to-integer hashing is address-space-dependent: key on "
-            "a stable name or index instead");
+    }
+  }
+
+  // ---- token-structural rules (the old regexes, now exact) ----
+  const TokenScanner ts(lex.tokens);
+  const std::set<std::string> unordered = ts.unordered_vars();
+  std::set<int> sr003_lines;  // one finding per line, like v1
+
+  for (std::size_t i = 0; i < ts.size(); ++i) {
+    const int n = ts.at(i).line;
+
+    // SR003 — iteration over unordered containers declared in this file.
+    if (!unordered.empty()) {
+      std::string var;
+      int hit_line = ts.range_for_over(unordered, i);
+      if (hit_line == 0 && ts.begin_call_on(unordered, i, &var))
+        hit_line = n;
+      else if (hit_line != 0) {
+        // recover the variable name for the message
+        var.clear();
+        for (const auto& v : unordered) {
+          if (ts.range_for_over({v}, i) != 0) {
+            var = v;
+            break;
+          }
+        }
       }
+      if (hit_line != 0 && sr003_lines.insert(hit_line).second) {
+        add(hit_line, "SR003",
+            "iteration over unordered container '" + var +
+                "' is hash-order-dependent: sort keys first or use an "
+                "ordered/indexed container");
+      }
+    }
+
+    // SR004 — sim::Rng construction outside the sanctioned sites.
+    if (!rng_ctor_exempt && ts.rng_construction(i)) {
+      add(n, "SR004",
+          "sim::Rng constructed here: every stream must be seeded through "
+          "RunContext::derive_seed (annotate with SOFTRES_LINT_ALLOW(SR004: "
+          "...) if this seed is already derived)");
+    }
+
+    // SR002 (call half) — src/ outside src/obs.
+    if (domain == Domain::kSim) {
+      if (ts.clock_call(i, "time")) {
+        add(n, "SR002",
+            "time() reads the wall clock: use sim::SimTime or move the "
+            "export to src/obs");
+      } else if (ts.clock_call(i, "clock")) {
+        add(n, "SR002",
+            "clock() reads the process clock: use sim::SimTime or move the "
+            "export to src/obs");
+      }
+    }
+
+    // SR006 (cast half) — sim-reachable src/ domains.
+    if ((domain == Domain::kSim || domain == Domain::kObs) && ts.ptr_hash(i)) {
+      add(n, "SR006",
+          "pointer-to-integer hashing is address-space-dependent: key on "
+          "a stable name or index instead");
+    }
+
+    // SR007 — src/sim and src/tier, the per-event hot paths. A
+    // std::function here heap-allocates every capture over ~16 bytes and
+    // costs an indirect call per dispatch; sim::InlineCallback holds 24
+    // bytes inline. Cold paths (setup, teardown, reporting) may opt out
+    // with SOFTRES_LINT_ALLOW(SR007: ...).
+    if (in_hot_path && ts.std_function(i)) {
+      add(n, "SR007",
+          "std::function in a per-event hot path: use sim::InlineCallback "
+          "(sim/inline_callback.h), or annotate a cold path with "
+          "SOFTRES_LINT_ALLOW(SR007: why)");
     }
   }
   return findings;
 }
 
-std::vector<Finding> scan_tree(const std::string& root,
-                               const std::vector<std::string>& paths,
-                               std::vector<std::string>* errors) {
-  std::vector<Finding> findings;
-  auto note_error = [errors](const std::string& msg) {
-    if (errors != nullptr) errors->push_back(msg);
-  };
-  auto scan_one = [&](const fs::path& abs, const std::string& rel) {
-    std::ifstream in(abs, std::ios::binary);
-    if (!in) {
-      note_error("cannot read " + abs.string());
-      return;
-    }
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    std::vector<Finding> file_findings = scan_file(rel, buf.str());
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
-  };
-  auto is_source = [](const fs::path& p) {
-    const std::string ext = p.extension().string();
-    return ext == ".h" || ext == ".hpp" || ext == ".cc" || ext == ".cpp" ||
-           ext == ".cxx";
-  };
-
-  const fs::path root_path(root);
-  for (const auto& p : paths) {
-    const fs::path abs = root_path / p;
-    std::error_code ec;
-    if (fs::is_directory(abs, ec)) {
-      for (fs::recursive_directory_iterator it(abs, ec), end;
-           it != end && !ec; it.increment(ec)) {
-        if (!it->is_regular_file() || !is_source(it->path())) continue;
-        const std::string rel =
-            fs::relative(it->path(), root_path, ec).generic_string();
-        scan_one(it->path(), rel);
-      }
-      if (ec) note_error("walking " + abs.string() + ": " + ec.message());
-    } else if (fs::is_regular_file(abs, ec)) {
-      scan_one(abs, fs::path(p).generic_string());
-    } else {
-      note_error("no such file or directory: " + abs.string());
-    }
-  }
-  // Directory iteration order is filesystem-dependent; the report must not
-  // be (the checker holds itself to its own contract).
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return a.rule < b.rule;
-            });
-  return findings;
+std::vector<Finding> scan_file(const std::string& rel_path,
+                               const std::string& contents) {
+  if (classify_path(rel_path) == Domain::kExempt) return {};
+  return scan_lexed_file(rel_path, lex_file(contents));
 }
 
 std::string format_finding(const Finding& f) {
   std::ostringstream os;
-  os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message;
+  os << f.file << ":" << f.line << ": ["
+     << (f.severity == Severity::kNote ? "note " : "") << f.rule << "] "
+     << f.message;
   if (!f.excerpt.empty()) os << "\n    > " << f.excerpt;
   return os.str();
 }

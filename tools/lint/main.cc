@@ -1,12 +1,17 @@
-// softres-lint CLI: scan the tree for determinism-contract violations.
+// softres-lint CLI: scan the tree for determinism- and soft-resource-
+// contract violations.
 //
-//   softres-lint [--root DIR] [--list-rules] [paths...]
+//   softres-lint [--root DIR] [--list-rules] [--sarif FILE]
+//                [--markdown FILE] [--notes] [--no-cross-tu]
+//                [--layers FILE] [--exclude PREFIX]... [paths...]
 //
 // Paths are relative to --root (default: current directory) and default to
-// the sim-reachable set `src bench examples`. Exit status: 0 clean, 1 when
-// findings exist, 2 on usage or I/O errors. CI and the `lint` CMake target
-// run exactly this invocation; see DESIGN.md "Determinism contract".
+// `src bench examples tools tests` (lint fixtures excluded). Exit status:
+// 0 clean, 1 when findings exist, 2 on usage or I/O errors. CI and the
+// `lint` CMake target run exactly this invocation; see DESIGN.md sections
+// "Determinism contract" and 13.
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -16,27 +21,71 @@
 namespace {
 
 void print_usage(std::ostream& os) {
-  os << "usage: softres-lint [--root DIR] [--list-rules] [paths...]\n"
-     << "  Scans .h/.cc/.cpp files under the given paths (default: src bench\n"
-     << "  examples, relative to --root) for determinism-contract\n"
-     << "  violations. Suppress a finding with\n"
-     << "  SOFTRES_LINT_ALLOW(SRnnn: reason) on or above the line.\n";
+  os << "usage: softres-lint [options] [paths...]\n"
+     << "  --root DIR       scan relative to DIR (default: .)\n"
+     << "  --list-rules     print the rule table and exit\n"
+     << "  --sarif FILE     also write findings as SARIF 2.1.0\n"
+     << "  --markdown FILE  append a GitHub-markdown summary to FILE\n"
+     << "  --notes          print informational notes (SR013 never-read\n"
+     << "                   registrations); notes never affect the exit code\n"
+     << "  --no-cross-tu    per-file rules only (SR001-SR010); use for\n"
+     << "                   partial scans where cross-TU passes would see an\n"
+     << "                   incomplete picture (e.g. pre-commit subsets)\n"
+     << "  --layers FILE    layer DAG for SR011 (default:\n"
+     << "                   <root>/tools/lint/layers.txt)\n"
+     << "  --exclude PREFIX skip files under this root-relative prefix\n"
+     << "                   (repeatable; default: tests/lint/fixtures)\n"
+     << "  Paths default to: src bench examples tools tests. Suppress a\n"
+     << "  finding with SOFTRES_LINT_ALLOW(SRnnn: reason) on or above the\n"
+     << "  line.\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string root = ".";
+  std::string sarif_path;
+  std::string markdown_path;
+  bool print_notes = false;
+  softres::lint::Options options;
+  options.exclude_prefixes = softres::lint::default_excludes();
   std::vector<std::string> paths;
+
+  auto need_value = [&](int& i, const std::string& arg) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "softres-lint: " << arg << " needs a value\n";
+      print_usage(std::cerr);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
-      if (i + 1 >= argc) {
-        std::cerr << "softres-lint: --root needs a directory\n";
-        print_usage(std::cerr);
-        return 2;
-      }
-      root = argv[++i];
+      const char* v = need_value(i, arg);
+      if (v == nullptr) return 2;
+      root = v;
+    } else if (arg == "--sarif") {
+      const char* v = need_value(i, arg);
+      if (v == nullptr) return 2;
+      sarif_path = v;
+    } else if (arg == "--markdown") {
+      const char* v = need_value(i, arg);
+      if (v == nullptr) return 2;
+      markdown_path = v;
+    } else if (arg == "--layers") {
+      const char* v = need_value(i, arg);
+      if (v == nullptr) return 2;
+      options.layers_file = v;
+    } else if (arg == "--exclude") {
+      const char* v = need_value(i, arg);
+      if (v == nullptr) return 2;
+      options.exclude_prefixes.push_back(v);
+    } else if (arg == "--notes") {
+      print_notes = true;
+    } else if (arg == "--no-cross-tu") {
+      options.cross_tu = false;
     } else if (arg == "--list-rules") {
       for (const auto& r : softres::lint::rule_table()) {
         std::cout << r.id << "  " << r.name << "\n      " << r.summary << "\n";
@@ -53,19 +102,42 @@ int main(int argc, char** argv) {
       paths.push_back(arg);
     }
   }
-  if (paths.empty()) paths = {"src", "bench", "examples"};
+  if (paths.empty()) paths = softres::lint::default_paths();
 
-  std::vector<std::string> errors;
-  const std::vector<softres::lint::Finding> findings =
-      softres::lint::scan_tree(root, paths, &errors);
-  for (const auto& e : errors) std::cerr << "softres-lint: " << e << "\n";
-  for (const auto& f : findings) {
+  const softres::lint::Analysis analysis =
+      softres::lint::analyze_tree(root, paths, options);
+  for (const auto& e : analysis.errors) std::cerr << "softres-lint: " << e
+                                                  << "\n";
+  for (const auto& f : analysis.findings) {
     std::cout << softres::lint::format_finding(f) << "\n";
   }
-  if (!errors.empty()) return 2;
-  if (!findings.empty()) {
-    std::cout << findings.size()
-              << " determinism-contract violation(s); see "
+  if (print_notes) {
+    for (const auto& f : analysis.notes) {
+      std::cout << softres::lint::format_finding(f) << "\n";
+    }
+  }
+
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::cerr << "softres-lint: cannot write " << sarif_path << "\n";
+      return 2;
+    }
+    out << softres::lint::to_sarif(analysis);
+  }
+  if (!markdown_path.empty()) {
+    std::ofstream out(markdown_path, std::ios::binary | std::ios::app);
+    if (!out) {
+      std::cerr << "softres-lint: cannot write " << markdown_path << "\n";
+      return 2;
+    }
+    out << softres::lint::to_markdown(analysis);
+  }
+
+  if (!analysis.errors.empty()) return 2;
+  if (!analysis.findings.empty()) {
+    std::cout << analysis.findings.size()
+              << " contract violation(s); see "
                  "`softres-lint --list-rules` and DESIGN.md\n";
     return 1;
   }

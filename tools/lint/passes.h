@@ -1,0 +1,72 @@
+#pragma once
+
+// Internal interface between the analyzer driver (analyze_tree) and the
+// cross-TU passes. Each pass consumes the same lexed view of the tree —
+// files are lexed exactly once — and appends findings that the driver
+// filters through the per-file SOFTRES_LINT_ALLOW maps and sorts.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+
+namespace softres::lint {
+
+/// One scanned file: repository-relative path, contract domain and the
+/// shared lex. The cross-TU passes never re-read or re-lex.
+struct SourceFile {
+  std::string rel_path;
+  Domain domain = Domain::kExempt;
+  FileLex lex;
+};
+
+/// Parsed tools/lint/layers.txt: one rank per line (low to high), several
+/// space-separated layer names on a line share a rank but still may not
+/// include each other sideways.
+struct LayerSpec {
+  std::map<std::string, int> rank;            // layer name -> rank
+  std::vector<std::vector<std::string>> rows; // for diagnostics / docs
+  bool empty() const { return rank.empty(); }
+};
+
+/// Parse a layers file's contents ('#' comments, blank lines skipped).
+LayerSpec parse_layers(const std::string& contents);
+
+/// SR011: every quoted #include inside src/ must point at the same layer or
+/// a strictly lower rank, and the file-level include graph must be acyclic.
+void check_include_graph(const std::vector<SourceFile>& files,
+                         const LayerSpec& layers,
+                         std::vector<Finding>* findings);
+
+/// SR012: flow-sensitive Pool::acquire/release balance. Pool-typed variable
+/// names are collected across every scanned file; grant callbacks outside
+/// src/soft must adopt the unit into a soft::PoolGuard or release it before
+/// the callback ends (brace/return/throw aware), and a raw release needs an
+/// acquire in lexical scope.
+void check_pool_contract(const std::vector<SourceFile>& files,
+                         std::vector<Finding>* findings);
+
+/// SR013: registry/timeline series cross-reference. Collects every series
+/// name (or name fragment, when the argument concatenates a runtime prefix)
+/// passed to a registration site, and flags lookups of names no registration
+/// can produce. Never-read registrations are appended to `notes`.
+void check_series_xref(const std::vector<SourceFile>& files,
+                       std::vector<Finding>* findings,
+                       std::vector<Finding>* notes);
+
+/// Shared by the driver and scan_file: per-file token rules SR001-SR010 on
+/// an existing lex.
+std::vector<Finding> scan_lexed_file(const std::string& rel_path,
+                                     const FileLex& lex);
+
+/// True when `rel_path` starts with `prefix` at a '/' boundary.
+bool path_under(const std::string& rel_path, const std::string& prefix);
+
+/// Drop findings suppressed by a SOFTRES_LINT_ALLOW annotation on the same
+/// or preceding line of their file.
+void apply_allow(const std::map<std::string, const FileLex*>& lex_by_file,
+                 std::vector<Finding>* findings);
+
+}  // namespace softres::lint

@@ -1,0 +1,254 @@
+// SR012 — flow-sensitive Pool::acquire/release balance. The acquire/release
+// bracket documented in src/soft/pool.h is the invariant behind every
+// pathology signal (queue depths, occupancy integrals, drain accounting):
+// one leaked grant skews utilization for the rest of the trial and one
+// double release corrupts the waiter queue.
+//
+// The check is lexical and cross-TU:
+//   pass A  collects the names of every variable declared with a Pool type
+//           across ALL scanned files (members like `soft::Pool workers_;`
+//           included) — names, not types, because the checker does not
+//           resolve symbols;
+//   pass B  walks each file in src/ outside src/soft with a brace-depth
+//           cursor. `pool.acquire([..]{ ... })` pushes a context for the
+//           grant callback; inside its lexical extent the unit must be
+//           adopted into a soft::PoolGuard (`.adopt(`), released on the
+//           same pool, or explicitly handed to a guard constructor, before
+//           the callback's closing brace. A `return`/`throw` while still
+//           holding is flagged where it happens; falling off the end is
+//           flagged at the acquire. A raw `pool.release()` with no acquire
+//           context for that pool in scope is flagged as unpaired — the
+//           RAII form (soft::PoolGuard) carries the unit across event
+//           boundaries instead.
+//
+// Scope: src/** except src/soft (the pool implementation releases into its
+// own free list) and src/support. Drivers, benches and tests may exercise
+// the raw API; the contract binds the model code.
+
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+#include "lint.h"
+#include "passes.h"
+
+namespace softres::lint {
+
+namespace {
+
+bool is_kind(const Token& t, Token::Kind k, const char* text) {
+  return t.kind == k && t.text == text;
+}
+bool punct(const Token& t, const char* text) {
+  return is_kind(t, Token::Kind::kPunct, text);
+}
+bool ident(const Token& t, const char* text) {
+  return is_kind(t, Token::Kind::kIdent, text);
+}
+
+/// Pass A: `Pool name`, `Pool& name`, `Pool* name` followed by a
+/// declarator-ending punctuator. "Pool" is matched as the last component of
+/// a possibly qualified type (soft::Pool), which the token stream gives us
+/// for free — the qualifier sits before the ident we key on.
+void collect_pool_vars(const std::vector<Token>& toks,
+                       std::set<std::string>* names) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!ident(toks[i], "Pool")) continue;
+    std::size_t j = i + 1;
+    if (j < toks.size() && (punct(toks[j], "&") || punct(toks[j], "*"))) ++j;
+    if (j >= toks.size() || toks[j].kind != Token::Kind::kIdent) continue;
+    if (j + 1 >= toks.size()) continue;
+    const Token& after = toks[j + 1];
+    if (punct(after, ";") || punct(after, ",") || punct(after, ")") ||
+        punct(after, "{") || punct(after, "=") || punct(after, "(")) {
+      names->insert(toks[j].text);
+    }
+  }
+}
+
+struct AcquireContext {
+  std::string pool;     // receiver variable name
+  int acquire_line = 0;
+  int body_depth = 0;   // brace depth just inside the lambda body
+  bool satisfied = false;
+  // An early return/throw was already reported; a later release on the
+  // same pool still satisfies the context (no bogus "raw release"), and
+  // the body close does not double-report the leak.
+  bool reported = false;
+};
+
+void check_file(const SourceFile& sf, const std::set<std::string>& pools,
+                std::vector<Finding>* findings) {
+  const std::vector<Token>& toks = sf.lex.tokens;
+  std::vector<AcquireContext> stack;
+  // Pending acquire whose lambda body brace has not opened yet. -1 = none.
+  // The lambda literal must appear inside the acquire call's own
+  // parentheses (pending_paren); a ')' that closes the call first means the
+  // argument was not a lambda and the grant body is out of lexical reach.
+  int pending_line = -1;
+  int pending_paren = 0;
+  std::string pending_pool;
+  bool pending_saw_capture = false;
+
+  auto add = [&](int line, std::string message) {
+    Finding f;
+    f.file = sf.rel_path;
+    f.line = line;
+    f.rule = "SR012";
+    f.message = std::move(message);
+    if (line >= 1 &&
+        static_cast<std::size_t>(line) <= sf.lex.raw_lines.size())
+      f.excerpt = trim(sf.lex.raw_lines[static_cast<std::size_t>(line) - 1]);
+    findings->push_back(std::move(f));
+  };
+
+  int depth = 0;
+  int paren = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "(") {
+        ++paren;
+        continue;
+      }
+      if (t.text == ")") {
+        --paren;
+        if (pending_line >= 0 && paren < pending_paren) {
+          // `pool.acquire(make_cb())` — the call closed without a lambda
+          // literal, so the grant body is out of lexical reach.
+          pending_line = -1;
+        }
+        continue;
+      }
+      if (t.text == "{") {
+        ++depth;
+        if (pending_line >= 0 && pending_saw_capture &&
+            paren >= pending_paren) {
+          stack.push_back(
+              {pending_pool, pending_line, depth, /*satisfied=*/false});
+          pending_line = -1;
+        }
+        continue;
+      }
+      if (t.text == "}") {
+        while (!stack.empty() && stack.back().body_depth == depth) {
+          const AcquireContext ctx = stack.back();
+          stack.pop_back();
+          if (!ctx.satisfied && !ctx.reported) {
+            add(ctx.acquire_line,
+                "acquired unit on pool '" + ctx.pool +
+                    "' leaks from the grant callback: adopt it into a "
+                    "soft::PoolGuard or release it before the callback "
+                    "returns");
+          }
+        }
+        --depth;
+        continue;
+      }
+      if (t.text == "[" && pending_line >= 0 && paren >= pending_paren) {
+        pending_saw_capture = true;
+        continue;
+      }
+      continue;
+    }
+
+    if (t.kind != Token::Kind::kIdent) continue;
+
+    // Satisfiers: `.adopt(` and `PoolGuard` anywhere inside the innermost
+    // open context hand the unit to RAII; `pool.release()` closes the
+    // bracket on its own pool.
+    if ((t.text == "adopt" || t.text == "PoolGuard") && !stack.empty()) {
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (!it->satisfied) {
+          it->satisfied = true;
+          break;
+        }
+      }
+      continue;
+    }
+
+    if ((t.text == "return" || t.text == "throw")) {
+      // Only the innermost open context: a return escapes one callback, and
+      // a lexical checker cannot attribute it to enclosing grants.
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (!it->satisfied && !it->reported) {
+          it->reported = true;  // report once, at the escape site
+          add(t.line, (t.text == "return" ? std::string("early return")
+                                          : std::string("throw")) +
+                          " while holding an acquired unit on pool '" +
+                          it->pool +
+                          "': adopt the grant into a soft::PoolGuard so "
+                          "every exit path releases it");
+          break;
+        }
+      }
+      continue;
+    }
+
+    const bool call_like = i + 1 < toks.size() && punct(toks[i + 1], "(");
+    const bool member_call =
+        call_like && i >= 2 &&
+        (punct(toks[i - 1], ".") || punct(toks[i - 1], "->")) &&
+        toks[i - 2].kind == Token::Kind::kIdent;
+
+    if (t.text == "acquire" && member_call &&
+        pools.count(toks[i - 2].text) > 0) {
+      pending_line = t.line;
+      pending_paren = paren + 1;  // depth once the call's '(' is consumed
+      pending_pool = toks[i - 2].text;
+      pending_saw_capture = false;
+      continue;
+    }
+
+    if (t.text == "release" && call_like && member_call &&
+        pools.count(toks[i - 2].text) > 0) {
+      const std::string& pool = toks[i - 2].text;
+      bool matched = false;
+      for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+        if (it->pool == pool && !it->satisfied) {
+          it->satisfied = true;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) {
+        add(t.line,
+            "raw Pool::release on '" + pool +
+                "' with no acquire in lexical scope: hold the unit in a "
+                "soft::PoolGuard (adopt in the grant callback, release or "
+                "detach where the work completes)");
+      }
+      continue;
+    }
+  }
+
+  // Unbalanced braces (should not happen on real code) — flush leaks.
+  for (const AcquireContext& ctx : stack) {
+    if (!ctx.satisfied && !ctx.reported) {
+      add(ctx.acquire_line,
+          "acquired unit on pool '" + ctx.pool +
+              "' leaks from the grant callback: adopt it into a "
+              "soft::PoolGuard or release it before the callback returns");
+    }
+  }
+}
+
+}  // namespace
+
+void check_pool_contract(const std::vector<SourceFile>& files,
+                         std::vector<Finding>* findings) {
+  std::set<std::string> pools;
+  for (const SourceFile& sf : files) collect_pool_vars(sf.lex.tokens, &pools);
+  if (pools.empty()) return;
+
+  for (const SourceFile& sf : files) {
+    if (!path_under(sf.rel_path, "src")) continue;
+    if (path_under(sf.rel_path, "src/soft") ||
+        path_under(sf.rel_path, "src/support"))
+      continue;
+    check_file(sf, pools, findings);
+  }
+}
+
+}  // namespace softres::lint

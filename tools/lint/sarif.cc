@@ -1,0 +1,148 @@
+// SR014 — SARIF 2.1.0 export. CI uploads the log as an artifact and feeds
+// it to github/codeql-action/upload-sarif so findings annotate PR diffs.
+// The writer is deliberately minimal and dependency-free: one run, the rule
+// table as reportingDescriptors, one result per finding with a physical
+// location. Markdown rendering for $GITHUB_STEP_SUMMARY lives here too —
+// both are serializations of the same Analysis.
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "lint.h"
+
+namespace softres::lint {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+int rule_index(const std::string& id) {
+  const auto& rules = rule_table();
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (rules[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void append_result(std::ostringstream& os, const Finding& f, bool first) {
+  if (!first) os << ",";
+  os << "\n      {"
+     << "\"ruleId\": \"" << json_escape(f.rule) << "\"";
+  const int idx = rule_index(f.rule);
+  if (idx >= 0) os << ", \"ruleIndex\": " << idx;
+  os << ", \"level\": \""
+     << (f.severity == Severity::kNote ? "note" : "warning") << "\""
+     << ", \"message\": {\"text\": \"" << json_escape(f.message) << "\"}"
+     << ", \"locations\": [{\"physicalLocation\": {"
+     << "\"artifactLocation\": {\"uri\": \"" << json_escape(f.file)
+     << "\", \"uriBaseId\": \"SRCROOT\"}"
+     << ", \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1);
+  if (!f.excerpt.empty()) {
+    os << ", \"snippet\": {\"text\": \"" << json_escape(f.excerpt) << "\"}";
+  }
+  os << "}}}]}";
+}
+
+}  // namespace
+
+std::string to_sarif(const Analysis& a) {
+  std::ostringstream os;
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [{\n"
+     << "    \"tool\": {\"driver\": {\n"
+     << "      \"name\": \"softres-lint\",\n"
+     << "      \"version\": \"2.0.0\",\n"
+     << "      \"informationUri\": "
+        "\"https://example.invalid/softres-lint\",\n"
+     << "      \"rules\": [";
+  bool first = true;
+  for (const RuleInfo& r : rule_table()) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n        {\"id\": \"" << json_escape(r.id) << "\", \"name\": \""
+       << json_escape(r.name) << "\", \"shortDescription\": {\"text\": \""
+       << json_escape(r.summary) << "\"}}";
+  }
+  os << "\n      ]\n"
+     << "    }},\n"
+     << "    \"originalUriBaseIds\": {\"SRCROOT\": {\"uri\": \"file:///\"}},\n"
+     << "    \"results\": [";
+  first = true;
+  for (const Finding& f : a.findings) {
+    append_result(os, f, first);
+    first = false;
+  }
+  for (const Finding& f : a.notes) {
+    append_result(os, f, first);
+    first = false;
+  }
+  os << "\n    ]\n"
+     << "  }]\n"
+     << "}\n";
+  return os.str();
+}
+
+std::string to_markdown(const Analysis& a) {
+  std::ostringstream os;
+  os << "### softres-lint\n\n";
+  os << a.files_scanned << " files scanned, " << a.findings.size()
+     << " finding(s), " << a.notes.size() << " note(s)\n\n";
+  if (a.findings.empty()) {
+    os << "The tree is clean under rules SR001-SR013. :white_check_mark:\n";
+  } else {
+    os << "| File | Line | Rule | Message |\n";
+    os << "| --- | ---: | --- | --- |\n";
+    for (const Finding& f : a.findings) {
+      std::string msg = f.message;
+      for (char& c : msg) {
+        if (c == '|') c = '/';
+        if (c == '\n') c = ' ';
+      }
+      os << "| `" << f.file << "` | " << f.line << " | " << f.rule << " | "
+         << msg << " |\n";
+    }
+  }
+  if (!a.errors.empty()) {
+    os << "\n" << a.errors.size() << " I/O error(s) during the scan.\n";
+  }
+  return os.str();
+}
+
+const std::vector<std::string>& default_paths() {
+  static const std::vector<std::string> kPaths = {"src", "bench", "examples",
+                                                  "tools", "tests"};
+  return kPaths;
+}
+
+const std::vector<std::string>& default_excludes() {
+  static const std::vector<std::string> kExcludes = {"tests/lint/fixtures"};
+  return kExcludes;
+}
+
+}  // namespace softres::lint
