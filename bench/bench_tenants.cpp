@@ -1,0 +1,131 @@
+// Multi-tenant fairness bench: two tenants share an app tier whose thread
+// pools are the bottleneck, under each partition strategy. For every
+// strategy the honest scenario is replayed with tenant "gold" misreporting
+// its demand 8x — arrivals are bit-identical, so the "liar gain" column is
+// purely what the strategy's weighting hands to a misreporter. The
+// strategy-proofness half doubles as an acceptance check (ctest-visible via
+// the exit code): work-conserving shares must pay the liar >5% goodput,
+// Karma credits <=1%, and the diagnoser must call the work-conserving
+// greedy trial kNoisyNeighbor and implicate tenant:gold.
+
+#include "bench_util.h"
+#include "soft/partition.h"
+
+using namespace softres;
+
+namespace {
+
+constexpr double kMisreport = 8.0;
+
+exp::TestbedConfig contended_config() {
+  exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+  // 10x demands: a small thread pool saturates at a cheap user count.
+  cfg.demands.tomcat_base_s *= 10.0;
+  cfg.demands.cjdbc_per_query_s *= 10.0;
+  cfg.demands.mysql_per_query_s *= 10.0;
+  return cfg;
+}
+
+std::string tenant_goodputs(const exp::RunResult& r) {
+  std::string out;
+  for (const exp::TenantStat& t : r.tenants) {
+    if (!out.empty()) out += " / ";
+    out += t.name + " " + metrics::Table::fmt(t.goodput, 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  int failures = 0;
+
+  bench::header(
+      "Tenant fairness frontier, 2 tenants on saturated app-tier pools",
+      "1/2/1/2 at 200-4-8, 120+120 users, 1 s think; honest vs gold "
+      "misreporting 8x demand; goodput at the 2 s tenant SLA");
+
+  exp::ExperimentOptions opts = bench::bench_options();
+  // Short think time keeps both tenants queued at the tomcat pools — the
+  // regime where waiter selection (and thus misreporting) decides who runs.
+  opts.client.think_time_mean_s = 1.0;
+
+  exp::TenantScenario scenario;
+  workload::TenantSpec gold;
+  gold.name = "gold";
+  gold.users = 120;
+  workload::TenantSpec silver;
+  silver.name = "silver";
+  silver.users = 120;
+  scenario.tenants = {gold, silver};
+  scenario.greedy_tenant = 0;
+  scenario.misreport_factor = kMisreport;
+
+  const std::vector<soft::ShareStrategy> strategies = {
+      soft::ShareStrategy::kStaticSplit,
+      soft::ShareStrategy::kWorkConserving,
+      soft::ShareStrategy::kKarmaCredits,
+  };
+  const exp::Experiment e(contended_config(), opts);
+  const exp::TenantSweepReport report =
+      exp::tenant_sweep(e, exp::SoftConfig{200, 4, 8}, scenario, strategies);
+
+  metrics::Table t({"strategy", "honest goodput", "honest Jain",
+                    "greedy Jain", "liar gain"});
+  for (const exp::TenantStrategyOutcome& o : report.outcomes) {
+    double sum = 0.0;
+    for (const exp::TenantStat& ts : o.honest.tenants) sum += ts.goodput;
+    t.add_row({soft::share_strategy_name(o.strategy),
+               metrics::Table::fmt(sum, 1) + " (" +
+                   tenant_goodputs(o.honest) + ")",
+               metrics::Table::fmt(o.honest_jain, 3),
+               metrics::Table::fmt(o.greedy_jain, 3),
+               metrics::Table::fmt(o.greedy_gain_pct(), 1) + "%"});
+  }
+  t.print(std::cout);
+  std::cout << "greedy run goodputs: ";
+  for (const exp::TenantStrategyOutcome& o : report.outcomes) {
+    std::cout << soft::share_strategy_name(o.strategy) << " ["
+              << tenant_goodputs(o.greedy) << "]  ";
+  }
+  std::cout << "\n";
+
+  const exp::TenantStrategyOutcome* wc =
+      report.find(soft::ShareStrategy::kWorkConserving);
+  const exp::TenantStrategyOutcome* karma =
+      report.find(soft::ShareStrategy::kKarmaCredits);
+
+  if (wc != nullptr && wc->greedy_gain_pct() > 5.0) {
+    std::cout << "[fairness OK]   work-conserving pays the liar "
+              << metrics::Table::fmt(wc->greedy_gain_pct(), 1) << "%\n";
+  } else {
+    std::cout << "[fairness FAIL] work-conserving liar gain "
+              << (wc ? metrics::Table::fmt(wc->greedy_gain_pct(), 1) : "n/a")
+              << "% <= 5%\n";
+    ++failures;
+  }
+  if (karma != nullptr && karma->greedy_gain_pct() <= 1.0) {
+    std::cout << "[fairness OK]   karma-credits liar gain "
+              << metrics::Table::fmt(karma->greedy_gain_pct(), 1)
+              << "% (decisions never read reported demand)\n";
+  } else {
+    std::cout << "[fairness FAIL] karma-credits liar gain "
+              << (karma ? metrics::Table::fmt(karma->greedy_gain_pct(), 1)
+                        : "n/a")
+              << "% > 1%\n";
+    ++failures;
+  }
+
+  if (wc != nullptr) {
+    bench::expect_diagnosis(wc->greedy, obs::Pathology::kNoisyNeighbor,
+                            "work-conserving + 8x misreport", failures);
+    if (wc->greedy.diagnosis.implicated_resources.empty() ||
+        wc->greedy.diagnosis.implicated_resources.front() != "tenant:gold") {
+      std::cout << "[diagnosis FAIL] noisy verdict does not lead with "
+                   "tenant:gold\n";
+      ++failures;
+    }
+  }
+
+  return failures;
+}

@@ -90,6 +90,13 @@ const PoolStat* RunResult::find_pool(const std::string& name) const {
   return nullptr;
 }
 
+const TenantStat* RunResult::find_tenant(const std::string& name) const {
+  for (const auto& t : tenants) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
 Experiment::Experiment(TestbedConfig base, ExperimentOptions opts)
     : base_(std::move(base)), opts_(std::move(opts)) {}
 
@@ -181,7 +188,8 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
   // trial's identity, so sweeps can run these in any order — or in
   // parallel — and reproduce the serial results bit for bit. The client
   // farm's user streams and trace sampling hash off the same trial seed.
-  RunContext ctx(opts_.client.seed, cfg, users, opts_.governor);
+  RunContext ctx(opts_.client.seed, cfg, users, opts_.governor,
+                 opts_.partition);
   client.seed = ctx.trial_seed();
   Testbed bed(ctx, cfg, client);
   bed.run();
@@ -231,6 +239,18 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
     for (std::size_t i = 0; i < bed.sampler().probes(); ++i) {
       r.series.push_back(bed.sampler().series(i));
     }
+  }
+  const workload::ClientFarm& farm = bed.farm();
+  for (std::size_t t = 0; t < farm.num_tenants(); ++t) {
+    TenantStat ts;
+    ts.name = farm.tenant(t).name;
+    ts.users = farm.tenant(t).users;
+    ts.sla_threshold_s = farm.tenant(t).sla_threshold_s;
+    ts.throughput = farm.tenant_throughput(t);
+    ts.goodput = farm.tenant_goodput(t, ts.sla_threshold_s);
+    ts.badput = ts.throughput - ts.goodput;
+    ts.mean_rt_s = farm.tenant_response_times(t).mean();
+    r.tenants.push_back(std::move(ts));
   }
   r.metrics = ctx.registry().snapshot(ctx.simulator().now());
   ctx.traces().collect(bed.farm().traced_requests());

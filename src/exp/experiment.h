@@ -31,6 +31,12 @@ struct ExperimentOptions {
   /// governor_actions carries the applied resizes.
   core::GovernorConfig governor;
 
+  /// Pool-sharing policy of a multi-tenant trial (strategy kNone by
+  /// default). Tenants themselves ride in client.tenants; arbiters are only
+  /// built when both are set. Like the governor, the policy is not part of
+  /// the trial-seed derivation, so strategies compare on identical arrivals.
+  soft::SharePolicy partition;
+
   /// Opt-in self-profiling (DESIGN.md §11): each trial installs a
   /// prof::Ledger and RunResult::profile carries the snapshot. from_env()
   /// reads it from SOFTRES_PROFILE=1.
@@ -75,6 +81,19 @@ struct ServerOps {
   double avg_jobs = 0.0;    // time-averaged jobs inside (Little's L)
 };
 
+/// Per-tenant SLA accounting of a multi-tenant trial (RunResult::tenants;
+/// empty for single-tenant runs). goodput/badput split the tenant's window
+/// throughput at its own TenantSpec::sla_threshold_s.
+struct TenantStat {
+  std::string name;
+  std::size_t users = 0;
+  double sla_threshold_s = 2.0;
+  double throughput = 0.0;  // interactions/s in the window
+  double goodput = 0.0;     // of which met the tenant SLA
+  double badput = 0.0;      // of which violated it
+  double mean_rt_s = 0.0;
+};
+
 /// Everything one trial produces: the client-side SLA data plus the full
 /// monitoring picture the allocation algorithm consumes.
 struct RunResult {
@@ -114,6 +133,9 @@ struct RunResult {
   /// ungoverned trials). Part of the determinism contract: bit-identical
   /// across jobs=1 / jobs=N sweeps.
   std::vector<core::GovernorAction> governor_actions;
+  /// Per-tenant SLA accounting, in tenant-declaration order (empty for
+  /// single-tenant trials). Same determinism contract as everything above.
+  std::vector<TenantStat> tenants;
 
   double goodput(double threshold_s) const;
   metrics::SlaSplit sla(double threshold_s) const;
@@ -123,6 +145,7 @@ struct RunResult {
   const CpuStat* find_cpu(const std::string& name) const;
   const ServerOps* find_server(const std::string& name) const;
   const PoolStat* find_pool(const std::string& name) const;
+  const TenantStat* find_tenant(const std::string& name) const;
 };
 
 inline constexpr double kCpuSaturationPct = 95.0;

@@ -23,11 +23,13 @@ std::uint64_t RunContext::derive_seed(std::uint64_t base_seed,
 }
 
 RunContext::RunContext(std::uint64_t base_seed, const TestbedConfig& cfg,
-                       std::size_t users, core::GovernorConfig governor)
+                       std::size_t users, core::GovernorConfig governor,
+                       soft::SharePolicy partition)
     : base_seed_(base_seed),
       trial_seed_(derive_seed(base_seed, cfg.hw, cfg.soft, users)),
       users_(users),
       governor_(governor),
+      partition_(partition),
       rng_(trial_seed_) {}
 
 }  // namespace softres::exp

@@ -9,6 +9,7 @@
 #include "obs/trace.h"
 #include "sim/rng.h"
 #include "sim/simulator.h"
+#include "soft/partition.h"
 #include "tier/request.h"
 
 namespace softres::exp {
@@ -29,9 +30,12 @@ class RunContext {
   /// the optional closed-loop controller the testbed builds for this trial;
   /// it is deliberately NOT part of the seed — a governed trial replays the
   /// ungoverned trial's random streams, so goodput differences are pure
-  /// control-policy effects.
+  /// control-policy effects. `partition` (the pool-sharing policy of a
+  /// multi-tenant trial) stays out of the seed for the same reason: the
+  /// tenant_sweep strategy comparison must replay identical arrivals.
   RunContext(std::uint64_t base_seed, const TestbedConfig& cfg,
-             std::size_t users, core::GovernorConfig governor = {});
+             std::size_t users, core::GovernorConfig governor = {},
+             soft::SharePolicy partition = {});
 
   RunContext(const RunContext&) = delete;
   RunContext& operator=(const RunContext&) = delete;
@@ -57,6 +61,11 @@ class RunContext {
   /// Governor settings for this trial ({.enabled = false} by default).
   const core::GovernorConfig& governor_config() const { return governor_; }
 
+  /// Pool-sharing policy for this trial (strategy kNone by default; the
+  /// testbed only builds arbiters when it is enabled AND the client config
+  /// names tenants).
+  const soft::SharePolicy& partition_policy() const { return partition_; }
+
   obs::Registry& registry() { return registry_; }
   const obs::Registry& registry() const { return registry_; }
 
@@ -80,6 +89,7 @@ class RunContext {
   std::uint64_t trial_seed_ = 0;
   std::size_t users_ = 0;
   core::GovernorConfig governor_;
+  soft::SharePolicy partition_;
   // Declared before sim_ (so destroyed after it): pending events hold
   // RequestPtr captures whose destructors hand requests back to the arena.
   tier::RequestArena arena_;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "exp/parallel.h"
+#include "metrics/sla.h"
 
 namespace softres::exp {
 
@@ -93,6 +94,75 @@ GovernedComparison governed_sweep(const Experiment& exp,
   out.governed = gov_exp.run(start, users);
   out.governed_goodput = out.governed.goodput(out.sla_threshold_s);
   return out;
+}
+
+const TenantStrategyOutcome* TenantSweepReport::find(
+    soft::ShareStrategy s) const {
+  for (const TenantStrategyOutcome& o : outcomes) {
+    if (o.strategy == s) return &o;
+  }
+  return nullptr;
+}
+
+TenantSweepReport tenant_sweep(const Experiment& exp, const SoftConfig& soft,
+                               const TenantScenario& scenario,
+                               const std::vector<soft::ShareStrategy>& strategies,
+                               std::size_t jobs) {
+  // Every variant runs the same tenant population, so the same total user
+  // count — and therefore the same trial seed and identical arrivals. Only
+  // the share policy and the reported demand differ, neither of which is
+  // part of the seed derivation.
+  std::size_t total_users = 0;
+  for (const workload::TenantSpec& t : scenario.tenants) {
+    total_users += t.users;
+  }
+
+  auto run_variant = [&](soft::ShareStrategy s, bool greedy) {
+    ExperimentOptions opts = exp.options();
+    opts.client.tenants = scenario.tenants;
+    if (greedy) {
+      opts.client.tenants[scenario.greedy_tenant].reported_demand *=
+          scenario.misreport_factor;
+    }
+    opts.partition = scenario.base_policy;
+    opts.partition.strategy = s;
+    const Experiment variant(exp.base_config(), opts);
+    return variant.run(soft, total_users);
+  };
+
+  // One flat batch: honest and greedy runs of every strategy fan out
+  // together (index 2s = honest, 2s+1 = greedy).
+  ParallelExecutor pool(jobs);
+  std::vector<RunResult> flat =
+      pool.run_indexed(2 * strategies.size(), [&](std::size_t i) {
+        return run_variant(strategies[i / 2], (i % 2) == 1);
+      });
+
+  TenantSweepReport report;
+  const std::string& greedy_name =
+      scenario.tenants[scenario.greedy_tenant].name;
+  auto tenant_goodputs = [](const RunResult& r) {
+    std::vector<double> g;
+    g.reserve(r.tenants.size());
+    for (const TenantStat& t : r.tenants) g.push_back(t.goodput);
+    return g;
+  };
+  for (std::size_t s = 0; s < strategies.size(); ++s) {
+    TenantStrategyOutcome o;
+    o.strategy = strategies[s];
+    o.honest = std::move(flat[2 * s]);
+    o.greedy = std::move(flat[2 * s + 1]);
+    o.honest_jain = metrics::jain_fairness(tenant_goodputs(o.honest));
+    o.greedy_jain = metrics::jain_fairness(tenant_goodputs(o.greedy));
+    if (const TenantStat* t = o.honest.find_tenant(greedy_name)) {
+      o.honest_goodput = t->goodput;
+    }
+    if (const TenantStat* t = o.greedy.find_tenant(greedy_name)) {
+      o.greedy_goodput = t->goodput;
+    }
+    report.outcomes.push_back(std::move(o));
+  }
+  return report;
 }
 
 std::vector<PathologyOnset> pathology_onsets(

@@ -81,4 +81,55 @@ GovernedComparison governed_sweep(const Experiment& exp,
                                   const core::GovernorConfig& governor,
                                   std::size_t jobs = 0);
 
+/// One multi-tenant scenario for the fairness sweep: the tenant population
+/// plus the demand-misreporting experiment's knobs. The greedy variant of a
+/// strategy re-runs the identical trial with one tenant's reported demand
+/// inflated by `misreport_factor` — arrivals are bit-identical (the share
+/// policy is not part of the trial seed), so any goodput the greedy tenant
+/// gains is purely what the strategy's weighting hands to a liar.
+struct TenantScenario {
+  std::vector<workload::TenantSpec> tenants;
+  std::size_t greedy_tenant = 0;   // index into `tenants`
+  double misreport_factor = 4.0;   // reported_demand multiplier when greedy
+  soft::SharePolicy base_policy;   // epoch/cap knobs; strategy set per run
+};
+
+/// Honest-vs-greedy outcome of one sharing strategy.
+struct TenantStrategyOutcome {
+  soft::ShareStrategy strategy = soft::ShareStrategy::kNone;
+  RunResult honest;
+  RunResult greedy;
+  /// Jain's fairness index over per-tenant goodput, honest / greedy runs.
+  double honest_jain = 1.0;
+  double greedy_jain = 1.0;
+  /// The misreporting tenant's goodput in each run.
+  double honest_goodput = 0.0;
+  double greedy_goodput = 0.0;
+  /// Goodput gain the misreporting tenant extracts, in percent of its honest
+  /// goodput (0 when it had none). The strategy-proofness score: kKarma
+  /// ignores reported demand entirely, so its gain is exactly zero.
+  double greedy_gain_pct() const {
+    return honest_goodput > 0.0
+               ? 100.0 * (greedy_goodput - honest_goodput) / honest_goodput
+               : 0.0;
+  }
+};
+
+/// The fairness/Pareto report of `tenant_sweep`: one outcome per strategy,
+/// in input order. The per-strategy (sum goodput, Jain index) pairs are the
+/// goodput-fairness frontier; greedy_gain_pct is the misreporting column.
+struct TenantSweepReport {
+  std::vector<TenantStrategyOutcome> outcomes;
+  const TenantStrategyOutcome* find(soft::ShareStrategy s) const;
+};
+
+/// Run `scenario` under every strategy, honest and greedy, as one flat batch
+/// on the executor (2 x strategies trials). Deterministic for any `jobs`:
+/// every variant replays identical arrivals, so the columns compare pure
+/// policy effects.
+TenantSweepReport tenant_sweep(const Experiment& exp, const SoftConfig& soft,
+                               const TenantScenario& scenario,
+                               const std::vector<soft::ShareStrategy>& strategies,
+                               std::size_t jobs = 0);
+
 }  // namespace softres::exp

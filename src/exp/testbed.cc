@@ -106,6 +106,25 @@ void Testbed::build(const workload::ClientConfig& client_cfg) {
   // mapped to it (one Tomcat DB connection = one C-JDBC thread).
   pool_set_.add_post_resize_hook([this] { sync_cjdbc_upstreams(); });
 
+  // Multi-tenant pool sharing (opt-in): arbiters are built only when the
+  // trial context carries an enabled SharePolicy AND the client config names
+  // tenants. One arbiter per pool, in pool_set_ entry order, each seeded
+  // from the same declared shares — credit/quota state is per-resource.
+  const soft::SharePolicy& share_policy = ctx_->partition_policy();
+  if (share_policy.enabled() && !client_cfg.tenants.empty()) {
+    std::vector<soft::TenantShare> shares;
+    shares.reserve(client_cfg.tenants.size());
+    for (const auto& t : client_cfg.tenants) {
+      shares.push_back(
+          soft::TenantShare{t.name, t.entitlement, t.reported_demand});
+    }
+    for (const auto& entry : pool_set_.entries()) {
+      arbiters_.push_back(
+          std::make_unique<soft::TenantArbiter>(share_policy, shares));
+      entry.pool->set_arbiter(arbiters_.back().get());
+    }
+  }
+
   // Unified observability: every probe family registers on the one Registry;
   // the SysStat-equivalent sampler polls it at 1 s granularity. Registry
   // aliases keep the historical dotted series names ("tomcat0.threads.util",
@@ -133,7 +152,45 @@ void Testbed::build(const workload::ClientConfig& client_cfg) {
     obs::register_server_ops(registry, *a);
   }
   farm_->bind_registry(registry);
+  // Per-(pool, tenant) occupancy share of a partitioned trial: the series
+  // the noisy-neighbour detector implicates tenants from.
+  for (std::size_t pi = 0; pi < arbiters_.size(); ++pi) {
+    const soft::Pool* pool = pool_set_.entries()[pi].pool;
+    const soft::TenantArbiter* arb = arbiters_[pi].get();
+    for (std::size_t t = 0; t < arb->tenants(); ++t) {
+      const std::string& tname = arb->tenant(t).name;
+      registry.gauge_fn(
+          "pool_tenant_share_pct",
+          [pool, t](sim::SimTime) {
+            const std::size_t cap = pool->capacity();
+            if (cap == 0) return 0.0;
+            return 100.0 * static_cast<double>(pool->tenant_in_use(t)) /
+                   static_cast<double>(cap);
+          },
+          {{"pool", pool->name()}, {"tenant", tname}},
+          "Share of a pool's capacity held by one tenant, in percent",
+          pool->name() + "." + tname + ".share");
+    }
+  }
   registry.attach(*sampler_);
+
+  // Arbiter credit accounting (Karma epochs) rides the sampler so ticks are
+  // part of the deterministic event order. Runs before "obs.diagnosis" —
+  // probes evaluate in registration order — and its series is the total
+  // outstanding credit balance, a useful fairness trace in itself.
+  if (!arbiters_.empty()) {
+    sampler_->add_probe("soft.partition", [this](sim::SimTime now) {
+      double credits = 0.0;
+      for (std::size_t pi = 0; pi < arbiters_.size(); ++pi) {
+        soft::TenantArbiter& arb = *arbiters_[pi];
+        arb.tick(now, *pool_set_.entries()[pi].pool);
+        for (std::size_t t = 0; t < arb.tenants(); ++t) {
+          credits += arb.credits(t);
+        }
+      }
+      return credits;
+    });
+  }
 
   // Streaming diagnosis: ring-buffer the families the paper's pathologies
   // live in, tick them from the sampler, and run the detectors right after
@@ -143,7 +200,8 @@ void Testbed::build(const workload::ClientConfig& client_cfg) {
   for (const char* family :
        {"cpu_util_pct", "gc_util_pct", "pool_util_pct", "pool_waiting",
         "pool_capacity", "server_throughput", "apache_threads_active",
-        "apache_threads_connecting"}) {
+        "apache_threads_connecting", "tenant_goodput", "tenant_badput",
+        "tenant_active_users", "pool_tenant_share_pct"}) {
     timeline_->track_family(family);
   }
   timeline_->attach(*sampler_);

@@ -15,6 +15,7 @@
 #include "obs/timeline.h"
 #include "sim/sampler.h"
 #include "sim/simulator.h"
+#include "soft/partition.h"
 #include "soft/pool_set.h"
 #include "tier/apache.h"
 #include "tier/cjdbc.h"
@@ -77,6 +78,12 @@ class Testbed {
   const soft::ResizablePoolSet& pool_set() const { return pool_set_; }
   /// The closed-loop governor, when the trial context enables one.
   const core::Governor* governor() const { return governor_.get(); }
+  /// Tenant arbiters attached to the pools of a multi-tenant trial, in
+  /// pool_set() entry order (empty otherwise). Each pool owns its own
+  /// arbiter because credit/quota state is per-resource, not global.
+  const std::vector<std::unique_ptr<soft::TenantArbiter>>& arbiters() const {
+    return arbiters_;
+  }
   const workload::RubbosWorkload& workload() const { return workload_; }
   const TestbedConfig& config() const { return cfg_; }
 
@@ -141,6 +148,9 @@ class Testbed {
   std::unique_ptr<obs::Diagnoser> diagnoser_;
 
   soft::ResizablePoolSet pool_set_;
+  // One arbiter per pool_set_ entry when the trial is multi-tenant; the
+  // raw pool pointers inside the entries stay the owners of the pools.
+  std::vector<std::unique_ptr<soft::TenantArbiter>> arbiters_;
   std::unique_ptr<core::Governor> governor_;
   // Backend (non-web) CPU busy baselines for the governor's growth guard.
   struct GovernorNodeBusy {

@@ -22,4 +22,15 @@ sim::BucketedHistogram make_rt_buckets() {
   return sim::BucketedHistogram({0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0});
 }
 
+double jain_fairness(const std::vector<double>& xs) {
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sum_sq);
+}
+
 }  // namespace softres::metrics

@@ -52,4 +52,10 @@ struct RevenueModel {
 /// [0,.2], (.2,.4], ..., (1,1.5], (1.5,2], >2 seconds.
 sim::BucketedHistogram make_rt_buckets();
 
+/// Jain's fairness index over per-tenant allocations:
+/// J = (sum x)^2 / (N * sum x^2), in (0, 1]; 1.0 = perfectly even, 1/N =
+/// one tenant holds everything. Returns 1.0 for empty or all-zero input
+/// (nothing allocated is trivially fair).
+double jain_fairness(const std::vector<double>& xs);
+
 }  // namespace softres::metrics

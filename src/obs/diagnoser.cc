@@ -13,6 +13,7 @@ const char* pathology_name(Pathology p) {
     case Pathology::kSoftUnderAlloc: return "kSoftUnderAlloc";
     case Pathology::kGcOverAlloc: return "kGcOverAlloc";
     case Pathology::kFinWaitBuffer: return "kFinWaitBuffer";
+    case Pathology::kNoisyNeighbor: return "kNoisyNeighbor";
     case Pathology::kHardware: return "kHardware";
     case Pathology::kMulti: return "kMulti";
   }
@@ -40,6 +41,9 @@ core::DiagnosisHint Diagnosis::to_hint() const {
   hint.valid = true;
   hint.confidence = confidence;
   for (const std::string& r : implicated_resources) {
+    // Tenant attributions ("tenant:<name>") name a workload principal, not a
+    // resizable resource — core's vocabulary has no slot for them.
+    if (r.rfind("tenant:", 0) == 0) continue;
     // Hardware resources follow core's "<node>.cpu" convention; everything
     // else is a soft pool name.
     const bool is_cpu = r.size() > 4 && r.compare(r.size() - 4, 4, ".cpu") == 0;
@@ -52,6 +56,7 @@ core::DiagnosisHint Diagnosis::to_hint() const {
     case Pathology::kSoftUnderAlloc:
     case Pathology::kFinWaitBuffer:
     case Pathology::kGcOverAlloc:
+    case Pathology::kNoisyNeighbor:
       // All three soft-resource pathologies classify as the paper's hidden
       // soft bottleneck; the GC case additionally names the CPU the collector
       // burns as the critical hardware symptom.
@@ -144,6 +149,11 @@ void Diagnoser::discover() {
       } else {
         ref->capacity = i;
       }
+    } else if (name == "pool_tenant_share_pct") {
+      tenant_shares_.push_back(TenantShareRef{
+          label(tl.labels(i), "pool"), label(tl.labels(i), "tenant"), i});
+    } else if (name == "tenant_badput") {
+      tenant_slas_.push_back(TenantSlaRef{label(tl.labels(i), "tenant"), i});
     } else if (name == "apache_threads_active" ||
                name == "apache_threads_connecting") {
       const std::string server = label(tl.labels(i), "server");
@@ -235,6 +245,35 @@ void Diagnoser::discover() {
                 "downstream slots"};
     fin_wait_.push_back(std::move(d));
   }
+  // One noisy-neighbour detector per (partitioned pool, candidate offender):
+  // fires when the tenant dominates a saturated pool while another tenant,
+  // held under the even split, accrues badput. Only built when the testbed
+  // registered tenant share series, i.e. for multi-tenant trials.
+  for (const TenantShareRef& ts : tenant_shares_) {
+    const PoolRef* pr = nullptr;
+    for (const PoolRef& p : pools_) {
+      if (p.pool == ts.pool) pr = &p;
+    }
+    if (pr == nullptr || pr->util == npos) continue;
+    std::size_t n = 0;
+    for (const TenantShareRef& other : tenant_shares_) {
+      if (other.pool == ts.pool) ++n;
+    }
+    if (n < 2) continue;  // domination needs someone to dominate
+    Detector d;
+    d.pathology = Pathology::kNoisyNeighbor;
+    d.primary = ts.share;
+    d.series = tl.series(ts.share);
+    d.resource = "tenant:" + ts.tenant;
+    d.also_implicated.push_back(ts.pool);
+    d.threshold =
+        cfg_.noisy_dominance_factor * 100.0 / static_cast<double>(n);
+    d.action = {SuggestedAction::Kind::kNone, "tenant:" + ts.tenant,
+                "tenant " + ts.tenant + " is crowding " + ts.pool +
+                    ": throttle it or switch the pool to credit-based "
+                    "(kKarmaCredits) sharing"};
+    noisy_.push_back(std::move(d));
+  }
   for (const CpuRef& c : cpus_) {
     Detector d;
     d.pathology = Pathology::kHardware;
@@ -251,7 +290,8 @@ void Diagnoser::discover() {
 
 std::size_t Diagnoser::active_detectors() const {
   std::size_t n = 0;
-  for (const auto* group : {&under_alloc_, &gc_over_, &fin_wait_, &hardware_}) {
+  for (const auto* group :
+       {&under_alloc_, &gc_over_, &fin_wait_, &noisy_, &hardware_}) {
     for (const Detector& d : *group) {
       if (d.open) ++n;
     }
@@ -388,6 +428,54 @@ void Diagnoser::observe(sim::SimTime now) {
          now);
   }
 
+  // Multi-tenant rule: an offender tenant dominating a saturated shared pool
+  // while some under-share tenant accrues badput. Plain over-use of an idle
+  // pool is work conservation, not a pathology — the victim clause is what
+  // separates the two.
+  for (Detector& d : noisy_) {
+    const std::string offender = d.resource.substr(7);  // strip "tenant:"
+    const std::string& pool = d.also_implicated.front();
+    const PoolRef* pr = nullptr;
+    for (const PoolRef& ref : pools_) {
+      if (ref.pool == pool) pr = &ref;
+    }
+    const double util = smoothed(pr->util);
+    const double share = smoothed(d.primary);
+    std::size_t n = 0;
+    for (const TenantShareRef& ts : tenant_shares_) {
+      if (ts.pool == pool) ++n;
+    }
+    const double fair = 100.0 / static_cast<double>(n);
+    // The victim: any other tenant squeezed below the even split on this
+    // pool while its farm-side badput stays above the floor.
+    const TenantShareRef* victim = nullptr;
+    double victim_badput = 0.0;
+    for (const TenantShareRef& ts : tenant_shares_) {
+      if (ts.pool != pool || ts.tenant == offender) continue;
+      if (smoothed(ts.share) >= fair) continue;
+      for (const TenantSlaRef& sla : tenant_slas_) {
+        if (sla.tenant != ts.tenant) continue;
+        const double badput = smoothed(sla.badput);
+        if (badput >= cfg_.noisy_victim_badput && victim == nullptr) {
+          victim = &ts;
+          victim_badput = badput;
+        }
+      }
+    }
+    const bool cond = util >= cfg_.pool_saturated_pct &&
+                      share >= cfg_.noisy_dominance_factor * fair &&
+                      victim != nullptr;
+    step(d, cond, share,
+         cond ? fmt("%s=%.0f%% >= %.2f*fair(%.0f%%) on saturated %s "
+                    "(util=%.0f%%) while tenant_badput{tenant=%s}=%.1f/s >= "
+                    "%.1f/s",
+                    d.series.c_str(), share, cfg_.noisy_dominance_factor,
+                    fair, pool.c_str(), util, victim->tenant.c_str(),
+                    victim_badput, cfg_.noisy_victim_badput)
+              : std::string(),
+         now);
+  }
+
   // The classic case: a CPU pegged above the saturation band.
   for (std::size_t i = 0; i < hardware_.size(); ++i) {
     Detector& d = hardware_[i];
@@ -444,6 +532,7 @@ Diagnosis Diagnoser::diagnosis() const {
   const std::vector<Fired> under = qualify(under_alloc_);
   const std::vector<Fired> gc = qualify(gc_over_);
   const std::vector<Fired> fin = qualify(fin_wait_);
+  const std::vector<Fired> noisy = qualify(noisy_);
   const std::vector<Fired> hard = qualify(hardware_);
 
   std::vector<const std::vector<Fired>*> soft_fired;
@@ -473,7 +562,24 @@ Diagnosis Diagnoser::diagnosis() const {
   };
 
   double evidence_s = 0.0;
-  if (soft_fired.size() > 1) {
+  if (!noisy.empty()) {
+    // A noisy neighbour *causes* pool contention, so kSoftUnderAlloc fires
+    // alongside it on the same evidence; the tenant-level explanation
+    // subsumes the pool-level symptom and leads the verdict. Absorb noisy
+    // first so implicated_resources leads with "tenant:<name>".
+    diag.pathology = Pathology::kNoisyNeighbor;
+    const Fired* best = &noisy.front();
+    for (const Fired& f : noisy) {
+      if (f.total_s > best->total_s) best = &f;
+      evidence_s += f.total_s;
+    }
+    absorb(noisy);
+    for (const auto* fired : soft_fired) {
+      for (const Fired& f : *fired) evidence_s += f.total_s;
+      absorb(*fired);
+    }
+    diag.suggested_action = best->detector->action;
+  } else if (soft_fired.size() > 1) {
     diag.pathology = Pathology::kMulti;
     for (const auto* fired : soft_fired) {
       for (const Fired& f : *fired) evidence_s += f.total_s;

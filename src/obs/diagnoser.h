@@ -36,6 +36,7 @@ enum class Pathology {
   kSoftUnderAlloc,  // Section III-A starvation (Fig 4)
   kGcOverAlloc,     // Section III-B GC-driven collapse (Fig 5)
   kFinWaitBuffer,   // Section III-C FIN-wait buffer effect (Figs 6-8)
+  kNoisyNeighbor,   // one tenant dominating a shared pool starves another
   kHardware,        // a hardware resource saturated
   kMulti,           // more than one pathology fired
 };
@@ -97,6 +98,13 @@ struct DiagnoserConfig {
   /// FIN-wait: workers interacting with the app tier, as a fraction of
   /// active workers, below which the buffer effect is on (Fig 7d-f).
   double connecting_fraction = 0.6;
+  /// Noisy neighbour: a tenant counts as dominating a shared pool when its
+  /// occupancy share exceeds this multiple of the even split (100%/N).
+  double noisy_dominance_factor = 1.35;
+  /// ...and some *other* tenant, holding less than the even split, must be
+  /// accruing at least this much badput (req/s) for the domination to count
+  /// as a pathology rather than harmless work conservation.
+  double noisy_victim_badput = 0.5;
   /// A condition must hold contiguously at least this long to fire.
   double hold_s = 5.0;
   /// A detector's qualified evidence must *total* at least this long to
@@ -193,6 +201,17 @@ class Diagnoser {
     std::size_t active = npos;
     std::size_t connecting = npos;
   };
+  /// One pool_tenant_share_pct series of a partitioned pool.
+  struct TenantShareRef {
+    std::string pool;
+    std::string tenant;
+    std::size_t share = npos;
+  };
+  /// One tenant's farm-side SLA series (tenant_badput, labelled by tenant).
+  struct TenantSlaRef {
+    std::string tenant;
+    std::size_t badput = npos;
+  };
 
   static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
@@ -215,10 +234,13 @@ class Diagnoser {
   std::vector<CpuRef> cpus_;
   std::vector<GcRef> gcs_;
   std::vector<WebRef> webs_;
+  std::vector<TenantShareRef> tenant_shares_;
+  std::vector<TenantSlaRef> tenant_slas_;
 
   std::vector<Detector> under_alloc_;  // one per non-web pool
   std::vector<Detector> gc_over_;      // one per JVM node
   std::vector<Detector> fin_wait_;     // one per web server
+  std::vector<Detector> noisy_;        // one per (partitioned pool, tenant)
   std::vector<Detector> hardware_;     // one per node
 };
 

@@ -198,7 +198,7 @@ void write_flight_recorder_html(std::ostream& os, const ReportMeta& meta,
     any = true;
   }
   if (t1 <= t0) t1 = t0 + 1.0;
-  for (std::size_t i = 0; i < timeline.series_count(); ++i) {
+  auto render = [&](std::size_t i) {
     std::vector<const EvidenceWindow*> shaded;
     for (const EvidenceWindow& ev : diagnosis.evidence) {
       if (ev.series == timeline.series(i)) shaded.push_back(&ev);
@@ -214,6 +214,33 @@ void write_flight_recorder_html(std::ostream& os, const ReportMeta& meta,
     }
     write_series_svg(os, timeline.window(i), timeline.series(i), shaded, marks,
                      t0, t1);
+  };
+  auto tenant_of = [&timeline](std::size_t i) -> std::string {
+    for (const auto& kv : timeline.labels(i)) {
+      if (kv.first == "tenant") return kv.second;
+    }
+    return "";
+  };
+  // Shared (tenant-less) series first; tenant-labelled ones are grouped into
+  // one lane per tenant below so each tenant's goodput/badput/share read as
+  // a unit against the shared pool picture above them.
+  for (std::size_t i = 0; i < timeline.series_count(); ++i) {
+    if (tenant_of(i).empty()) render(i);
+  }
+  std::vector<std::string> tenant_order;
+  for (std::size_t i = 0; i < timeline.series_count(); ++i) {
+    const std::string t = tenant_of(i);
+    if (t.empty()) continue;
+    if (std::find(tenant_order.begin(), tenant_order.end(), t) ==
+        tenant_order.end()) {
+      tenant_order.push_back(t);
+    }
+  }
+  for (const std::string& tname : tenant_order) {
+    os << "<h2>Tenant " << escape_html(tname) << "</h2>\n";
+    for (std::size_t i = 0; i < timeline.series_count(); ++i) {
+      if (tenant_of(i) == tname) render(i);
+    }
   }
 
   // Governor / tuner resize log (present when the trial resized pools live).

@@ -1,0 +1,132 @@
+#include "soft/partition.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "soft/pool.h"
+
+namespace softres::soft {
+
+const char* share_strategy_name(ShareStrategy s) {
+  switch (s) {
+    case ShareStrategy::kNone:
+      return "none";
+    case ShareStrategy::kStaticSplit:
+      return "static-split";
+    case ShareStrategy::kWorkConserving:
+      return "work-conserving";
+    case ShareStrategy::kKarmaCredits:
+      return "karma-credits";
+  }
+  return "?";
+}
+
+TenantArbiter::TenantArbiter(SharePolicy policy,
+                             std::vector<TenantShare> tenants)
+    : policy_(policy), tenants_(std::move(tenants)) {
+  assert(!tenants_.empty());
+  for (const TenantShare& t : tenants_) total_entitlement_ += t.entitlement;
+  assert(total_entitlement_ > 0.0);
+  credits_.assign(tenants_.size(), 0.0);
+  prev_integral_.assign(tenants_.size(), 0.0);
+}
+
+double TenantArbiter::entitlement_fraction(std::size_t t) const {
+  return tenants_[t].entitlement / total_entitlement_;
+}
+
+double TenantArbiter::weight(std::size_t t) const {
+  // The gameable axis: work-conserving shares scale the contractual
+  // entitlement by whatever demand the tenant reports.
+  return std::max(1e-9, tenants_[t].entitlement * tenants_[t].reported_demand);
+}
+
+double TenantArbiter::quota(const Pool& pool, std::size_t t) const {
+  return entitlement_fraction(t) * static_cast<double>(pool.capacity());
+}
+
+bool TenantArbiter::may_take(const Pool& pool, std::uint32_t tenant) const {
+  const std::size_t t = tenant;
+  assert(t < tenants_.size());
+  const double held = static_cast<double>(pool.tenant_in_use(tenant));
+  switch (policy_.strategy) {
+    case ShareStrategy::kNone:
+      return true;
+    case ShareStrategy::kStaticSplit:
+      // Hard quota, never lent out.
+      return held < quota(pool, t);
+    case ShareStrategy::kWorkConserving:
+      // Any free unit may be taken; the weights only matter under
+      // contention (see select()).
+      return true;
+    case ShareStrategy::kKarmaCredits:
+      // Below fair share: always. Above: only while the credit balance
+      // lasts. Reported demand is deliberately absent from this rule.
+      return held < quota(pool, t) || credits_[t] > 0.0;
+  }
+  return true;
+}
+
+std::size_t TenantArbiter::select(const Pool& pool) const {
+  const std::size_t n = pool.waiter_count();
+  if (n == 0) return kNoPick;
+  if (policy_.strategy == ShareStrategy::kWorkConserving) {
+    // Pick the queued tenant furthest below its reported-demand weight
+    // (min of in_use/weight), ties to the lower tenant id; then the oldest
+    // waiter of that tenant. Deterministic and purely state-driven.
+    std::size_t best_tenant = kNoPick;
+    double best_ratio = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t t = pool.waiter_tenant(i);
+      const double ratio =
+          static_cast<double>(pool.tenant_in_use(t)) / weight(t);
+      if (best_tenant == kNoPick || ratio < best_ratio ||
+          (ratio == best_ratio && t < best_tenant)) {
+        best_tenant = t;
+        best_ratio = ratio;
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      if (pool.waiter_tenant(i) == best_tenant) return i;
+    }
+    return kNoPick;
+  }
+  // Static split and Karma: global FIFO filtered by admissibility — the
+  // oldest waiter whose tenant may take the unit.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (may_take(pool, pool.waiter_tenant(i))) return i;
+  }
+  return kNoPick;
+}
+
+void TenantArbiter::tick(sim::SimTime now, const Pool& pool) {
+  if (policy_.strategy != ShareStrategy::kKarmaCredits) return;
+  if (!seeded_) {
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      prev_integral_[t] = pool.tenant_occupancy_integral(t, now);
+    }
+    last_tick_ = now;
+    seeded_ = true;
+    return;
+  }
+  const double dt = now - last_tick_;
+  last_tick_ = now;
+  if (dt <= 0.0) return;
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    const double integral = pool.tenant_occupancy_integral(t, now);
+    if (integral < prev_integral_[t]) {
+      // reset_stats rewound the integral; reseed this tenant's snapshot.
+      prev_integral_[t] = integral;
+      continue;
+    }
+    const double used = (integral - prev_integral_[t]) / dt;
+    prev_integral_[t] = integral;
+    const double fair = quota(pool, t);
+    // Earn while below fair, pay while above — both in unit-seconds, so a
+    // long quiet spell funds an equally sized burst later, up to the cap.
+    const double cap = policy_.karma_credit_cap_s * std::max(1.0, fair);
+    credits_[t] = std::clamp(credits_[t] + (fair - used) * dt, 0.0, cap);
+  }
+}
+
+}  // namespace softres::soft

@@ -1,0 +1,117 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sim/sim_time.h"
+
+namespace softres::soft {
+
+class Pool;
+
+/// How a shared Pool divides its units between tenants. `kNone` keeps the
+/// pool single-tenant (the legacy path — Pool's fast paths are untouched and
+/// bit-identical). The other three reproduce the sharing-policy spectrum from
+/// the multi-tenant literature ("SLO beyond the Hardware Isolation Limits",
+/// Karma/Ginseng): isolation, efficiency, and strategy-proof efficiency.
+enum class ShareStrategy : std::uint8_t {
+  kNone,
+  /// Hard quota per tenant (entitlement share x capacity). Never lends idle
+  /// units: perfectly isolated, not work-conserving.
+  kStaticSplit,
+  /// Work-conserving weighted shares: a free unit always goes to the waiter
+  /// whose tenant is furthest below its *self-reported* demand weight. Fully
+  /// efficient, but the weights are gameable — inflating reported demand
+  /// buys a larger share of the contended pool.
+  kWorkConserving,
+  /// Karma-style credits: entitlements (not reports) set the fair share;
+  /// tenants running below fair earn credits they can later spend to borrow
+  /// above it. Self-reported demand never enters any decision, so demand
+  /// misreporting is exactly worthless — the strategy-proofness property the
+  /// tenant_sweep ctest pins down.
+  kKarmaCredits,
+};
+
+const char* share_strategy_name(ShareStrategy s);
+
+/// Pool-partitioning knobs carried alongside GovernorConfig through
+/// ExperimentOptions -> RunContext -> Testbed. Like the governor, the policy
+/// is deliberately NOT part of the trial-seed derivation: strategies must be
+/// comparable on identical arrival sequences.
+struct SharePolicy {
+  ShareStrategy strategy = ShareStrategy::kNone;
+  /// Credit accounting cadence; the Testbed ticks arbiters at the sampler
+  /// cadence, this only scales the ceiling below.
+  double karma_epoch_s = 0.5;
+  /// Per-tenant credit ceiling, in unit-seconds per unit of fair share.
+  /// Bounds how long a tenant can borrow above fair after a quiet spell.
+  double karma_credit_cap_s = 10.0;
+
+  bool enabled() const { return strategy != ShareStrategy::kNone; }
+};
+
+/// One tenant's contract with a shared pool. `entitlement` is what the
+/// operator provisioned (the basis for static quotas and Karma fair shares);
+/// `reported_demand` is what the tenant *claims* to need — only the
+/// work-conserving strategy trusts it, which is precisely its weakness.
+struct TenantShare {
+  std::string name;
+  double entitlement = 1.0;
+  double reported_demand = 1.0;
+};
+
+/// Per-pool admission arbiter. A Pool with an arbiter attached defers two
+/// decisions to it: may a tenant take a free unit right now (`may_take`),
+/// and which queued waiter receives a freed unit (`select`). Both are pure
+/// functions of pool state + credit ledgers, so grant order stays a
+/// deterministic function of the event sequence.
+class TenantArbiter {
+ public:
+  static constexpr std::size_t kNoPick = std::numeric_limits<std::size_t>::max();
+
+  TenantArbiter(SharePolicy policy, std::vector<TenantShare> tenants);
+
+  std::size_t tenants() const { return tenants_.size(); }
+  ShareStrategy strategy() const { return policy_.strategy; }
+  const TenantShare& tenant(std::size_t t) const { return tenants_[t]; }
+
+  /// May `tenant` take one more unit of `pool`? Called by Pool::acquire when
+  /// a unit is free, and used by `select` to filter waiters.
+  bool may_take(const Pool& pool, std::uint32_t tenant) const;
+
+  /// Index into `pool`'s waiter queue of the waiter to grant a freed unit
+  /// to, or kNoPick when no queued tenant is currently admissible (the unit
+  /// then idles — the non-work-conserving strategies pay this price for
+  /// isolation). FIFO within a tenant; across tenants the strategy decides.
+  std::size_t select(const Pool& pool) const;
+
+  /// Karma epoch accounting: credit each tenant for time spent below its
+  /// fair share since the last tick, charge time spent above. Driven at the
+  /// sampler cadence by the Testbed; a no-op for the other strategies.
+  void tick(sim::SimTime now, const Pool& pool);
+
+  /// This tenant's hard quota (static split) or fair share (Karma), in
+  /// units, for the pool's current capacity.
+  double quota(const Pool& pool, std::size_t t) const;
+  /// Remaining Karma balance, unit-seconds (0 for other strategies).
+  double credits(std::size_t t) const { return credits_[t]; }
+
+ private:
+  double entitlement_fraction(std::size_t t) const;
+  double weight(std::size_t t) const;
+
+  SharePolicy policy_;
+  std::vector<TenantShare> tenants_;
+  double total_entitlement_ = 0.0;
+  // Karma ledgers: balance + previous occupancy-integral snapshot per
+  // tenant. `seeded_` guards the first tick (and any reset_stats rewind).
+  std::vector<double> credits_;
+  std::vector<double> prev_integral_;
+  sim::SimTime last_tick_ = 0.0;
+  bool seeded_ = false;
+};
+
+}  // namespace softres::soft

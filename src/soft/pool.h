@@ -16,11 +16,20 @@
 
 namespace softres::soft {
 
+class TenantArbiter;
+
 /// A *soft resource* in the paper's sense: a counted pool of software units
 /// (worker threads, DB connections) that gate access to hardware. Acquires
 /// beyond capacity queue FIFO; this queueing is exactly how under-allocation
 /// bottlenecks form (Section III-A), and the capacity itself is what the
 /// allocation algorithm of Section IV tunes.
+///
+/// Multi-tenant mode: attaching a TenantArbiter (see partition.h) makes the
+/// pool tenant-aware — acquire/release carry a tenant id, per-tenant
+/// occupancy is tracked, and the arbiter decides admission and waiter
+/// selection. With no arbiter attached every path below is byte-for-byte the
+/// single-tenant behaviour (the tenant argument defaults to 0 and is only
+/// recorded on waiters), keeping legacy trials bit-identical.
 class Pool {
  public:
   using Callback = sim::InlineCallback;
@@ -38,15 +47,18 @@ class Pool {
   Pool(const Pool&) = delete;
   Pool& operator=(const Pool&) = delete;
 
-  /// Request one unit. `granted` fires immediately (synchronously) if a unit
-  /// is free, otherwise when one is released to this waiter (FIFO).
-  void acquire(Callback granted);
+  /// Request one unit on behalf of `tenant`. `granted` fires immediately
+  /// (synchronously) if a unit is free — and, with an arbiter attached, the
+  /// tenant is admissible — otherwise when a released unit is handed to this
+  /// waiter (FIFO; arbiter-ordered across tenants).
+  void acquire(Callback granted, std::uint32_t tenant = 0);
 
   /// Non-blocking variant; true on success.
-  bool try_acquire();
+  bool try_acquire(std::uint32_t tenant = 0);
 
-  /// Return one unit; hands it straight to the oldest waiter if any.
-  void release();
+  /// Return one unit held by `tenant`; hands it straight to the oldest
+  /// (arbiter-selected) waiter if any.
+  void release(std::uint32_t tenant = 0);
 
   const std::string& name() const { return name_; }
   std::size_t capacity() const { return capacity_; }
@@ -102,13 +114,47 @@ class Pool {
   /// released.
   void set_capacity(std::size_t capacity);
 
+  /// Attach a partition arbiter (non-owning; the Testbed owns it). Must be
+  /// called before any unit is handed out — per-tenant ledgers start empty.
+  void set_arbiter(TenantArbiter* arbiter);
+  TenantArbiter* arbiter() const { return arbiter_; }
+
+  // Per-tenant views; valid only with an arbiter attached (the vectors are
+  // sized to the arbiter's tenant count).
+  std::size_t tenant_in_use(std::uint32_t t) const { return tenant_in_use_[t]; }
+  std::size_t tenant_waiting(std::uint32_t t) const {
+    return tenant_waiting_[t];
+  }
+  std::uint64_t tenant_acquired(std::uint32_t t) const {
+    return tenant_acquired_[t];
+  }
+  /// Per-tenant running occupancy integral (unit-seconds); the governor's
+  /// per-tenant demand-attribution signal and Karma's usage meter.
+  double tenant_occupancy_integral(std::uint32_t t, sim::SimTime until) const {
+    return tenant_occupancy_[t].integral(until);
+  }
+  // Waiter-queue view for the arbiter's select().
+  std::size_t waiter_count() const { return waiters_.size(); }
+  std::uint32_t waiter_tenant(std::size_t i) const {
+    return waiters_[i].tenant;
+  }
+
  private:
   struct Waiter {
     Callback granted;
     sim::SimTime enqueued_at;
+    std::uint32_t tenant = 0;
   };
 
   void grant(Callback granted, sim::SimTime waited_since);
+  // Arbiter-mediated slow paths (pool.cc): same accounting as the legacy
+  // inline paths plus the per-tenant ledgers and the admission/selection
+  // hooks. Kept out of line — multi-tenant trials opt into the cost.
+  void acquire_shared(Callback granted, std::uint32_t tenant);
+  void release_shared(std::uint32_t tenant);
+  void grant_shared(Callback granted, sim::SimTime waited_since,
+                    std::uint32_t tenant);
+  void dispatch_shared();
 
   sim::Simulator& sim_;
   std::string name_;
@@ -120,6 +166,11 @@ class Pool {
   sim::Welford wait_stats_;
   sim::TimeWeighted occupancy_;
   std::vector<CapacityEpoch> epochs_;
+  TenantArbiter* arbiter_ = nullptr;
+  std::vector<std::size_t> tenant_in_use_;
+  std::vector<std::size_t> tenant_waiting_;
+  std::vector<std::uint64_t> tenant_acquired_;
+  std::vector<sim::TimeWeighted> tenant_occupancy_;
 };
 
 // acquire/release bracket every request's residence in every tier (two pools
@@ -135,22 +186,30 @@ inline void Pool::grant(Callback granted, sim::SimTime waited_since) {
   granted();
 }
 
-inline void Pool::acquire(Callback granted) {
+inline void Pool::acquire(Callback granted, std::uint32_t tenant) {
   // The synchronous grant path runs the continuation under this scope;
   // scoped subsystems it reaches (cpu, dist, queue pushes) nest and subtract,
   // so pool_service keeps only the grant-cascade glue. See DESIGN.md §11.
   SOFTRES_PROF_SCOPE(kPoolService);
   assert(granted);
+  if (arbiter_ != nullptr) {
+    acquire_shared(std::move(granted), tenant);
+    return;
+  }
   if (in_use_ < capacity_) {
     grant(std::move(granted), sim_.now());
   } else {
-    waiters_.push_back(Waiter{std::move(granted), sim_.now()});
+    waiters_.push_back(Waiter{std::move(granted), sim_.now(), tenant});
   }
 }
 
-inline void Pool::release() {
+inline void Pool::release(std::uint32_t tenant) {
   SOFTRES_PROF_SCOPE(kPoolService);
   assert(in_use_ > 0);
+  if (arbiter_ != nullptr) {
+    release_shared(tenant);
+    return;
+  }
   // A release while draining retires the unit instead of recycling it: this
   // is the lazy shrink paying out one unit at a time.
   if (in_use_ > capacity_) ++drained_total_;

@@ -28,11 +28,14 @@ class PoolGuard {
   PoolGuard() noexcept = default;
   PoolGuard(const PoolGuard&) = delete;
   PoolGuard& operator=(const PoolGuard&) = delete;
-  PoolGuard(PoolGuard&& o) noexcept : pool_(o.pool_) { o.pool_ = nullptr; }
+  PoolGuard(PoolGuard&& o) noexcept : pool_(o.pool_), tenant_(o.tenant_) {
+    o.pool_ = nullptr;
+  }
   PoolGuard& operator=(PoolGuard&& o) noexcept {
     if (this != &o) {
       release();
       pool_ = o.pool_;
+      tenant_ = o.tenant_;
       o.pool_ = nullptr;
     }
     return *this;
@@ -40,11 +43,13 @@ class PoolGuard {
   ~PoolGuard() { release(); }
 
   /// Take ownership of a unit of `pool` that the grant callback just
-  /// received. A guard already holding a unit releases it first — adopting
-  /// a fresh grant of the same pool is a release+own, not a merge.
-  void adopt(Pool& pool) {
+  /// received on behalf of `tenant`. A guard already holding a unit releases
+  /// it first — adopting a fresh grant of the same pool is a release+own,
+  /// not a merge.
+  void adopt(Pool& pool, std::uint32_t tenant = 0) {
     release();
     pool_ = &pool;
+    tenant_ = tenant;
   }
 
   /// Return the held unit (no-op when empty). The guard empties itself
@@ -55,12 +60,13 @@ class PoolGuard {
     if (pool_ != nullptr) {
       Pool* p = pool_;
       pool_ = nullptr;
-      p->release();
+      p->release(tenant_);
     }
   }
 
   /// Give up ownership without releasing; returns the pool (nullptr when
-  /// empty). The caller takes over the release obligation.
+  /// empty). The caller takes over the release obligation — including the
+  /// tenant id (see tenant()) when the pool is partitioned.
   Pool* detach() noexcept {
     Pool* p = pool_;
     pool_ = nullptr;
@@ -68,17 +74,22 @@ class PoolGuard {
   }
 
   /// Non-blocking acquire: an engaged guard on success, empty on failure.
-  static PoolGuard try_acquire(Pool& pool) {
+  static PoolGuard try_acquire(Pool& pool, std::uint32_t tenant = 0) {
     PoolGuard g;
-    if (pool.try_acquire()) g.pool_ = &pool;
+    if (pool.try_acquire(tenant)) {
+      g.pool_ = &pool;
+      g.tenant_ = tenant;
+    }
     return g;
   }
 
   explicit operator bool() const noexcept { return pool_ != nullptr; }
   Pool* pool() const noexcept { return pool_; }
+  std::uint32_t tenant() const noexcept { return tenant_; }
 
  private:
   Pool* pool_ = nullptr;
+  std::uint32_t tenant_ = 0;
 };
 
 }  // namespace softres::soft

@@ -29,13 +29,15 @@ void ApacheServer::handle(const RequestPtr& req, Callback responded) {
   v.arrived = sim().now();
   v.responded = std::move(responded);
   Request* r = req.get();
-  workers_.acquire([r] {
-    // Adopt the grant into the request's guard before anything can exit:
-    // from here every path pays the worker back exactly once (SR012).
-    auto& av = r->apache_visit;
-    av.worker.adopt(av.server->workers_);
-    on_worker(r);
-  });
+  workers_.acquire(
+      [r] {
+        // Adopt the grant into the request's guard before anything can exit:
+        // from here every path pays the worker back exactly once (SR012).
+        auto& av = r->apache_visit;
+        av.worker.adopt(av.server->workers_, r->tenant);
+        on_worker(r);
+      },
+      req->tenant);
 }
 
 void ApacheServer::on_worker(Request* r) {
@@ -92,6 +94,9 @@ void ApacheServer::respond(Request* r) {
     // client FINs — it outlives the request, which is recycled as soon as
     // `keep` drops. The guard therefore cannot ride in the FIN closure;
     // detach the unit and pay it back manually when the timer fires.
+    // The tenant id must ride the FIN closure separately: detach() severs
+    // the guard (and with it the tenant) from the unit.
+    const std::uint32_t tenant = v.worker.tenant();
     soft::Pool* workers = v.worker.detach();
     s->to_client_.send(r->response_bytes, std::move(responded));
     s->job_left(entered);
@@ -99,7 +104,7 @@ void ApacheServer::respond(Request* r) {
     const double fin_delay = s->tcp_.sample_fin_delay(s->client_load_());
     r->record_span(s->name(), entered, s->sim().now(), queue_s,
                    /*conn_queue_s=*/0.0, /*gc_s=*/0.0, fin_delay);
-    s->sim().schedule(fin_delay, [s, worker_started, workers] {
+    s->sim().schedule(fin_delay, [s, worker_started, workers, tenant] {
       const double busy = s->sim().now() - worker_started;
       s->win_busy_sum_s_ += busy;
       ++s->win_busy_n_;
@@ -107,7 +112,7 @@ void ApacheServer::respond(Request* r) {
       // The unit was detached from the request's PoolGuard in respond();
       // horizon teardown deliberately abandons units still inside the delay.
       // SOFTRES_LINT_ALLOW(SR012: lingering-close FIN release of a detached unit)
-      workers->release();
+      workers->release(tenant);
     });
   });
 }

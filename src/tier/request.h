@@ -87,6 +87,10 @@ struct Request {
   std::uint64_t id = 0;
   RequestKind kind = RequestKind::kDynamic;
   int interaction = 0;  // index into the RUBBoS interaction table
+  /// Issuing tenant (index into the farm's tenant table; 0 in single-tenant
+  /// trials). Rides the whole invocation chain so every soft-pool grant along
+  /// the way is attributed to — and arbitrated for — the right tenant.
+  std::uint32_t tenant = 0;
 
   // Sampled demands.
   double apache_demand_s = 0.0;  // HTTP parsing + response assembly
@@ -238,6 +242,7 @@ struct Request {
     id = 0;
     kind = RequestKind::kDynamic;
     interaction = 0;
+    tenant = 0;
     apache_demand_s = 0.0;
     num_queries = 0;
     tomcat_demand_s = 0.0;

@@ -31,13 +31,15 @@ void TomcatServer::submit(const RequestPtr& req, Callback done) {
   v.arrived = sim().now();
   v.done = std::move(done);
   Request* r = req.get();
-  threads_.acquire([r] {
-    // Adopt the grant into the request's guard before anything can exit:
-    // from here every path pays the thread back exactly once (SR012).
-    auto& tv = r->tomcat_visit;
-    tv.thread.adopt(tv.server->threads_);
-    on_thread(r);
-  });
+  threads_.acquire(
+      [r] {
+        // Adopt the grant into the request's guard before anything can exit:
+        // from here every path pays the thread back exactly once (SR012).
+        auto& tv = r->tomcat_visit;
+        tv.thread.adopt(tv.server->threads_, r->tenant);
+        on_thread(r);
+      },
+      req->tenant);
 }
 
 void TomcatServer::on_thread(Request* r) {
@@ -60,16 +62,18 @@ void TomcatServer::on_thread(Request* r) {
     }
     // Hold one DB connection for the entire query phase (Fig 9).
     pv.conn_wait_started = s->sim().now();
-    s->db_conns_.acquire([r] {
-      auto& cv = r->tomcat_visit;
-      TomcatServer* cs = cv.server;
-      cv.db_conn.adopt(cs->db_conns_);
-      cv.conn_queue_s = cs->sim().now() - cv.conn_wait_started;
-      cs->run_queries(RequestPtr(r), r->num_queries, [r] {
-        r->tomcat_visit.db_conn.release();
-        finish_visit(r);
-      });
-    });
+    s->db_conns_.acquire(
+        [r] {
+          auto& cv = r->tomcat_visit;
+          TomcatServer* cs = cv.server;
+          cv.db_conn.adopt(cs->db_conns_, r->tenant);
+          cv.conn_queue_s = cs->sim().now() - cv.conn_wait_started;
+          cs->run_queries(RequestPtr(r), r->num_queries, [r] {
+            r->tomcat_visit.db_conn.release();
+            finish_visit(r);
+          });
+        },
+        r->tenant);
   });
 }
 

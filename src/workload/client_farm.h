@@ -32,6 +32,27 @@ struct DemandPhase {
   double scale = 1.0;
 };
 
+/// One tenant of a multi-tenant trial: its own closed-loop session block,
+/// SLA bound, and sharing contract. `entitlement` is the provisioned share
+/// weight (what static quotas and Karma fair shares divide by);
+/// `reported_demand` is the tenant's *claimed* demand weight — only the
+/// work-conserving strategy trusts it, which is what makes misreporting
+/// profitable there (see soft/partition.h). Per-user RNG streams are derived
+/// from (trial seed, tenant index, user index within the tenant), so tenants
+/// are mutually stream-independent: adding or resizing one tenant never
+/// perturbs another's request sequence.
+struct TenantSpec {
+  std::string name;
+  std::size_t users = 0;
+  double entitlement = 1.0;
+  double reported_demand = 1.0;
+  /// Per-tenant SLA bound feeding the tenant_goodput/tenant_badput series.
+  double sla_threshold_s = 2.0;
+  /// Optional per-tenant elastic profile (an empty schedule staggers the
+  /// tenant's users across the ramp-up like the fixed-population default).
+  std::vector<LoadPhase> load_schedule;
+};
+
 /// Closed-loop load generation parameters. The paper's trials are an 8 min
 /// ramp-up, 12 min runtime, 30 s ramp-down; the defaults here are compressed
 /// for iteration speed and widened by the experiment harness when
@@ -62,6 +83,11 @@ struct ClientConfig {
   std::vector<LoadPhase> load_schedule;
   /// Optional backend service-demand profile (tier slowdown/recovery).
   std::vector<DemandPhase> demand_schedule;
+  /// Multi-tenant mode: when non-empty the farm runs one session block per
+  /// tenant (`users` above is overridden with the tenant sum) and tags every
+  /// request with its tenant index. Empty = the legacy single-tenant farm,
+  /// bit-identical to before this knob existed.
+  std::vector<TenantSpec> tenants;
 };
 
 /// Emulated RUBBoS client farm: `users` independent closed-loop sessions,
@@ -123,6 +149,22 @@ class ClientFarm {
   std::uint64_t pages_started() const { return pages_started_; }
   const ClientConfig& config() const { return config_; }
 
+  // Multi-tenant views (num_tenants() == 0 on a legacy farm).
+  std::size_t num_tenants() const { return config_.tenants.size(); }
+  const TenantSpec& tenant(std::size_t t) const { return config_.tenants[t]; }
+  /// Sessions of tenant `t` currently active.
+  std::size_t tenant_active_users(std::size_t t) const {
+    return tenant_started_[t];
+  }
+  /// Dynamic-request response times of tenant `t` inside the window.
+  const sim::SampleSet& tenant_response_times(std::size_t t) const {
+    return tenant_rts_[t];
+  }
+  /// Window interactions per second of tenant `t`.
+  double tenant_throughput(std::size_t t) const;
+  /// Window interactions per second of tenant `t` that met `threshold_s`.
+  double tenant_goodput(std::size_t t, double threshold_s) const;
+
   /// Requests that carried tier-by-tier tracing (Fig 9 style analysis).
   const std::vector<tier::RequestPtr>& traced_requests() const {
     return traced_;
@@ -137,6 +179,7 @@ class ClientFarm {
  private:
   void start_user(std::size_t u);
   void apply_target(std::size_t target);
+  void apply_tenant_target(std::size_t t, std::size_t target);
   void think_then_browse(std::size_t u);
   void issue_page(std::size_t u);
   void issue_static(std::size_t u, int remaining);
@@ -147,6 +190,9 @@ class ClientFarm {
   bool stopped() const;
   bool should_trace(std::uint64_t request_id) const;
   tier::ApacheServer* next_apache();
+  /// Idempotent per-sampler-tick close of tenant `t`'s goodput/badput
+  /// window (both gauge_fns of a tick see the same rates).
+  void sample_tenant_window(std::size_t t, sim::SimTime now);
 
   sim::Simulator& sim_;
   const RubbosWorkload& workload_;
@@ -167,6 +213,25 @@ class ClientFarm {
   sim::SampleSet rts_;
   std::vector<sim::SimTime> completion_times_;
   std::vector<tier::RequestPtr> traced_;
+
+  // Multi-tenant state (all empty on a legacy farm).
+  std::vector<std::uint32_t> tenant_of_user_;
+  std::vector<std::size_t> tenant_user_base_;  // first slot of each tenant
+  std::vector<std::size_t> tenant_target_;     // elastic per-tenant target
+  std::vector<std::size_t> tenant_started_;
+  std::vector<sim::SampleSet> tenant_rts_;
+  /// Per-tenant goodput/badput interval accumulator, closed once per sampler
+  /// tick (cached_at makes the close idempotent across the two gauge_fns).
+  struct TenantWindow {
+    std::uint64_t good = 0;
+    std::uint64_t bad = 0;
+    sim::SimTime window_start = 0.0;
+    sim::SimTime cached_at = -1.0;
+    double good_rate = 0.0;
+    double bad_rate = 0.0;
+  };
+  std::vector<TenantWindow> tenant_windows_;
+  std::vector<obs::Counter> tenant_requests_;
 
   // Observability handles; default-constructed handles are no-op sinks, so
   // an unbound farm pays one null check per event.

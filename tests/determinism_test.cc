@@ -197,6 +197,92 @@ TEST(DeterminismTest, ProfileCountAxisIsBitIdenticalAcrossJobs) {
   }
 }
 
+// --- Multi-tenant determinism (ISSUE 9) -----------------------------------
+
+ExperimentOptions tenant_options() {
+  ExperimentOptions opts = cheap_options();
+  workload::TenantSpec a;
+  a.name = "a";
+  a.users = 120;
+  workload::TenantSpec b;
+  b.name = "b";
+  b.users = 80;
+  opts.client.tenants = {a, b};
+  opts.partition.strategy = soft::ShareStrategy::kKarmaCredits;
+  return opts;
+}
+
+void expect_tenants_identical(const RunResult& a, const RunResult& b) {
+  ASSERT_EQ(a.tenants.size(), b.tenants.size());
+  for (std::size_t t = 0; t < a.tenants.size(); ++t) {
+    SCOPED_TRACE("tenant " + a.tenants[t].name);
+    EXPECT_EQ(a.tenants[t].name, b.tenants[t].name);
+    EXPECT_EQ(a.tenants[t].users, b.tenants[t].users);
+    EXPECT_EQ(a.tenants[t].throughput, b.tenants[t].throughput);
+    EXPECT_EQ(a.tenants[t].goodput, b.tenants[t].goodput);
+    EXPECT_EQ(a.tenants[t].badput, b.tenants[t].badput);
+    EXPECT_EQ(a.tenants[t].mean_rt_s, b.tenants[t].mean_rt_s);
+  }
+}
+
+// Per-tenant series, SLA splits and the (Karma-partitioned) diagnosis are
+// part of the same contract as everything else: bit-identical jobs=1 vs 4.
+TEST(DeterminismTest, MultiTenantSweepMatchesSerialSweep) {
+  Experiment e(cheap_config(), tenant_options());
+  const SoftConfig soft{50, 10, 10};
+  const std::vector<std::size_t> workloads = {200, 300, 400};
+
+  const auto serial = sweep_workload(e, soft, workloads, /*jobs=*/1);
+  const auto parallel = sweep_workload(e, soft, workloads, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("workload " + std::to_string(workloads[i]));
+    expect_bit_identical(serial[i], parallel[i]);
+    expect_tenants_identical(serial[i], parallel[i]);
+    ASSERT_FALSE(serial[i].tenants.empty());
+  }
+}
+
+// Seed derivation includes the tenant index, not the global slot index: a
+// tenant that never activates a user (empty load phase) must leave every
+// other tenant's request sequence — and therefore its SLA numbers —
+// untouched. Both runs pass the same `users` argument, which in
+// multi-tenant mode only feeds the trial-seed derivation (the farm sums the
+// tenant populations itself).
+TEST(DeterminismTest, IdleTenantDoesNotPerturbOtherTenants) {
+  const SoftConfig soft{50, 10, 10};
+  const std::size_t seed_users = 200;
+
+  Experiment without(cheap_config(), tenant_options());
+  const RunResult a = without.run(soft, seed_users);
+
+  ExperimentOptions opts = tenant_options();
+  workload::TenantSpec idle;
+  idle.name = "idle";
+  idle.users = 40;
+  idle.load_schedule = {{0.0, 0}};  // declared but never activates a user
+  opts.client.tenants.push_back(idle);
+  Experiment with(cheap_config(), opts);
+  const RunResult b = with.run(soft, seed_users);
+
+  EXPECT_EQ(a.trial_seed, b.trial_seed);
+  EXPECT_EQ(a.throughput, b.throughput);
+  ASSERT_EQ(a.response_times.count(), b.response_times.count());
+  EXPECT_EQ(a.response_times.mean(), b.response_times.mean());
+  ASSERT_EQ(a.tenants.size(), 2u);
+  ASSERT_EQ(b.tenants.size(), 3u);
+  for (std::size_t t = 0; t < 2; ++t) {
+    SCOPED_TRACE("tenant " + a.tenants[t].name);
+    EXPECT_EQ(a.tenants[t].name, b.tenants[t].name);
+    EXPECT_EQ(a.tenants[t].throughput, b.tenants[t].throughput);
+    EXPECT_EQ(a.tenants[t].goodput, b.tenants[t].goodput);
+    EXPECT_EQ(a.tenants[t].badput, b.tenants[t].badput);
+    EXPECT_EQ(a.tenants[t].mean_rt_s, b.tenants[t].mean_rt_s);
+  }
+  // The idle tenant itself reports zero traffic.
+  EXPECT_EQ(b.tenants[2].throughput, 0.0);
+}
+
 TEST(DeterminismTest, GridSweepMatchesPointwiseRuns) {
   Experiment e(cheap_config(), cheap_options());
   const std::vector<SoftConfig> softs = {SoftConfig{50, 10, 10},

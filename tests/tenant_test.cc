@@ -1,0 +1,338 @@
+// Multi-tenant soft-pool sharing: arbiter strategy unit tests, testbed
+// integration (per-tenant series, governor attribution, noisy-neighbour
+// diagnosis) and the tenant_sweep fairness acceptance — the ISSUE-9 claim
+// that demand misreporting pays under work-conserving shares (>5% goodput
+// for the liar) and does not pay under Karma credits (<=1%).
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "exp/sweep.h"
+#include "metrics/sla.h"
+#include "sim/simulator.h"
+#include "soft/partition.h"
+#include "soft/pool.h"
+
+namespace softres {
+namespace {
+
+using exp::ExperimentOptions;
+using exp::RunResult;
+using exp::SoftConfig;
+using exp::TestbedConfig;
+using soft::Pool;
+using soft::SharePolicy;
+using soft::ShareStrategy;
+using soft::TenantArbiter;
+using soft::TenantShare;
+
+SharePolicy policy_of(ShareStrategy s) {
+  SharePolicy p;
+  p.strategy = s;
+  return p;
+}
+
+std::vector<TenantShare> two_equal_tenants() {
+  return {TenantShare{"gold", 1.0, 1.0}, TenantShare{"silver", 1.0, 1.0}};
+}
+
+// ---------------------------------------------------------------------------
+// Strategy unit tests, straight against Pool + TenantArbiter.
+
+TEST(TenantArbiterTest, StaticSplitCapsEachTenantAtItsQuota) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 4);
+  TenantArbiter arb(policy_of(ShareStrategy::kStaticSplit),
+                    two_equal_tenants());
+  pool.set_arbiter(&arb);
+
+  int t0 = 0, t1 = 0;
+  pool.acquire([&] { ++t0; }, 0);
+  pool.acquire([&] { ++t0; }, 0);
+  pool.acquire([&] { ++t0; }, 0);  // over quota: queues despite free units
+  EXPECT_EQ(t0, 2);
+  EXPECT_EQ(pool.waiting(), 1u);
+  EXPECT_EQ(pool.in_use(), 2u);
+
+  pool.acquire([&] { ++t1; }, 1);
+  pool.acquire([&] { ++t1; }, 1);
+  EXPECT_EQ(t1, 2);
+  EXPECT_EQ(pool.in_use(), 4u);
+
+  // A silver release cannot admit the queued gold waiter (still at quota):
+  // the freed unit idles — that is the isolation static split buys.
+  pool.release(1);
+  EXPECT_EQ(t0, 2);
+  EXPECT_EQ(pool.waiting(), 1u);
+  EXPECT_EQ(pool.in_use(), 3u);
+
+  // A gold release does admit it.
+  pool.release(0);
+  EXPECT_EQ(t0, 3);
+  EXPECT_EQ(pool.waiting(), 0u);
+}
+
+TEST(TenantArbiterTest, WorkConservingLendsIdleCapacity) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 4);
+  TenantArbiter arb(policy_of(ShareStrategy::kWorkConserving),
+                    two_equal_tenants());
+  pool.set_arbiter(&arb);
+
+  int granted = 0;
+  for (int i = 0; i < 4; ++i) pool.acquire([&] { ++granted; }, 0);
+  EXPECT_EQ(granted, 4);  // one tenant may take the whole idle pool
+  EXPECT_EQ(pool.tenant_in_use(0), 4u);
+}
+
+TEST(TenantArbiterTest, WorkConservingSelectFavorsHigherReportedDemand) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 3);
+  // silver misreports 4x demand: weight = entitlement * reported_demand.
+  std::vector<TenantShare> shares = {TenantShare{"gold", 1.0, 1.0},
+                                     TenantShare{"silver", 1.0, 4.0}};
+  TenantArbiter arb(policy_of(ShareStrategy::kWorkConserving), shares);
+  pool.set_arbiter(&arb);
+
+  int g = 0, s = 0;
+  pool.acquire([&] { ++g; }, 0);
+  pool.acquire([&] { ++g; }, 0);
+  pool.acquire([&] { ++s; }, 1);
+  ASSERT_EQ(g, 2);
+  ASSERT_EQ(s, 1);
+  // Both queue one waiter; gold queued first.
+  pool.acquire([&] { ++g; }, 0);
+  pool.acquire([&] { ++s; }, 1);
+  EXPECT_EQ(pool.waiting(), 2u);
+
+  // A gold release leaves gold holding 1 and silver holding 1: load ratios
+  // 1/1 vs 1/4 — the misreporter wins even though gold's waiter is older.
+  // This gameability is exactly what the tenant_sweep acceptance quantifies.
+  pool.release(0);
+  EXPECT_EQ(s, 2);
+  EXPECT_EQ(g, 2);
+  EXPECT_EQ(pool.waiting(), 1u);
+}
+
+TEST(TenantArbiterTest, KarmaAccruesCreditsToTheUnderUser) {
+  sim::Simulator sim;
+  Pool pool(sim, "p", 2);
+  SharePolicy policy = policy_of(ShareStrategy::kKarmaCredits);
+  policy.karma_epoch_s = 1.0;
+  TenantArbiter arb(policy, two_equal_tenants());
+  pool.set_arbiter(&arb);
+
+  // gold runs at its fair share (1 of 2 units); silver idles.
+  int g = 0;
+  pool.acquire([&] { ++g; }, 0);
+  ASSERT_EQ(g, 1);
+  arb.tick(0.0, pool);  // seeds the usage meter
+  sim.schedule(1.0, [] {});
+  sim.run_until(1.0);
+  arb.tick(1.0, pool);
+
+  // gold used exactly fair -> no credit; silver banked ~1 fair-unit-second.
+  EXPECT_NEAR(arb.credits(0), 0.0, 1e-9);
+  EXPECT_NEAR(arb.credits(1), 1.0, 1e-9);
+
+  // Credits let silver burst past its quota...
+  int s = 0;
+  pool.acquire([&] { ++s; }, 1);
+  EXPECT_EQ(s, 1);
+  EXPECT_TRUE(arb.may_take(pool, 1));  // 2nd unit: over quota, on credit
+  // ...while gold, flat on credits, is capped at its quota.
+  EXPECT_FALSE(arb.may_take(pool, 0));
+}
+
+TEST(TenantArbiterTest, KarmaDecisionsIgnoreReportedDemand) {
+  // Two arbiters differing ONLY in reported demand drive identical pools
+  // through an identical pattern: every grant decision and credit balance
+  // must match. This is the mechanism behind the <=1% greedy-gain bound.
+  sim::Simulator sim;
+  Pool honest_pool(sim, "h", 2);
+  Pool greedy_pool(sim, "g", 2);
+  SharePolicy policy = policy_of(ShareStrategy::kKarmaCredits);
+  policy.karma_epoch_s = 1.0;
+  std::vector<TenantShare> honest = two_equal_tenants();
+  std::vector<TenantShare> greedy = two_equal_tenants();
+  greedy[0].reported_demand = 64.0;
+  TenantArbiter honest_arb(policy, honest);
+  TenantArbiter greedy_arb(policy, greedy);
+  honest_pool.set_arbiter(&honest_arb);
+  greedy_pool.set_arbiter(&greedy_arb);
+
+  std::vector<int> honest_grants, greedy_grants;
+  auto drive = [](Pool& pool, TenantArbiter& arb, std::vector<int>& grants) {
+    pool.acquire([&grants] { grants.push_back(0); }, 0);
+    pool.acquire([&grants] { grants.push_back(0); }, 0);
+    pool.acquire([&grants] { grants.push_back(1); }, 1);
+    arb.tick(0.0, pool);
+    pool.release(0);
+    pool.acquire([&grants] { grants.push_back(1); }, 1);
+  };
+  drive(honest_pool, honest_arb, honest_grants);
+  drive(greedy_pool, greedy_arb, greedy_grants);
+  EXPECT_EQ(honest_grants, greedy_grants);
+  EXPECT_EQ(honest_arb.credits(0), greedy_arb.credits(0));
+  EXPECT_EQ(honest_arb.credits(1), greedy_arb.credits(1));
+}
+
+TEST(JainFairnessTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(metrics::jain_fairness({}), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::jain_fairness({0.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(metrics::jain_fairness({5.0, 5.0, 5.0}), 1.0);
+  EXPECT_NEAR(metrics::jain_fairness({1.0, 0.0}), 0.5, 1e-12);  // 1/N
+  EXPECT_NEAR(metrics::jain_fairness({4.0, 1.0, 1.0}), 2.0 / 3.0, 1e-12);
+}
+
+// ---------------------------------------------------------------------------
+// Testbed integration.
+
+TestbedConfig contended_config() {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  // 10x demands: trials are cheap AND a small thread pool saturates.
+  cfg.demands.tomcat_base_s *= 10.0;
+  cfg.demands.cjdbc_per_query_s *= 10.0;
+  cfg.demands.mysql_per_query_s *= 10.0;
+  return cfg;
+}
+
+ExperimentOptions tenant_options(double gold_reported_demand) {
+  ExperimentOptions opts;
+  opts.client.ramp_up_s = 5.0;
+  opts.client.runtime_s = 40.0;
+  opts.client.ramp_down_s = 2.0;
+  // 1s think keeps the tiny tomcat pools saturated with waiters from both
+  // tenants — the regime where waiter selection (and thus misreporting)
+  // actually decides who runs.
+  opts.client.think_time_mean_s = 1.0;
+  workload::TenantSpec gold;
+  gold.name = "gold";
+  gold.users = 120;
+  gold.reported_demand = gold_reported_demand;
+  gold.sla_threshold_s = 2.0;
+  workload::TenantSpec silver;
+  silver.name = "silver";
+  silver.users = 120;
+  silver.sla_threshold_s = 2.0;
+  opts.client.tenants = {gold, silver};
+  return opts;
+}
+
+std::size_t total_users(const ExperimentOptions& opts) {
+  std::size_t n = 0;
+  for (const auto& t : opts.client.tenants) n += t.users;
+  return n;
+}
+
+TEST(MultiTenantTestbedTest, TrialProducesPerTenantStats) {
+  ExperimentOptions opts = tenant_options(1.0);
+  opts.partition = policy_of(ShareStrategy::kWorkConserving);
+  exp::Experiment e(contended_config(), opts);
+  const RunResult r = e.run(SoftConfig{60, 6, 12}, total_users(opts));
+
+  ASSERT_EQ(r.tenants.size(), 2u);
+  EXPECT_EQ(r.tenants[0].name, "gold");
+  EXPECT_EQ(r.tenants[1].name, "silver");
+  for (const exp::TenantStat& t : r.tenants) {
+    EXPECT_GT(t.throughput, 0.0) << t.name;
+    EXPECT_NEAR(t.throughput, t.goodput + t.badput, 1e-9) << t.name;
+    EXPECT_GT(t.mean_rt_s, 0.0) << t.name;
+  }
+  // The farm's per-tenant lanes and the pool share gauges made it into the
+  // registry snapshot.
+  bool saw_goodput = false, saw_share = false;
+  for (const auto& m : r.metrics.metrics) {
+    if (m.name == "tenant_goodput") saw_goodput = true;
+    if (m.name == "pool_tenant_share_pct") saw_share = true;
+  }
+  EXPECT_TRUE(saw_goodput);
+  EXPECT_TRUE(saw_share);
+}
+
+TEST(MultiTenantTestbedTest, NoisyNeighborDiagnosisNamesTheGreedyTenant) {
+  // gold misreports 8x under work-conserving shares and crowds silver out of
+  // the saturated app-tier pools; the diagnoser must call the trial
+  // kNoisyNeighbor and implicate tenant:gold first.
+  ExperimentOptions opts = tenant_options(8.0);
+  opts.partition = policy_of(ShareStrategy::kWorkConserving);
+  exp::Experiment e(contended_config(), opts);
+  const RunResult r = e.run(SoftConfig{200, 4, 8}, total_users(opts));
+
+  EXPECT_EQ(r.diagnosis.pathology, obs::Pathology::kNoisyNeighbor)
+      << r.diagnosis.summary();
+  ASSERT_FALSE(r.diagnosis.implicated_resources.empty());
+  EXPECT_EQ(r.diagnosis.implicated_resources.front(), "tenant:gold");
+  // The tenant attribution is advisory: the hint core consumes must not
+  // carry it as a resizable resource.
+  const core::DiagnosisHint hint = r.diagnosis.to_hint();
+  for (const std::string& s : hint.soft) {
+    EXPECT_NE(s.rfind("tenant:", 0), 0u) << s;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// The fairness acceptance: misreporting pays under work-conserving shares,
+// not under Karma credits.
+
+TEST(TenantSweepTest, MisreportingPaysUnderWorkConservingNotUnderKarma) {
+  ExperimentOptions opts;
+  opts.client.ramp_up_s = 5.0;
+  opts.client.runtime_s = 40.0;
+  opts.client.ramp_down_s = 2.0;
+  opts.client.think_time_mean_s = 1.0;
+  exp::Experiment e(contended_config(), opts);
+
+  exp::TenantScenario scenario;
+  workload::TenantSpec gold;
+  gold.name = "gold";
+  gold.users = 120;
+  workload::TenantSpec silver;
+  silver.name = "silver";
+  silver.users = 120;
+  scenario.tenants = {gold, silver};
+  scenario.greedy_tenant = 0;
+  scenario.misreport_factor = 8.0;
+
+  const exp::TenantSweepReport report = exp::tenant_sweep(
+      e, SoftConfig{200, 4, 8}, scenario,
+      {ShareStrategy::kWorkConserving, ShareStrategy::kKarmaCredits},
+      /*jobs=*/0);
+
+  const exp::TenantStrategyOutcome* wc =
+      report.find(ShareStrategy::kWorkConserving);
+  const exp::TenantStrategyOutcome* karma =
+      report.find(ShareStrategy::kKarmaCredits);
+  ASSERT_NE(wc, nullptr);
+  ASSERT_NE(karma, nullptr);
+
+  // Every outcome carries a meaningful fairness index.
+  for (const exp::TenantStrategyOutcome& o : report.outcomes) {
+    EXPECT_GT(o.honest_jain, 0.0);
+    EXPECT_LE(o.honest_jain, 1.0 + 1e-12);
+    EXPECT_GT(o.greedy_jain, 0.0);
+    EXPECT_LE(o.greedy_jain, 1.0 + 1e-12);
+    EXPECT_GT(o.honest_goodput, 0.0);
+  }
+
+  // Work-conserving shares weight waiter selection by reported demand: the
+  // 8x misreporter must extract a real goodput gain.
+  EXPECT_GT(wc->greedy_gain_pct(), 5.0)
+      << "honest " << wc->honest_goodput << " greedy " << wc->greedy_goodput;
+  // ...and that gain comes out of the honest tenant: fairness degrades.
+  EXPECT_LT(wc->greedy_jain, wc->honest_jain + 1e-12);
+
+  // Karma never reads reported demand, so the greedy replay is the same
+  // simulation: the liar gains nothing (exactly 0, asserted loosely at the
+  // ISSUE's <=1% bound and tightly at bit-identity).
+  EXPECT_LE(karma->greedy_gain_pct(), 1.0);
+  EXPECT_EQ(karma->honest_goodput, karma->greedy_goodput);
+  EXPECT_EQ(karma->honest.throughput, karma->greedy.throughput);
+}
+
+}  // namespace
+}  // namespace softres
