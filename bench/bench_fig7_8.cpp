@@ -78,7 +78,9 @@ int main() {
                 "pool 30 at WL 6000 and 7400 (Fig 7); pool 400 at 7400 "
                 "(Fig 8)");
 
-  exp::Experiment e = bench::make_experiment("1/4/1/4");
+  // Traced so the tail-attribution acceptance below has blame vectors to
+  // read; tracing is zero-perturbation, the timelines are unchanged.
+  exp::Experiment e = bench::make_traced_experiment("1/4/1/4");
   const exp::ExperimentOptions opts = bench::bench_options();
   const double from = opts.client.ramp_up_s;
   const double to = std::min(from + 60.0,
@@ -114,6 +116,13 @@ int main() {
                           "30-6-20 @ 7400 users", failures);
   bench::expect_diagnosis(runs[0], obs::Pathology::kNone,
                           "30-6-20 @ 6000 users", failures);
+
+  // The tail attribution must tell the same story: with the worker pool
+  // eaten by FIN-wait lingering, p99+ requests spend their time queued for
+  // an Apache worker, corroborating the kFinWaitBuffer verdict's
+  // apache0.workers.
+  bench::expect_tail_blame(runs[1], "apache.queue", "30-6-20 @ 7400 users",
+                           failures);
 
   std::cout << "\npaper's reading: at WL 7400 with 30 threads, PT_total "
                "spikes (FIN waits) while threads interacting with Tomcat "

@@ -152,6 +152,47 @@ BENCHMARK(BM_TrialEventRate)
     ->Arg(2000)
     ->Unit(benchmark::kMillisecond);
 
+// Cost of the request-tracing + tail-attribution pipeline on one trial.
+// range(0) is the trace sample rate in percent: 0 = tracing off (the
+// baseline trial), 100 = trace every request up to the collector cap, build
+// span trees, decompose blame vectors and attribute the percentile cohorts.
+// The pair bounds the observability overhead a traced trial pays end to end;
+// the tracing-off entry keeps the comparison honest if the baseline trial
+// itself drifts.
+void BM_TraceAttribution(benchmark::State& state) {
+  const double rate = static_cast<double>(state.range(0)) / 100.0;
+  exp::ExperimentOptions opts = suite_options();
+  opts.set_trace_sample_rate(rate);
+  const exp::Experiment e(suite_config(), opts);
+
+  std::uint64_t trials = 0;
+  std::uint64_t attributed = 0;
+  double blame_checksum = 0.0;
+  const bench::AllocDelta allocs;
+  for (auto _ : state) {
+    const exp::RunResult r = e.run(exp::SoftConfig{50, 10, 10}, 400);
+    attributed += r.tail.requests;
+    for (const auto& c : r.tail.cohorts) {
+      for (double b : c.blame_s) blame_checksum += b;
+    }
+    ++trials;
+  }
+  benchmark::DoNotOptimize(blame_checksum);
+  state.SetItemsProcessed(static_cast<int64_t>(trials));
+  if (trials > 0) {
+    state.counters["traced_per_trial"] =
+        static_cast<double>(attributed) / static_cast<double>(trials);
+    state.counters["allocs_per_trial"] =
+        static_cast<double>(allocs.steady()) / static_cast<double>(trials);
+    state.counters["setup_allocs_per_trial"] =
+        static_cast<double>(allocs.setup()) / static_cast<double>(trials);
+  }
+}
+BENCHMARK(BM_TraceAttribution)
+    ->Arg(0)
+    ->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
 /// Splice `"profile": {...}` into the root object of the --benchmark_out
 /// JSON by inserting before its final closing brace. Done as a string edit
 /// because the repo deliberately carries no C++ JSON library.

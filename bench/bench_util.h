@@ -19,6 +19,7 @@
 #include "metrics/csv.h"
 #include "metrics/table.h"
 #include "obs/diagnoser.h"
+#include "obs/tail.h"
 #include "support/prof.h"
 
 namespace softres::bench {
@@ -90,6 +91,20 @@ inline exp::Experiment make_experiment(const std::string& hw) {
   return exp::Experiment(cfg, bench_options());
 }
 
+/// make_experiment with request tracing on, for benches whose acceptance
+/// checks read the tail attribution. Tracing is zero-perturbation (see
+/// trace_test), so the figure numbers are identical to the untraced bench.
+/// The default rate of 1% spreads the 200-trace budget over the first ~20k
+/// requests — the whole measurement window of a compressed trial — instead
+/// of burning it on the ramp-up; SOFTRES_TRACE_RATE still wins when set.
+inline exp::Experiment make_traced_experiment(const std::string& hw) {
+  exp::TestbedConfig cfg = exp::TestbedConfig::defaults();
+  cfg.hw = exp::HardwareConfig::parse(hw);
+  exp::ExperimentOptions opts = bench_options();
+  if (opts.trace_sample_rate() <= 0.0) opts.set_trace_sample_rate(0.01);
+  return exp::Experiment(cfg, opts);
+}
+
 inline void header(const std::string& title, const std::string& what) {
   std::cout << "==============================================================="
                "=\n"
@@ -135,6 +150,35 @@ inline void expect_diagnosis(const exp::RunResult& r, obs::Pathology want,
                       ? ""
                       : " with at least one evidence window")
               << "\n";
+    ++failures;
+  }
+}
+
+/// Tail-attribution acceptance check (ISSUE 10): the p99+ cohort's dominant
+/// blame component must be `want_component` ("tomcat.queue", ...) and
+/// obs::corroborate must have tied it onto one of the Diagnoser's implicated
+/// resources — the "why is p99 slow" answer and the verdict must name the
+/// same resource. Same exit-code contract as expect_diagnosis.
+inline void expect_tail_blame(const exp::RunResult& r,
+                              const std::string& want_component,
+                              const std::string& label, int& failures) {
+  const obs::TailAttribution::Cohort* p99 =
+      r.tail.empty() ? nullptr : r.tail.find_cohort("p99+");
+  std::string got = "<untraced>";
+  bool ok = false;
+  if (p99 != nullptr) {
+    const std::size_t dom = r.tail.dominant_component(*p99);
+    if (dom != obs::TailAttribution::npos) got = r.tail.axis[dom].label();
+    ok = got == want_component && r.diagnosis.tail.present &&
+         r.diagnosis.tail.corroborates;
+  }
+  std::cout << (ok ? "[tail OK]   " : "[tail FAIL] ") << label
+            << ": p99+ dominant " << got;
+  if (r.diagnosis.tail.present) std::cout << " — " << r.diagnosis.tail.text;
+  std::cout << "\n";
+  if (!ok) {
+    std::cout << "  expected dominant component " << want_component
+              << " corroborating the diagnosis\n";
     ++failures;
   }
 }

@@ -255,6 +255,13 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
   r.metrics = ctx.registry().snapshot(ctx.simulator().now());
   ctx.traces().collect(bed.farm().traced_requests());
   r.diagnosis = bed.diagnoser().diagnosis();
+  // Tail attribution and its diagnosis corroboration: pure functions of the
+  // traces (themselves a function of the trial seed), so bit-identical
+  // whether the sweep ran serial or across SOFTRES_JOBS workers.
+  obs::TailConfig tail_cfg;
+  tail_cfg.slo_threshold_s = opts_.sla_threshold_s;
+  r.tail = obs::TailAttributor(tail_cfg).attribute(ctx.traces().traces());
+  obs::corroborate(r.diagnosis, r.tail);
   if (opts_.profile) r.profile = profiler.snapshot();
   if (bed.governor() != nullptr) r.governor_actions = bed.governor()->actions();
 
@@ -286,7 +293,9 @@ RunResult Experiment::run(const SoftConfig& soft, std::size_t users) const {
     obs::write_flight_recorder_html(
         report_path(opts_.report_html, soft, users), meta, bed.timeline(),
         r.diagnosis, breakdown.rows.empty() ? nullptr : &breakdown,
-        r.profile.enabled ? &r.profile : nullptr);
+        r.profile.enabled ? &r.profile : nullptr,
+        r.tail.empty() ? nullptr : &r.tail,
+        r.tail.empty() ? nullptr : &ctx.traces());
   }
 
   r.traces = std::move(ctx.traces());

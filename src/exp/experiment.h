@@ -9,6 +9,7 @@
 #include "metrics/sla.h"
 #include "obs/profiler.h"
 #include "obs/registry.h"
+#include "obs/tail.h"
 #include "obs/trace.h"
 #include "sim/sampler.h"
 #include "sim/stats.h"
@@ -125,7 +126,12 @@ struct RunResult {
   obs::TraceCollector traces;
   /// The online diagnoser's verdict over the measurement window, with its
   /// evidence windows; diagnosis.to_hint() feeds core::detect_bottleneck.
+  /// diagnosis.tail carries the request-level corroboration when traced.
   obs::Diagnosis diagnosis;
+  /// Percentile-cohort blame summary of the traced requests (empty unless
+  /// trace_sample_rate > 0). A pure function of the trial's traces, so part
+  /// of the bit-identical-across-jobs determinism contract.
+  obs::TailAttribution tail;
   /// Self-profiler snapshot (enabled=false unless ExperimentOptions::profile
   /// was set). The count axis is deterministic; the cycle axis is not.
   obs::ProfileSnapshot profile;

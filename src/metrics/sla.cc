@@ -18,6 +18,29 @@ const std::vector<double>& SlaModel::common_thresholds() {
   return kThresholds;
 }
 
+std::vector<CohortMiss> slo_miss_by_cohort(
+    const std::vector<std::pair<std::string, sim::SampleSet>>& cohorts,
+    double threshold_s) {
+  std::vector<CohortMiss> out;
+  out.reserve(cohorts.size());
+  std::size_t total_misses = 0;
+  for (const auto& [label, samples] : cohorts) {
+    CohortMiss m;
+    m.label = label;
+    m.requests = samples.count();
+    m.misses = samples.count() - samples.count_at_or_below(threshold_s);
+    total_misses += m.misses;
+    out.push_back(std::move(m));
+  }
+  if (total_misses > 0) {
+    for (CohortMiss& m : out) {
+      m.miss_share = static_cast<double>(m.misses) /
+                     static_cast<double>(total_misses);
+    }
+  }
+  return out;
+}
+
 sim::BucketedHistogram make_rt_buckets() {
   return sim::BucketedHistogram({0.2, 0.4, 0.6, 0.8, 1.0, 1.5, 2.0});
 }

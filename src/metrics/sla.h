@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstddef>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "sim/stats.h"
@@ -47,6 +50,23 @@ struct RevenueModel {
            window_s;
   }
 };
+
+/// One labelled cohort's share of the SLO damage: how many of its samples
+/// exceeded the threshold and what fraction of *all* misses it contributes.
+struct CohortMiss {
+  std::string label;
+  std::size_t requests = 0;
+  std::size_t misses = 0;    // samples beyond the threshold
+  double miss_share = 0.0;   // misses / total misses across cohorts (0 if none)
+};
+
+/// Per-cohort SLO-miss attribution over labelled response-time sample sets,
+/// in input order. Label-generic on purpose: metrics sits below obs in the
+/// layer DAG, so the obs tail attributor feeds its percentile cohorts in and
+/// the answer stays reusable for any other partition (tenants, interactions).
+std::vector<CohortMiss> slo_miss_by_cohort(
+    const std::vector<std::pair<std::string, sim::SampleSet>>& cohorts,
+    double threshold_s);
 
 /// The paper's Fig 3(c) response-time buckets:
 /// [0,.2], (.2,.4], ..., (1,1.5], (1.5,2], >2 seconds.

@@ -65,6 +65,23 @@ struct SuggestedAction {
   std::string text;      // human-readable phrasing
 };
 
+/// Request-level corroboration of a series-level verdict: the p99+ cohort's
+/// dominant blame component and its ratio against the p0-50 baseline, filled
+/// by obs::corroborate (obs/tail.h) from a TailAttribution. present == false
+/// when the trial ran untraced; corroborates == true when the component maps
+/// onto a resource the verdict implicates ("tomcat.queue" onto
+/// "tomcat0.threads"), tying the diagnosis to per-request evidence.
+struct TailEvidence {
+  bool present = false;
+  std::string cohort;           // "p99+"
+  std::string component;        // "tomcat.queue"
+  double cohort_mean_ms = 0.0;  // mean blame of the component in the cohort
+  double base_mean_ms = 0.0;    // same component in the p0-50 cohort
+  double delta = 0.0;           // cohort_mean / base_mean (0 when base is 0)
+  bool corroborates = false;
+  std::string text;             // one-line citation, report-ready
+};
+
 /// The structured verdict of one trial.
 struct Diagnosis {
   Pathology pathology = Pathology::kNone;
@@ -72,6 +89,7 @@ struct Diagnosis {
   std::vector<EvidenceWindow> evidence;
   std::vector<std::string> implicated_resources;
   SuggestedAction suggested_action;
+  TailEvidence tail;
 
   /// Translate into the vocabulary core::detect_bottleneck understands, so
   /// the classifier can delegate to timeline-backed evidence when available.

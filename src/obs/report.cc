@@ -109,6 +109,133 @@ void write_series_svg(std::ostream& os, const SeriesWindow& win,
   os << "</svg>\n";
 }
 
+/// One exemplar request as a waterfall: a top row spanning the whole request
+/// (sent -> completed) and one row per server visit, with the pool-queue wait
+/// rendered as a separate segment ahead of the residence. Flat spans are
+/// already enter-ordered, so nesting reads top-to-bottom like a call stack.
+void write_waterfall_svg(std::ostream& os, const AssembledTrace& t,
+                         const std::string& cohort) {
+  const double rowh = 16.0;
+  const double pad = 4.0;
+  SvgScale sc;
+  sc.t0 = t.sent_at;
+  sc.t1 = std::max(t.completed_at, t.sent_at + 1e-9);
+  sc.w = 640.0;
+  sc.h = 2 * pad + rowh * static_cast<double>(t.spans.size() + 1);
+  sc.pad = pad;
+  os << "<svg viewBox=\"0 0 " << sc.w << " " << fmt(sc.h)
+     << "\" class=\"waterfall\" role=\"img\" aria-label=\"request "
+     << t.request_id << " waterfall\">\n";
+  os << "  <rect x=\"0\" y=\"0\" width=\"" << sc.w << "\" height=\""
+     << fmt(sc.h) << "\" class=\"bg\"/>\n";
+  const double x0 = sc.x(t.sent_at);
+  const double x1 = sc.x(t.completed_at);
+  os << "  <rect x=\"" << fmt(x0) << "\" y=\"" << fmt(pad + 5)
+     << "\" width=\"" << fmt(std::max(x1 - x0, 1.0)) << "\" height=\"4\""
+     << " class=\"wnet\"><title>end-to-end "
+     << fmt(1000.0 * t.response_time(), 1) << " ms</title></rect>\n";
+  os << "  <text x=\"" << fmt(x0) << "\" y=\"" << fmt(pad + 2)
+     << "\" class=\"label\" dominant-baseline=\"hanging\">" << cohort
+     << " exemplar: request " << t.request_id << " — "
+     << fmt(1000.0 * t.response_time(), 1) << " ms</text>\n";
+  for (std::size_t i = 0; i < t.spans.size(); ++i) {
+    const tier::Request::TraceSpan& s = t.spans[i];
+    const double ytop = pad + rowh * static_cast<double>(i + 1) + 2.0;
+    const double hh = rowh - 4.0;
+    if (s.queue_s > 0.0) {
+      const double qa = sc.x(s.enter - s.queue_s);
+      const double qb = sc.x(s.enter);
+      os << "  <rect x=\"" << fmt(qa) << "\" y=\"" << fmt(ytop)
+         << "\" width=\"" << fmt(std::max(qb - qa, 0.5)) << "\" height=\""
+         << fmt(hh) << "\" class=\"wqueue\"><title>" << escape_html(s.server)
+         << " queue " << fmt(1000.0 * s.queue_s, 1)
+         << " ms</title></rect>\n";
+    }
+    const double ra = sc.x(s.enter);
+    const double rb = sc.x(s.leave);
+    os << "  <rect x=\"" << fmt(ra) << "\" y=\"" << fmt(ytop)
+       << "\" width=\"" << fmt(std::max(rb - ra, 0.5)) << "\" height=\""
+       << fmt(hh) << "\" class=\"wres\"><title>" << escape_html(s.server)
+       << " residence " << fmt(1000.0 * s.duration(), 1) << " ms (conn wait "
+       << fmt(1000.0 * s.conn_queue_s, 1) << ", gc " << fmt(1000.0 * s.gc_s, 1)
+       << ")</title></rect>\n";
+    os << "  <text x=\"" << fmt(std::min(ra, sc.w - 60.0) + 2) << "\" y=\""
+       << fmt(ytop + hh - 3) << "\" class=\"wlabel\">"
+       << escape_html(s.server) << "</text>\n";
+  }
+  os << "</svg>\n";
+}
+
+/// The "Why is the tail slow" section: cohort boundaries, the per-component
+/// blame table with the p99+/p0-50 delta column, per-cohort SLO-miss
+/// attribution, the diagnosis corroboration line, and the p99+ exemplar
+/// waterfalls (when the caller supplied the trace collector).
+void write_tail_section(std::ostream& os, const Diagnosis& diagnosis,
+                        const TailAttribution& tail,
+                        const TraceCollector* traces) {
+  os << "<h2>Why is the tail slow</h2>\n";
+  os << "<p>cohort boundaries over " << tail.requests
+     << " traced request(s): p50 " << fmt(1000.0 * tail.p50_s, 1)
+     << " ms, p95 " << fmt(1000.0 * tail.p95_s, 1) << " ms, p99 "
+     << fmt(1000.0 * tail.p99_s, 1) << " ms (SLO "
+     << fmt(tail.slo_threshold_s, 1) << " s)</p>\n";
+  if (diagnosis.tail.present) {
+    os << "<p><span class=\"verdict "
+       << (diagnosis.tail.corroborates ? "bad" : "ok") << "\">"
+       << escape_html(diagnosis.tail.text) << "</span></p>\n";
+  }
+  const TailAttribution::Cohort* p99 = tail.find_cohort("p99+");
+  os << "<table>\n<tr><th>component</th>";
+  for (const TailAttribution::Cohort& c : tail.cohorts) {
+    os << "<th>" << escape_html(c.name) << " (ms)</th>";
+  }
+  os << "<th>p99+ / p0-50</th></tr>\n";
+  for (std::size_t i = 0; i < tail.axis.size(); ++i) {
+    os << "<tr><td><code>" << escape_html(tail.axis[i].label())
+       << "</code></td>";
+    for (const TailAttribution::Cohort& c : tail.cohorts) {
+      os << "<td>"
+         << (c.requests > 0 ? fmt(1000.0 * c.blame_s[i], 1) : std::string("—"))
+         << "</td>";
+    }
+    const double delta =
+        p99 != nullptr && p99->requests > 0 ? tail.delta_vs_base(i, *p99) : 0.0;
+    os << "<td>" << (delta > 0.0 ? fmt(delta, 1) + "×" : std::string("—"))
+       << "</td></tr>\n";
+  }
+  auto stat_row = [&os, &tail](const std::string& name, auto value) {
+    os << "<tr><th>" << escape_html(name) << "</th>";
+    for (const TailAttribution::Cohort& c : tail.cohorts) {
+      os << "<td>" << value(c) << "</td>";
+    }
+    os << "<td>—</td></tr>\n";
+  };
+  stat_row("requests", [](const TailAttribution::Cohort& c) {
+    return std::to_string(c.requests);
+  });
+  stat_row("mean rt (ms)", [](const TailAttribution::Cohort& c) {
+    return fmt(1000.0 * c.mean_rt_s, 1);
+  });
+  stat_row("SLO misses", [](const TailAttribution::Cohort& c) {
+    return std::to_string(c.slo_misses);
+  });
+  stat_row("miss share", [](const TailAttribution::Cohort& c) {
+    return fmt(100.0 * c.slo_miss_share, 1) + "%";
+  });
+  os << "</table>\n";
+
+  if (traces != nullptr && p99 != nullptr && !p99->exemplars.empty()) {
+    for (std::uint64_t id : p99->exemplars) {
+      for (const AssembledTrace& t : traces->traces()) {
+        if (t.request_id == id) {
+          write_waterfall_svg(os, t, p99->name);
+          break;
+        }
+      }
+    }
+  }
+}
+
 const char* kCss = R"css(
   body { font: 14px/1.45 system-ui, sans-serif; margin: 2em auto;
          max-width: 60em; color: #222; }
@@ -127,6 +254,12 @@ const char* kCss = R"css(
   svg .resize { stroke: #c07b1a; stroke-width: 1; stroke-dasharray: 3 2; }
   svg .line { fill: none; stroke: #2a6fb0; stroke-width: 1.5; }
   svg .label { font: 11px monospace; fill: #444; }
+  svg.waterfall { display: block; width: 100%; height: auto; margin: 0.4em 0;
+                  border: 1px solid #ddd; }
+  svg .wnet { fill: #888; }
+  svg .wqueue { fill: #e0a030; }
+  svg .wres { fill: #2a6fb0; fill-opacity: 0.8; }
+  svg .wlabel { font: 10px monospace; fill: #fff; }
   code { background: #f5f5f5; padding: 0 0.25em; }
 )css";
 
@@ -136,7 +269,9 @@ void write_flight_recorder_html(std::ostream& os, const ReportMeta& meta,
                                 const Timeline& timeline,
                                 const Diagnosis& diagnosis,
                                 const LatencyBreakdown* breakdown,
-                                const ProfileSnapshot* profile) {
+                                const ProfileSnapshot* profile,
+                                const TailAttribution* tail,
+                                const TraceCollector* traces) {
   const bool healthy = diagnosis.pathology == Pathology::kNone;
   os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n"
      << "<title>" << escape_html(meta.title) << " — flight recorder</title>\n"
@@ -277,6 +412,12 @@ void write_flight_recorder_html(std::ostream& os, const ReportMeta& meta,
     os << "</table>\n";
   }
 
+  // Tail attribution (present when the trial traced requests): the cohort
+  // blame table and the p99+ exemplar waterfalls.
+  if (tail != nullptr && !tail->empty()) {
+    write_tail_section(os, diagnosis, *tail, traces);
+  }
+
   // Self-profiler footer (present when the trial ran with SOFTRES_PROFILE).
   if (profile != nullptr && profile->enabled) {
     os << "<p class=\"footer\">"
@@ -291,11 +432,13 @@ bool write_flight_recorder_html(const std::string& path,
                                 const Timeline& timeline,
                                 const Diagnosis& diagnosis,
                                 const LatencyBreakdown* breakdown,
-                                const ProfileSnapshot* profile) {
+                                const ProfileSnapshot* profile,
+                                const TailAttribution* tail,
+                                const TraceCollector* traces) {
   std::ofstream file(path);
   if (!file) return false;
   write_flight_recorder_html(file, meta, timeline, diagnosis, breakdown,
-                             profile);
+                             profile, tail, traces);
   return file.good();
 }
 

@@ -17,6 +17,7 @@
 
 #include "obs/diagnoser.h"
 #include "obs/profiler.h"
+#include "obs/tail.h"
 #include "obs/timeline.h"
 #include "obs/trace.h"
 
@@ -50,12 +51,17 @@ struct ReportMeta {
 
 /// Render the full flight-recorder page. `breakdown` is optional (trials run
 /// without tracing simply omit that section); `profile` likewise (a one-line
-/// self-profiler summary is appended to the footer when present).
+/// self-profiler summary is appended to the footer when present). `tail`
+/// adds the "Why is the tail slow" cohort blame section, and `traces` —
+/// needed only alongside `tail` — supplies the assembled span trees for the
+/// p99+ exemplar waterfall timelines.
 void write_flight_recorder_html(std::ostream& os, const ReportMeta& meta,
                                 const Timeline& timeline,
                                 const Diagnosis& diagnosis,
                                 const LatencyBreakdown* breakdown = nullptr,
-                                const ProfileSnapshot* profile = nullptr);
+                                const ProfileSnapshot* profile = nullptr,
+                                const TailAttribution* tail = nullptr,
+                                const TraceCollector* traces = nullptr);
 
 /// Convenience wrapper writing to `path`; returns false when the file cannot
 /// be opened (the caller decides whether that is fatal — the experiment
@@ -65,6 +71,8 @@ bool write_flight_recorder_html(const std::string& path,
                                 const Timeline& timeline,
                                 const Diagnosis& diagnosis,
                                 const LatencyBreakdown* breakdown = nullptr,
-                                const ProfileSnapshot* profile = nullptr);
+                                const ProfileSnapshot* profile = nullptr,
+                                const TailAttribution* tail = nullptr,
+                                const TraceCollector* traces = nullptr);
 
 }  // namespace softres::obs

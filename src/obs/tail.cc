@@ -1,0 +1,197 @@
+#include "obs/tail.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+
+#include "metrics/sla.h"
+#include "sim/stats.h"
+
+namespace softres::obs {
+
+namespace {
+
+constexpr const char* kCohortNames[4] = {"p0-50", "p50-95", "p95-99", "p99+"};
+
+/// Does blame component (tier, kind) name the same thing as an implicated
+/// resource? Pool waits map onto the pool that gated them ("tomcat.queue"
+/// onto "<tomcatN>.threads", "apache.queue" onto "<apacheN>.workers",
+/// "tomcat.conn_wait" onto "<tomcatN>.dbconns"); GC freezes and exclusive
+/// service map onto the node's CPU ("tomcat.gc" onto "<tomcatN>.cpu").
+bool component_matches(const std::string& tier, const std::string& kind,
+                       const std::string& resource) {
+  const std::size_t dot = resource.rfind('.');
+  if (dot == std::string::npos) return false;  // "tenant:<name>" etc.
+  if (tier_of(resource.substr(0, dot)) != tier) return false;
+  const std::string rkind = resource.substr(dot + 1);
+  if (kind == "queue") return rkind == "workers" || rkind == "threads";
+  if (kind == "conn_wait") return rkind == "dbconns";
+  if (kind == "gc" || kind == "service") return rkind == "cpu";
+  return false;
+}
+
+}  // namespace
+
+const TailAttribution::Cohort* TailAttribution::find_cohort(
+    const std::string& name) const {
+  for (const Cohort& c : cohorts) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+std::size_t TailAttribution::dominant_component(const Cohort& c) const {
+  if (c.requests == 0 || c.blame_s.empty()) return npos;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < c.blame_s.size(); ++i) {
+    if (c.blame_s[i] > c.blame_s[best]) best = i;
+  }
+  return best;
+}
+
+double TailAttribution::delta_vs_base(std::size_t i, const Cohort& c) const {
+  const Cohort* base = find_cohort("p0-50");
+  if (base == nullptr || i >= base->blame_s.size() || i >= c.blame_s.size()) {
+    return 0.0;
+  }
+  return base->blame_s[i] > 0.0 ? c.blame_s[i] / base->blame_s[i] : 0.0;
+}
+
+TailAttribution TailAttributor::attribute(
+    const std::vector<AssembledTrace>& traces) const {
+  TailAttribution out;
+  out.slo_threshold_s = cfg_.slo_threshold_s;
+  out.requests = traces.size();
+  if (traces.empty()) return out;
+
+  std::vector<BlameVector> blames;
+  blames.reserve(traces.size());
+  sim::SampleSet rts;
+  rts.reserve(traces.size());
+  for (const AssembledTrace& t : traces) {
+    blames.push_back(blame(t));
+    rts.add(t.response_time());
+  }
+  out.p50_s = rts.quantile(0.50);
+  out.p95_s = rts.quantile(0.95);
+  out.p99_s = rts.quantile(0.99);
+
+  // Shared axis: the union of (tier, kind) pairs across the blame vectors in
+  // first-appearance order (canonical tiers lead because blame() seeds
+  // them); the tier-less network residual always closes the axis.
+  auto axis_index = [&out](const std::string& tier,
+                           const std::string& kind) -> std::size_t {
+    for (std::size_t i = 0; i < out.axis.size(); ++i) {
+      if (out.axis[i].tier == tier && out.axis[i].kind == kind) return i;
+    }
+    return TailAttribution::npos;
+  };
+  for (const BlameVector& bv : blames) {
+    for (const BlameVector::Component& c : bv.components) {
+      if (!c.tier.empty() &&
+          axis_index(c.tier, c.kind) == TailAttribution::npos) {
+        out.axis.push_back({c.tier, c.kind});
+      }
+    }
+  }
+  out.axis.push_back({"", "network"});
+
+  out.cohorts.resize(4);
+  std::vector<std::vector<std::pair<double, std::uint64_t>>> candidates(4);
+  std::vector<std::pair<std::string, sim::SampleSet>> rt_cohorts;
+  for (std::size_t i = 0; i < 4; ++i) {
+    out.cohorts[i].name = kCohortNames[i];
+    out.cohorts[i].blame_s.assign(out.axis.size(), 0.0);
+    rt_cohorts.emplace_back(kCohortNames[i], sim::SampleSet{});
+  }
+  auto cohort_of = [&out](double rt) -> std::size_t {
+    if (rt <= out.p50_s) return 0;
+    if (rt <= out.p95_s) return 1;
+    if (rt <= out.p99_s) return 2;
+    return 3;
+  };
+  for (std::size_t t = 0; t < traces.size(); ++t) {
+    const double rt = traces[t].response_time();
+    const std::size_t ci = cohort_of(rt);
+    TailAttribution::Cohort& c = out.cohorts[ci];
+    ++c.requests;
+    c.mean_rt_s += rt;  // sums here; divided into means below
+    for (const BlameVector::Component& comp : blames[t].components) {
+      c.blame_s[axis_index(comp.tier, comp.kind)] += comp.seconds;
+    }
+    candidates[ci].emplace_back(rt, traces[t].request_id);
+    rt_cohorts[ci].second.add(rt);
+  }
+  const std::vector<metrics::CohortMiss> misses =
+      metrics::slo_miss_by_cohort(rt_cohorts, cfg_.slo_threshold_s);
+  for (std::size_t i = 0; i < 4; ++i) {
+    TailAttribution::Cohort& c = out.cohorts[i];
+    if (c.requests > 0) {
+      const double n = static_cast<double>(c.requests);
+      c.mean_rt_s /= n;
+      for (double& b : c.blame_s) b /= n;
+    }
+    c.slo_misses = misses[i].misses;
+    c.slo_miss_share = misses[i].miss_share;
+    // Exemplars: slowest first, ties by ascending request id — a total
+    // order, so the selection is identical however the sweep was scheduled.
+    std::sort(candidates[i].begin(), candidates[i].end(),
+              [](const std::pair<double, std::uint64_t>& a,
+                 const std::pair<double, std::uint64_t>& b) {
+                if (a.first != b.first) return a.first > b.first;
+                return a.second < b.second;
+              });
+    const std::size_t k = std::min(cfg_.top_k, candidates[i].size());
+    for (std::size_t j = 0; j < k; ++j) {
+      c.exemplars.push_back(candidates[i][j].second);
+    }
+  }
+  return out;
+}
+
+void corroborate(Diagnosis& d, const TailAttribution& tail) {
+  d.tail = TailEvidence{};
+  if (tail.empty()) return;
+  const TailAttribution::Cohort* cohort = tail.find_cohort("p99+");
+  if (cohort == nullptr || cohort->requests == 0) return;
+  const std::size_t dom = tail.dominant_component(*cohort);
+  if (dom == TailAttribution::npos) return;
+  const TailAttribution::Component& comp = tail.axis[dom];
+  const TailAttribution::Cohort* base = tail.find_cohort("p0-50");
+
+  TailEvidence& ev = d.tail;
+  ev.present = true;
+  ev.cohort = cohort->name;
+  ev.component = comp.label();
+  ev.cohort_mean_ms = 1000.0 * cohort->blame_s[dom];
+  ev.base_mean_ms = base != nullptr ? 1000.0 * base->blame_s[dom] : 0.0;
+  ev.delta = tail.delta_vs_base(dom, *cohort);
+  std::string matched;
+  for (const std::string& r : d.implicated_resources) {
+    if (component_matches(comp.tier, comp.kind, r)) {
+      ev.corroborates = true;
+      matched = r;
+      break;
+    }
+  }
+  char buf[160];
+  if (ev.delta > 0.0) {
+    std::snprintf(buf, sizeof(buf),
+                  "p99+ spends %.1f ms/request in %s vs %.1f ms in p0-50 "
+                  "(%.1fx)",
+                  ev.cohort_mean_ms, ev.component.c_str(), ev.base_mean_ms,
+                  ev.delta);
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "p99+ spends %.1f ms/request in %s (no p0-50 baseline)",
+                  ev.cohort_mean_ms, ev.component.c_str());
+  }
+  ev.text = buf;
+  if (ev.corroborates) {
+    ev.text += "; corroborates " + matched;
+  } else if (d.pathology != Pathology::kNone) {
+    ev.text += "; does not map onto an implicated resource";
+  }
+}
+
+}  // namespace softres::obs

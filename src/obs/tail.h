@@ -1,0 +1,98 @@
+#pragma once
+
+// Tail-latency critical-path attribution (DESIGN.md §15): bins every traced
+// request into percentile cohorts (p0-50, p50-95, p95-99, p99+ of the traced
+// response times), aggregates per-request BlameVectors per cohort, and keeps
+// deterministic top-k exemplar request ids per cohort. The output answers
+// "why is p99 slow" with the same vocabulary the Diagnoser implicates
+// ("the p99+ cohort spends 12x more in tomcat.queue than the median"), and
+// obs::corroborate ties the two together on Diagnosis::tail.
+//
+// Everything here is a pure function of the assembled traces, which are
+// themselves deterministic per trial seed — so tail attribution is part of
+// the bit-identical-across-SOFTRES_JOBS contract exp::RunResult carries.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/diagnoser.h"
+#include "obs/trace.h"
+
+namespace softres::obs {
+
+struct TailConfig {
+  /// Exemplar request ids kept per cohort (slowest first; ties by id).
+  std::size_t top_k = 3;
+  /// SLO bound of the per-cohort miss attribution (the paper's 2 s default;
+  /// exp::Experiment passes its ExperimentOptions::sla_threshold_s).
+  double slo_threshold_s = 2.0;
+};
+
+/// The percentile-cohort blame summary of one trial's traced requests.
+struct TailAttribution {
+  /// One axis entry, shared by every cohort's blame_s vector. Same label
+  /// vocabulary as BlameVector::Component ("tomcat.queue", ..., "network").
+  struct Component {
+    std::string tier;  // empty for the network residual
+    std::string kind;
+
+    std::string label() const {
+      return tier.empty() ? kind : tier + "." + kind;
+    }
+  };
+
+  struct Cohort {
+    std::string name;             // "p0-50" | "p50-95" | "p95-99" | "p99+"
+    std::size_t requests = 0;
+    double mean_rt_s = 0.0;
+    std::vector<double> blame_s;  // mean seconds per axis entry
+    /// Top-k exemplar request ids, slowest response first (ties broken by
+    /// ascending id) — the requests the report renders as waterfalls.
+    std::vector<std::uint64_t> exemplars;
+    std::size_t slo_misses = 0;   // requests beyond TailConfig::slo_threshold_s
+    double slo_miss_share = 0.0;  // of all misses across cohorts
+  };
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  std::vector<Component> axis;
+  std::vector<Cohort> cohorts;  // the four canonical cohorts, possibly empty
+  double p50_s = 0.0, p95_s = 0.0, p99_s = 0.0;  // cohort boundaries
+  std::size_t requests = 0;     // traced requests attributed
+  double slo_threshold_s = 2.0;
+
+  bool empty() const { return requests == 0; }
+  const Cohort* find_cohort(const std::string& name) const;
+  /// Axis index of the cohort's largest mean blame component (ties keep the
+  /// lowest index; npos for an empty cohort).
+  std::size_t dominant_component(const Cohort& c) const;
+  /// Cohort-vs-baseline blame ratio of axis entry i: the cohort's mean over
+  /// the p0-50 cohort's mean (0 when the baseline component is <= 0).
+  double delta_vs_base(std::size_t i, const Cohort& c) const;
+};
+
+/// Builds TailAttributions from assembled traces. Stateless apart from its
+/// config; attribute() is a pure function of its input.
+class TailAttributor {
+ public:
+  explicit TailAttributor(TailConfig cfg = {}) : cfg_(cfg) {}
+
+  TailAttribution attribute(const std::vector<AssembledTrace>& traces) const;
+
+  const TailConfig& config() const { return cfg_; }
+
+ private:
+  TailConfig cfg_;
+};
+
+/// Fill d.tail from the p99+ cohort's dominant blame component and mark
+/// whether it corroborates the verdict (maps onto an implicated resource:
+/// "tomcat.queue" onto "tomcat0.threads", "tomcat.conn_wait" onto
+/// "tomcat0.dbconns", "apache.queue" onto "apache0.workers", "tomcat.gc"
+/// onto "tomcat0.cpu"). No-op on an empty attribution beyond resetting
+/// d.tail, so untraced trials report present == false.
+void corroborate(Diagnosis& d, const TailAttribution& tail);
+
+}  // namespace softres::obs

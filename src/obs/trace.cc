@@ -138,18 +138,61 @@ void accumulate(const SpanNode& node,
   acc.service_s += s.duration() - s.gc_s - s.conn_queue_s - children_s;
 }
 
+/// Canonical tier seeding shared by blame() and breakdown(): the paper's four
+/// tiers lead in topology order, anything else lands on first appearance.
+std::vector<std::pair<std::string, TierAccum>> seeded_tiers() {
+  std::vector<std::pair<std::string, TierAccum>> tiers;
+  for (const char* t : {"apache", "tomcat", "cjdbc", "mysql"}) {
+    tiers.emplace_back(t, TierAccum{});
+  }
+  return tiers;
+}
+
 }  // namespace
+
+BlameVector blame(const AssembledTrace& trace) {
+  BlameVector out;
+  out.request_id = trace.request_id;
+  out.response_time_s = trace.response_time();
+  auto tiers = seeded_tiers();
+  double root_s = 0.0;
+  for (const auto& root : trace.roots) {
+    root_s += root.span.queue_s + root.span.duration();
+    accumulate(root, tiers);
+  }
+  for (const auto& [tier, acc] : tiers) {
+    if (acc.visits == 0.0) continue;
+    out.components.push_back({tier, "queue", acc.queue_s});
+    out.components.push_back({tier, "service", acc.service_s});
+    out.components.push_back({tier, "conn_wait", acc.conn_wait_s});
+    out.components.push_back({tier, "gc", acc.gc_s});
+  }
+  // The residual telescopes the identity shut: per-tier (queue + service +
+  // conn_wait + gc) sums to root_s, and root_s + network == response time.
+  out.components.push_back({"", "network", trace.response_time() - root_s});
+  return out;
+}
+
+double BlameVector::total_s() const {
+  double sum = 0.0;
+  for (const auto& c : components) sum += c.seconds;
+  return sum;
+}
+
+const BlameVector::Component* BlameVector::component(
+    const std::string& label) const {
+  for (const auto& c : components) {
+    if (c.label() == label) return &c;
+  }
+  return nullptr;
+}
 
 LatencyBreakdown TraceCollector::breakdown() const {
   LatencyBreakdown out;
   out.requests = traces_.size();
   if (traces_.empty()) return out;
 
-  // Canonical tier order first; unknown tiers appended on first appearance.
-  std::vector<std::pair<std::string, TierAccum>> tiers;
-  for (const char* t : {"apache", "tomcat", "cjdbc", "mysql"}) {
-    tiers.emplace_back(t, TierAccum{});
-  }
+  auto tiers = seeded_tiers();
   double rt_sum = 0.0;
   double network_sum = 0.0;
   for (const auto& trace : traces_) {

@@ -73,6 +73,39 @@ struct LatencyBreakdown {
   void print(std::ostream& os) const;
 };
 
+/// Per-request critical-path blame: the request-level refinement of
+/// LatencyBreakdown. Each component attributes seconds of the request's
+/// response time to a (tier, kind) pair, where kind is one of "queue" |
+/// "service" | "conn_wait" | "gc", plus one final tier-less "network"
+/// component for the link/client residual. The components are produced by the
+/// same telescoping walk as LatencyBreakdown (exclusive service = residence
+/// minus GC, conn waits and nested visits), so they sum to response_time()
+/// exactly — the accounted_ms() identity at per-request granularity. FIN-wait
+/// time is post-response and deliberately absent.
+struct BlameVector {
+  struct Component {
+    std::string tier;      // "tomcat"; empty for the network residual
+    std::string kind;      // "queue" | "service" | "conn_wait" | "gc" | "network"
+    double seconds = 0.0;
+
+    /// "tomcat.queue" — the shared vocabulary of tail cohorts and reports.
+    std::string label() const { return tier.empty() ? kind : tier + "." + kind; }
+  };
+  std::uint64_t request_id = 0;
+  double response_time_s = 0.0;
+  std::vector<Component> components;  // canonical tier order, network last
+
+  /// Sum of every component; equals response_time_s up to rounding.
+  double total_s() const;
+  /// Component by label ("tomcat.queue", "network"); nullptr when absent.
+  const Component* component(const std::string& label) const;
+};
+
+/// Walk one assembled trace into its blame vector. Tiers follow the canonical
+/// {apache, tomcat, cjdbc, mysql} order with unknown tiers appended on first
+/// appearance; tiers the request never visited are omitted.
+BlameVector blame(const AssembledTrace& trace);
+
 /// Consumes traced requests, assembles span trees, and exports Chrome
 /// `trace_event` JSON (loadable in Perfetto / chrome://tracing) plus the
 /// aggregate per-tier latency breakdown.

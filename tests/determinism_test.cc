@@ -77,6 +77,16 @@ void expect_bit_identical(const RunResult& a, const RunResult& b) {
     EXPECT_EQ(ea.threshold, eb.threshold);
   }
   EXPECT_EQ(a.diagnosis.summary(), b.diagnosis.summary());
+  // Tail evidence rides on the diagnosis (ISSUE 10) and inherits the same
+  // contract: the citation string and every number behind it must match.
+  EXPECT_EQ(a.diagnosis.tail.present, b.diagnosis.tail.present);
+  EXPECT_EQ(a.diagnosis.tail.cohort, b.diagnosis.tail.cohort);
+  EXPECT_EQ(a.diagnosis.tail.component, b.diagnosis.tail.component);
+  EXPECT_EQ(a.diagnosis.tail.cohort_mean_ms, b.diagnosis.tail.cohort_mean_ms);
+  EXPECT_EQ(a.diagnosis.tail.base_mean_ms, b.diagnosis.tail.base_mean_ms);
+  EXPECT_EQ(a.diagnosis.tail.delta, b.diagnosis.tail.delta);
+  EXPECT_EQ(a.diagnosis.tail.corroborates, b.diagnosis.tail.corroborates);
+  EXPECT_EQ(a.diagnosis.tail.text, b.diagnosis.tail.text);
 }
 
 TEST(DeriveSeedTest, PureFunctionOfTrialIdentity) {
@@ -281,6 +291,92 @@ TEST(DeterminismTest, IdleTenantDoesNotPerturbOtherTenants) {
   }
   // The idle tenant itself reports zero traffic.
   EXPECT_EQ(b.tenants[2].throughput, 0.0);
+}
+
+// --- Tail attribution determinism (ISSUE 10) ------------------------------
+
+ExperimentOptions traced_options(double rate) {
+  ExperimentOptions opts = cheap_options();
+  opts.set_trace_sample_rate(rate);
+  return opts;
+}
+
+// Exact double equality throughout: cohort means and blame vectors are pure
+// functions of the deterministic traces, so "close" would hide a bug.
+void expect_tail_identical(const obs::TailAttribution& a,
+                           const obs::TailAttribution& b) {
+  ASSERT_EQ(a.axis.size(), b.axis.size());
+  for (std::size_t i = 0; i < a.axis.size(); ++i) {
+    EXPECT_EQ(a.axis[i].label(), b.axis[i].label());
+  }
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.p50_s, b.p50_s);
+  EXPECT_EQ(a.p95_s, b.p95_s);
+  EXPECT_EQ(a.p99_s, b.p99_s);
+  EXPECT_EQ(a.slo_threshold_s, b.slo_threshold_s);
+  ASSERT_EQ(a.cohorts.size(), b.cohorts.size());
+  for (std::size_t c = 0; c < a.cohorts.size(); ++c) {
+    SCOPED_TRACE("cohort " + a.cohorts[c].name);
+    EXPECT_EQ(a.cohorts[c].name, b.cohorts[c].name);
+    EXPECT_EQ(a.cohorts[c].requests, b.cohorts[c].requests);
+    EXPECT_EQ(a.cohorts[c].mean_rt_s, b.cohorts[c].mean_rt_s);
+    EXPECT_EQ(a.cohorts[c].blame_s, b.cohorts[c].blame_s);
+    EXPECT_EQ(a.cohorts[c].exemplars, b.cohorts[c].exemplars);
+    EXPECT_EQ(a.cohorts[c].slo_misses, b.cohorts[c].slo_misses);
+    EXPECT_EQ(a.cohorts[c].slo_miss_share, b.cohorts[c].slo_miss_share);
+  }
+}
+
+// Tail attribution and its exemplar selection are pure functions of the
+// traces, which are pure functions of the trial seed — so a parallel traced
+// sweep must reproduce the serial one bit for bit, exemplar ids included.
+TEST(DeterminismTest, TailAttributionMatchesAcrossJobs) {
+  Experiment e(cheap_config(), traced_options(1.0));
+  const SoftConfig soft{50, 10, 10};
+  const auto workloads = workload_range(100, 400, 100);
+
+  const auto serial = sweep_workload(e, soft, workloads, /*jobs=*/1);
+  const auto parallel = sweep_workload(e, soft, workloads, /*jobs=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  bool attributed = false;
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("workload " + std::to_string(workloads[i]));
+    expect_bit_identical(serial[i], parallel[i]);
+    expect_tail_identical(serial[i].tail, parallel[i].tail);
+    if (!serial[i].tail.empty()) {
+      attributed = true;
+      const auto* p99 = serial[i].tail.find_cohort("p99+");
+      ASSERT_NE(p99, nullptr);
+      EXPECT_FALSE(p99->exemplars.empty());
+    }
+  }
+  EXPECT_TRUE(attributed);  // the sweep must actually exercise the tail path
+}
+
+// Sub-unity SOFTRES_TRACE_RATE keeps the contract: the sampling decision is
+// drawn from the trial's own seeded stream, so two fresh experiments at the
+// same rate trace the same requests and attribute the same tail — and
+// sampling must not perturb the non-trace observables at all.
+TEST(DeterminismTest, TailAttributionStableUnderTraceRate) {
+  const SoftConfig soft{50, 10, 10};
+  Experiment a(cheap_config(), traced_options(0.25));
+  Experiment b(cheap_config(), traced_options(0.25));
+  const RunResult ra = a.run(soft, 300);
+  const RunResult rb = b.run(soft, 300);
+
+  Experiment untraced(cheap_config(), cheap_options());
+  const RunResult ru = untraced.run(soft, 300);
+  EXPECT_TRUE(ru.tail.empty());
+  EXPECT_FALSE(ru.diagnosis.tail.present);
+  EXPECT_EQ(ra.throughput, ru.throughput);
+  // Compare the raw sample sequences before any quantile() call: SampleSet
+  // sorts lazily in place, so this is the strongest (order-sensitive) form.
+  EXPECT_EQ(ra.response_times.raw(), ru.response_times.raw());
+
+  expect_bit_identical(ra, rb);
+  expect_tail_identical(ra.tail, rb.tail);
+  ASSERT_FALSE(ra.tail.empty());
+  EXPECT_LT(ra.tail.requests, ra.response_times.count());  // sampled, not all
 }
 
 TEST(DeterminismTest, GridSweepMatchesPointwiseRuns) {

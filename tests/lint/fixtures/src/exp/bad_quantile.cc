@@ -1,0 +1,22 @@
+// Fixture: SR015 — ad-hoc quantile selection outside the stats homes
+// (sim::SampleSet via src/sim, src/metrics and src/obs).
+#include <algorithm>
+#include <vector>
+
+namespace softres_fixture {
+
+double p99(std::vector<double> xs) {
+  auto nth = xs.begin() + static_cast<long>(0.99 * xs.size());
+  std::nth_element(xs.begin(), nth, xs.end());  // SR015 expected here
+  return *nth;
+}
+
+std::vector<double> top_k(std::vector<double> xs, std::size_t k) {
+  std::partial_sort(xs.begin(), xs.begin() + k, xs.end());  // SR015 here
+  std::vector<double> out(k);
+  std::partial_sort_copy(xs.begin(), xs.end(),  // SR015 expected here
+                         out.begin(), out.end());
+  return out;
+}
+
+}  // namespace softres_fixture

@@ -263,13 +263,50 @@ TEST(LintScanTest, PoolResizeOnlyInSanctionedControllers) {
           .empty());
 }
 
+TEST(LintScanTest, QuantileSelectionOnlyInStatsHomes) {
+  const std::string code = "std::nth_element(v.begin(), mid, v.end());\n";
+  EXPECT_EQ(rules_of(lint::scan_file("src/tier/x.cc", code)),
+            (std::vector<std::string>{"SR015"}));
+  EXPECT_EQ(rules_of(lint::scan_file("src/exp/x.cc", code)),
+            (std::vector<std::string>{"SR015"}));
+  EXPECT_EQ(rules_of(lint::scan_file("bench/x.cpp", code)),
+            (std::vector<std::string>{"SR015"}));
+  // Sanctioned: the SampleSet implementation, metrics and obs layers — the
+  // places the one nearest-rank quantile definition lives — plus harnesses.
+  EXPECT_TRUE(lint::scan_file("src/sim/stats.cc", code).empty());
+  EXPECT_TRUE(lint::scan_file("src/metrics/sla.cc", code).empty());
+  EXPECT_TRUE(lint::scan_file("src/obs/tail.cc", code).empty());
+  EXPECT_TRUE(lint::scan_file("tests/x_test.cc", code).empty());
+  EXPECT_TRUE(lint::scan_file("tools/x.cc", code).empty());
+  // partial_sort and partial_sort_copy are separate tokens: word-boundary
+  // matching keeps the former from firing inside the latter, so each fires
+  // exactly once per line.
+  EXPECT_EQ(rules_of(lint::scan_file(
+                "src/tier/x.cc",
+                "std::partial_sort_copy(a.begin(), a.end(), b.begin(), "
+                "b.end());\n")),
+            (std::vector<std::string>{"SR015"}));
+  // Near-miss identifiers and comment mentions do not fire.
+  EXPECT_TRUE(lint::scan_file("src/tier/x.cc",
+                              "// sorted via std::nth_element upstream\n"
+                              "int nth_element_cache = 0;\n"
+                              "bool partial = partial_sorted();\n")
+                  .empty());
+  // The escape hatch works like every other rule's.
+  EXPECT_TRUE(
+      lint::scan_file("src/tier/x.cc",
+                      "// SOFTRES_LINT_ALLOW(SR015: top-k on a local copy)\n" +
+                          code)
+          .empty());
+}
+
 TEST(LintScanTest, RuleTableCoversAllEmittedRules) {
   std::set<std::string> ids;
   for (const auto& r : lint::rule_table()) ids.insert(r.id);
   EXPECT_EQ(ids, (std::set<std::string>{"SR001", "SR002", "SR003", "SR004",
                                         "SR005", "SR006", "SR007", "SR008",
                                         "SR009", "SR010", "SR011", "SR012",
-                                        "SR013", "SR014"}));
+                                        "SR013", "SR014", "SR015"}));
 }
 
 // ---- Fixture-tree scan: exact rule IDs and lines per seeded violation ----
@@ -296,6 +333,9 @@ TEST(LintFixtureTest, DetectsEverySeededViolationExactly) {
       {"src/exp/bad_clock.cc", 9, "SR002"},
       {"src/exp/bad_clock.cc", 10, "SR002"},
       {"src/exp/bad_clock.cc", 11, "SR002"},
+      {"src/exp/bad_quantile.cc", 10, "SR015"},
+      {"src/exp/bad_quantile.cc", 15, "SR015"},
+      {"src/exp/bad_quantile.cc", 17, "SR015"},
       {"src/obs/diagnoser_bad_print.cc", 3, "SR008"},
       {"src/obs/diagnoser_bad_print.cc", 4, "SR008"},
       {"src/obs/diagnoser_bad_print.cc", 10, "SR008"},

@@ -1,0 +1,321 @@
+// Tests for the tail-attribution subsystem (obs/tail.h + the per-request
+// blame walker in obs/trace.h): the per-request blame identity (components
+// sum to response_time() for EVERY traced request, the acceptance criterion
+// of DESIGN.md §15), cohort partition coverage, deterministic exemplar
+// selection, per-cohort SLO-miss attribution, and the Diagnosis
+// corroboration channel.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/config.h"
+#include "exp/testbed.h"
+#include "metrics/sla.h"
+#include "obs/tail.h"
+#include "obs/trace.h"
+
+namespace softres::exp {
+namespace {
+
+workload::ClientConfig traced_client() {
+  workload::ClientConfig c;
+  c.users = 300;
+  c.ramp_up_s = 5.0;
+  c.runtime_s = 30.0;
+  c.ramp_down_s = 2.0;
+  c.trace_sample_rate = 0.05;
+  return c;
+}
+
+obs::TraceCollector collect_traces() {
+  TestbedConfig cfg = TestbedConfig::defaults();
+  Testbed bed(cfg, traced_client());
+  bed.run();
+  obs::TraceCollector traces;
+  traces.collect(bed.farm().traced_requests());
+  return traces;
+}
+
+TEST(BlameTest, ComponentsSumToResponseTimeForEveryRequest) {
+  // The acceptance identity: the blame vector is an *exact* decomposition of
+  // each request's end-to-end response time, within 1e-9 — the per-request
+  // refinement of LatencyBreakdown::accounted_ms().
+  const obs::TraceCollector traces = collect_traces();
+  ASSERT_FALSE(traces.traces().empty());
+  for (const obs::AssembledTrace& t : traces.traces()) {
+    const obs::BlameVector bv = obs::blame(t);
+    EXPECT_EQ(bv.request_id, t.request_id);
+    EXPECT_DOUBLE_EQ(bv.response_time_s, t.response_time());
+    EXPECT_NEAR(bv.total_s(), t.response_time(), 1e-9) << "request " << t.request_id;
+  }
+}
+
+TEST(BlameTest, ComponentsAreNonNegativeAndLabelled) {
+  const obs::TraceCollector traces = collect_traces();
+  ASSERT_FALSE(traces.traces().empty());
+  for (const obs::AssembledTrace& t : traces.traces()) {
+    const obs::BlameVector bv = obs::blame(t);
+    ASSERT_FALSE(bv.components.empty());
+    EXPECT_EQ(bv.components.back().label(), "network");
+    for (const obs::BlameVector::Component& c : bv.components) {
+      // Exclusive service may round a hair below zero; everything measured
+      // directly is non-negative by construction.
+      if (c.kind != "service" && c.kind != "network") {
+        EXPECT_GE(c.seconds, 0.0) << c.label();
+      }
+      if (c.kind != "network") {
+        EXPECT_EQ(c.label(), c.tier + "." + c.kind);
+      }
+    }
+  }
+}
+
+TEST(BlameTest, SyntheticTraceDecomposesExactly) {
+  // Hand-built nested trace: apache [0.1, 1.1] (queued from 0.0) containing
+  // tomcat [0.3, 0.9] (queued from 0.25, conn wait 0.1, gc 0.02), request
+  // sent at 0.0 and completed at 1.2.
+  obs::AssembledTrace t;
+  t.request_id = 42;
+  t.sent_at = 0.0;
+  t.completed_at = 1.2;
+  tier::Request::TraceSpan apache;
+  apache.server = "apache0";
+  apache.enter = 0.1;
+  apache.leave = 1.1;
+  apache.queue_s = 0.1;
+  tier::Request::TraceSpan tomcat;
+  tomcat.server = "tomcat0";
+  tomcat.enter = 0.3;
+  tomcat.leave = 0.9;
+  tomcat.queue_s = 0.05;
+  tomcat.conn_queue_s = 0.1;
+  tomcat.gc_s = 0.02;
+  t.spans = {apache, tomcat};
+  t.roots = obs::build_span_tree(t.spans);
+
+  const obs::BlameVector bv = obs::blame(t);
+  ASSERT_NE(bv.component("apache.queue"), nullptr);
+  EXPECT_NEAR(bv.component("apache.queue")->seconds, 0.1, 1e-12);
+  // Apache exclusive service: 1.0 residence minus the nested tomcat
+  // queue + residence (0.05 + 0.6).
+  EXPECT_NEAR(bv.component("apache.service")->seconds, 0.35, 1e-12);
+  EXPECT_NEAR(bv.component("tomcat.queue")->seconds, 0.05, 1e-12);
+  EXPECT_NEAR(bv.component("tomcat.service")->seconds, 0.48, 1e-12);
+  EXPECT_NEAR(bv.component("tomcat.conn_wait")->seconds, 0.1, 1e-12);
+  EXPECT_NEAR(bv.component("tomcat.gc")->seconds, 0.02, 1e-12);
+  EXPECT_NEAR(bv.component("network")->seconds, 0.1, 1e-12);
+  EXPECT_NEAR(bv.total_s(), 1.2, 1e-12);
+}
+
+TEST(TailTest, CohortPartitionCoversEveryTracedRequest) {
+  const obs::TraceCollector traces = collect_traces();
+  const obs::TailAttribution tail =
+      obs::TailAttributor().attribute(traces.traces());
+  ASSERT_FALSE(tail.empty());
+  ASSERT_EQ(tail.cohorts.size(), 4u);
+  EXPECT_EQ(tail.cohorts[0].name, "p0-50");
+  EXPECT_EQ(tail.cohorts[1].name, "p50-95");
+  EXPECT_EQ(tail.cohorts[2].name, "p95-99");
+  EXPECT_EQ(tail.cohorts[3].name, "p99+");
+  std::size_t covered = 0;
+  for (const auto& c : tail.cohorts) {
+    covered += c.requests;
+    EXPECT_EQ(c.blame_s.size(), tail.axis.size()) << c.name;
+  }
+  EXPECT_EQ(covered, traces.size());
+  EXPECT_EQ(tail.requests, traces.size());
+  // Nearest-rank boundaries are ordered, and the base cohort is never empty.
+  EXPECT_LE(tail.p50_s, tail.p95_s);
+  EXPECT_LE(tail.p95_s, tail.p99_s);
+  EXPECT_GT(tail.cohorts[0].requests, 0u);
+  EXPECT_EQ(tail.axis.back().label(), "network");
+}
+
+TEST(TailTest, CohortBlameMeansSumToCohortMeanResponseTime) {
+  // The per-request identity survives aggregation: each cohort's mean blame
+  // vector sums to its mean response time.
+  const obs::TraceCollector traces = collect_traces();
+  const obs::TailAttribution tail =
+      obs::TailAttributor().attribute(traces.traces());
+  ASSERT_FALSE(tail.empty());
+  for (const auto& c : tail.cohorts) {
+    if (c.requests == 0) continue;
+    double sum = 0.0;
+    for (double b : c.blame_s) sum += b;
+    EXPECT_NEAR(sum, c.mean_rt_s, 1e-9) << c.name;
+  }
+}
+
+TEST(TailTest, ExemplarsAreSlowestFirstAndDeterministic) {
+  const obs::TraceCollector traces = collect_traces();
+  const obs::TailAttributor attributor;
+  const obs::TailAttribution a = attributor.attribute(traces.traces());
+  const obs::TailAttribution b = attributor.attribute(traces.traces());
+  ASSERT_FALSE(a.empty());
+  for (std::size_t i = 0; i < a.cohorts.size(); ++i) {
+    EXPECT_EQ(a.cohorts[i].exemplars, b.cohorts[i].exemplars) << i;
+    EXPECT_LE(a.cohorts[i].exemplars.size(), obs::TailConfig{}.top_k);
+    // Every exemplar id names a collected trace, and the first one is the
+    // cohort's slowest request.
+    double slowest = 0.0;
+    for (std::uint64_t id : a.cohorts[i].exemplars) {
+      bool found = false;
+      for (const obs::AssembledTrace& t : traces.traces()) {
+        if (t.request_id == id) {
+          found = true;
+          slowest = std::max(slowest, t.response_time());
+        }
+      }
+      EXPECT_TRUE(found) << "exemplar " << id;
+    }
+    if (!a.cohorts[i].exemplars.empty()) {
+      for (const obs::AssembledTrace& t : traces.traces()) {
+        if (t.request_id == a.cohorts[i].exemplars.front()) {
+          EXPECT_DOUBLE_EQ(t.response_time(), slowest);
+        }
+      }
+    }
+  }
+}
+
+TEST(TailTest, SloMissAttributionPerCohort) {
+  const obs::TraceCollector traces = collect_traces();
+  // A threshold below every response time: all requests miss, and the
+  // shares across cohorts sum to 1.
+  obs::TailConfig strict;
+  strict.slo_threshold_s = 0.0;
+  const obs::TailAttribution all_miss =
+      obs::TailAttributor(strict).attribute(traces.traces());
+  std::size_t misses = 0;
+  double share = 0.0;
+  for (const auto& c : all_miss.cohorts) {
+    misses += c.slo_misses;
+    share += c.slo_miss_share;
+    EXPECT_EQ(c.slo_misses, c.requests) << c.name;
+  }
+  EXPECT_EQ(misses, all_miss.requests);
+  EXPECT_NEAR(share, 1.0, 1e-12);
+  // A threshold above every response time: nobody misses.
+  obs::TailConfig lax;
+  lax.slo_threshold_s = 1e9;
+  const obs::TailAttribution no_miss =
+      obs::TailAttributor(lax).attribute(traces.traces());
+  for (const auto& c : no_miss.cohorts) {
+    EXPECT_EQ(c.slo_misses, 0u) << c.name;
+    EXPECT_EQ(c.slo_miss_share, 0.0) << c.name;
+  }
+}
+
+TEST(TailTest, DeltaVsBaseIsOneAgainstItself) {
+  const obs::TraceCollector traces = collect_traces();
+  const obs::TailAttribution tail =
+      obs::TailAttributor().attribute(traces.traces());
+  ASSERT_FALSE(tail.empty());
+  const auto* base = tail.find_cohort("p0-50");
+  ASSERT_NE(base, nullptr);
+  for (std::size_t i = 0; i < tail.axis.size(); ++i) {
+    if (base->blame_s[i] > 0.0) {
+      EXPECT_DOUBLE_EQ(tail.delta_vs_base(i, *base), 1.0);
+    } else {
+      EXPECT_EQ(tail.delta_vs_base(i, *base), 0.0);
+    }
+  }
+  const std::size_t dom = tail.dominant_component(*base);
+  ASSERT_NE(dom, obs::TailAttribution::npos);
+  for (double b : base->blame_s) EXPECT_LE(b, base->blame_s[dom]);
+}
+
+TEST(TailTest, EmptyTracesYieldEmptyAttribution) {
+  const obs::TailAttribution tail = obs::TailAttributor().attribute({});
+  EXPECT_TRUE(tail.empty());
+  EXPECT_TRUE(tail.cohorts.empty());
+  EXPECT_TRUE(tail.axis.empty());
+}
+
+TEST(CorroborateTest, MapsDominantComponentOntoImplicatedResource) {
+  // Synthetic attribution whose p99+ cohort is dominated by tomcat.queue.
+  obs::TailAttribution tail;
+  tail.requests = 10;
+  tail.axis = {{"tomcat", "queue"}, {"tomcat", "service"}, {"", "network"}};
+  tail.cohorts.resize(4);
+  tail.cohorts[0] = {"p0-50", 5, 0.1, {0.01, 0.08, 0.01}, {1}, 0, 0.0};
+  tail.cohorts[1] = {"p50-95", 3, 0.2, {0.1, 0.09, 0.01}, {2}, 0, 0.0};
+  tail.cohorts[2] = {"p95-99", 1, 0.5, {0.4, 0.09, 0.01}, {3}, 0, 0.0};
+  tail.cohorts[3] = {"p99+", 1, 1.2, {1.1, 0.09, 0.01}, {4}, 1, 1.0};
+
+  obs::Diagnosis d;
+  d.pathology = obs::Pathology::kSoftUnderAlloc;
+  d.implicated_resources = {"tomcat0.threads"};
+  obs::corroborate(d, tail);
+  EXPECT_TRUE(d.tail.present);
+  EXPECT_EQ(d.tail.cohort, "p99+");
+  EXPECT_EQ(d.tail.component, "tomcat.queue");
+  EXPECT_TRUE(d.tail.corroborates);
+  EXPECT_NEAR(d.tail.cohort_mean_ms, 1100.0, 1e-9);
+  EXPECT_NEAR(d.tail.base_mean_ms, 10.0, 1e-9);
+  EXPECT_NEAR(d.tail.delta, 110.0, 1e-9);
+  // SOFTRES_LINT_ALLOW(SR013: blame label in a citation string, not a series)
+  EXPECT_NE(d.tail.text.find("tomcat.queue"), std::string::npos);
+  EXPECT_NE(d.tail.text.find("corroborates tomcat0.threads"),
+            std::string::npos);
+
+  // A verdict implicating an unrelated resource is not corroborated.
+  obs::Diagnosis other;
+  other.pathology = obs::Pathology::kSoftUnderAlloc;
+  other.implicated_resources = {"apache0.workers"};
+  obs::corroborate(other, tail);
+  EXPECT_TRUE(other.tail.present);
+  EXPECT_FALSE(other.tail.corroborates);
+  EXPECT_NE(other.tail.text.find("does not map"), std::string::npos);
+
+  // conn_wait maps onto the connection pool; gc onto the node's CPU.
+  tail.axis[0] = {"tomcat", "conn_wait"};
+  obs::Diagnosis conn;
+  conn.pathology = obs::Pathology::kSoftUnderAlloc;
+  conn.implicated_resources = {"tomcat0.dbconns"};
+  obs::corroborate(conn, tail);
+  EXPECT_TRUE(conn.tail.corroborates);
+  tail.axis[0] = {"tomcat", "gc"};
+  obs::Diagnosis gc;
+  gc.pathology = obs::Pathology::kGcOverAlloc;
+  gc.implicated_resources = {"tomcat0.cpu"};
+  obs::corroborate(gc, tail);
+  EXPECT_TRUE(gc.tail.corroborates);
+}
+
+TEST(CorroborateTest, UntracedTrialReportsAbsentTailEvidence) {
+  obs::Diagnosis d;
+  d.pathology = obs::Pathology::kSoftUnderAlloc;
+  d.tail.present = true;  // stale value must be reset
+  obs::corroborate(d, obs::TailAttribution{});
+  EXPECT_FALSE(d.tail.present);
+  EXPECT_FALSE(d.tail.corroborates);
+  EXPECT_TRUE(d.tail.text.empty());
+}
+
+TEST(CohortMissTest, LabelGenericAttributionSharesSumToOne) {
+  sim::SampleSet fast, slow;
+  for (int i = 0; i < 8; ++i) fast.add(0.1);
+  slow.add(3.0);
+  slow.add(5.0);
+  slow.add(0.5);
+  const auto misses = metrics::slo_miss_by_cohort(
+      {{"fast", fast}, {"slow", slow}}, 2.0);
+  ASSERT_EQ(misses.size(), 2u);
+  EXPECT_EQ(misses[0].label, "fast");
+  EXPECT_EQ(misses[0].requests, 8u);
+  EXPECT_EQ(misses[0].misses, 0u);
+  EXPECT_EQ(misses[0].miss_share, 0.0);
+  EXPECT_EQ(misses[1].misses, 2u);
+  EXPECT_DOUBLE_EQ(misses[1].miss_share, 1.0);
+  // No traffic, no misses — and no division by zero.
+  const auto empty = metrics::slo_miss_by_cohort({{"none", {}}}, 2.0);
+  ASSERT_EQ(empty.size(), 1u);
+  EXPECT_EQ(empty[0].miss_share, 0.0);
+}
+
+}  // namespace
+}  // namespace softres::exp

@@ -66,6 +66,11 @@ const std::vector<RuleInfo>& rule_table() {
       {"SR014", "sarif-output",
        "meta-rule: findings export as SARIF 2.1.0 (--sarif out.sarif) so the "
        "static-analysis CI job can annotate PR diffs; never fires on source"},
+      {"SR015", "adhoc-quantile",
+       "selection-algorithm calls (nth_element, partial_sort, ...) outside "
+       "src/sim, src/metrics and src/obs; percentile and cohort math flows "
+       "through sim::SampleSet so every reported quantile uses one "
+       "definition (nearest rank)"},
   };
   return kRules;
 }
@@ -189,6 +194,20 @@ constexpr TokenRule kCycleCounter[] = {
 };
 constexpr TokenRule kDriverTiming[] = {
     {"SR009", "chrono", "std::chrono timing"},
+};
+
+// SR015 — ad-hoc order-statistic selection outside the sanctioned stats
+// homes. Every percentile the repo reports — SLA quantiles, tail-cohort
+// boundaries, exemplar ranking — comes from sim::SampleSet's exact
+// nearest-rank definition via src/metrics and src/obs; a stray nth_element
+// in a tier model or a driver quietly invents a second, subtly different
+// quantile definition that can disagree with the reports. Both partial_sort
+// tokens are listed because word-boundary matching (correctly) keeps
+// "partial_sort" from firing inside "partial_sort_copy".
+constexpr TokenRule kQuantileSelection[] = {
+    {"SR015", "nth_element", "std::nth_element"},
+    {"SR015", "partial_sort", "std::partial_sort"},
+    {"SR015", "partial_sort_copy", "std::partial_sort_copy"},
 };
 
 // SR008 stream headers; SR001 bans <random> the same way.
@@ -380,6 +399,11 @@ std::vector<Finding> scan_lexed_file(const std::string& rel_path,
                                  under(rel_path, "src/core/governor") ||
                                  domain == Domain::kTool ||
                                  domain == Domain::kTest;
+  const bool quantile_sanctioned = under(rel_path, "src/sim/") ||
+                                   under(rel_path, "src/metrics/") ||
+                                   domain == Domain::kObs ||
+                                   domain == Domain::kTool ||
+                                   domain == Domain::kTest;
 
   auto is_allowed = [&lex](int line, const char* rule) {
     auto it = lex.allowed.find(line);
@@ -511,6 +535,22 @@ std::vector<Finding> scan_lexed_file(const std::string& rel_path,
           "src/core/governor*: route resizes through a registered "
           "soft::ResizablePoolSet controller so drain accounting and resize "
           "hooks stay coherent");
+    }
+
+    // SR015 — ad-hoc quantile selection outside the stats homes. The
+    // SampleSet implementation (src/sim), the metrics layer and src/obs own
+    // order statistics; everything else reads quantiles through them.
+    if (!quantile_sanctioned) {
+      for (const auto& r : kQuantileSelection) {
+        if (contains_token(code, r.token)) {
+          add(n, r.rule,
+              std::string(r.what) +
+                  " computes order statistics ad hoc: percentile and cohort "
+                  "math flows through sim::SampleSet (via src/metrics and "
+                  "src/obs) so every reported quantile uses one definition");
+          break;
+        }
+      }
     }
 
     // SR006 (token half) — sim-reachable src/ domains.

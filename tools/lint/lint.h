@@ -13,7 +13,7 @@
 //
 // Three passes, all built on the shared lexer (lexer.h — comments, strings,
 // raw strings, preprocessor lines; no std::regex anywhere):
-//   1. per-file token rules (SR001–SR010) on the stripped code lines;
+//   1. per-file token rules (SR001–SR010, SR015) on the stripped code lines;
 //   2. an include-graph pass (SR011) checking every #include in src/ against
 //      the declared layer DAG in tools/lint/layers.txt, plus cycle detection;
 //   3. cross-TU semantic passes: SR012, a flow-sensitive (brace/return/throw
@@ -58,6 +58,10 @@
 //                            detector class); never-read registrations are
 //                            reported as notes
 //   SR014 sarif-output       meta: SARIF 2.1.0 export of findings
+//   SR015 adhoc-quantile     nth_element/partial_sort selection outside
+//                            src/sim, src/metrics and src/obs; every
+//                            reported percentile comes from sim::SampleSet's
+//                            nearest-rank definition
 //                            (--sarif out.sarif), consumed by CI to annotate
 //                            PR diffs; not a scanning rule
 //

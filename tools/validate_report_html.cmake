@@ -3,9 +3,11 @@
 # timelines. Runs as the bottleneck_hunt_report_* CTests (FIXTURES_REQUIRED
 # on the bottleneck_hunt smoke run). Pass -DEXPECT_EVIDENCE=1 when the trial
 # is known to produce a pathology verdict, so the shaded evidence windows
-# must appear in the SVGs.
+# must appear in the SVGs. Pass -DEXPECT_TAIL=1 when the trial ran with
+# tracing on, so the "Why is the tail slow" cohort section and the p99+
+# exemplar waterfall SVGs must render.
 #
-# Usage: cmake -DREPORT_HTML=<file> [-DEXPECT_EVIDENCE=1]
+# Usage: cmake -DREPORT_HTML=<file> [-DEXPECT_EVIDENCE=1] [-DEXPECT_TAIL=1]
 #              -P tools/validate_report_html.cmake
 cmake_minimum_required(VERSION 3.19)
 
@@ -57,6 +59,17 @@ if(DEFINED EXPECT_EVIDENCE AND EXPECT_EVIDENCE)
   if(NOT content MATCHES "class=\"evidence\"")
     message(FATAL_ERROR
       "expected shaded evidence windows, found none in ${REPORT_HTML}")
+  endif()
+endif()
+
+if(DEFINED EXPECT_TAIL AND EXPECT_TAIL)
+  if(NOT content MATCHES "<h2>Why is the tail slow</h2>")
+    message(FATAL_ERROR
+      "expected the tail-attribution section, found none in ${REPORT_HTML}")
+  endif()
+  if(NOT content MATCHES "class=\"waterfall\"")
+    message(FATAL_ERROR
+      "expected p99+ exemplar waterfall SVGs, found none in ${REPORT_HTML}")
   endif()
 endif()
 
